@@ -1,0 +1,212 @@
+// Command defusec is the defuse compiler driver: it parses a program in the
+// defuse loop language, instruments it with def-use checksum error detection
+// (optionally applying index-set splitting and inspector hoisting), prints
+// the instrumented program, and can run it on the simulated memory
+// subsystem — optionally with an injected fault to demonstrate detection.
+//
+// Usage:
+//
+//	defusec [-split] [-inspector] [-analyze] [-run] [-param n=100,...] \
+//	        [-inject step:array:index:bit] file.dl
+//
+// With no file the program is read from standard input.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"defuse/internal/deps"
+	"defuse/internal/instrument"
+	"defuse/internal/interp"
+	"defuse/internal/lang"
+	"defuse/internal/pdg"
+	"defuse/internal/usecount"
+)
+
+func main() {
+	split := flag.Bool("split", false, "apply index-set splitting (Algorithm 2)")
+	inspector := flag.Bool("inspector", false, "hoist inspectors for iterative loops (Section 4.2)")
+	analyze := flag.Bool("analyze", false, "print dependence and use-count analysis instead of code")
+	run := flag.Bool("run", false, "execute the instrumented program on the simulated memory")
+	params := flag.String("param", "", "comma-separated parameter values, e.g. n=100,tsteps=5")
+	inject := flag.String("inject", "", "inject a fault: step:array:flatIndex:bit")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *analyze {
+		if err := printAnalysis(prog); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	res, err := instrument.Instrument(prog, instrument.Options{Split: *split, Inspector: *inspector})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "# instrumentation plan:\n%s", indent(res.Report.String(), "# "))
+	if !*run {
+		fmt.Print(lang.Print(res.Prog))
+		return
+	}
+
+	pv, err := parseParams(*params)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := interp.New(res.Prog, pv)
+	if err != nil {
+		fatal(err)
+	}
+	if *inject != "" {
+		if err := armInjection(m, *inject); err != nil {
+			fatal(err)
+		}
+	}
+	err = m.Run()
+	var de *interp.DetectionError
+	switch {
+	case errors.As(err, &de):
+		fmt.Printf("MEMORY ERROR DETECTED: %v\n", de)
+	case err != nil:
+		fatal(err)
+	default:
+		fmt.Println("run completed, checksums verified")
+	}
+	c := m.Counts
+	fmt.Printf("ops: %d loads, %d stores, %d arith, %d compare, %d checksum ops\n",
+		c.Loads, c.Stores, c.Arith, c.Compare, c.CsOps)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func parseParams(s string) (map[string]int64, error) {
+	out := map[string]int64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad parameter %q (want name=value)", kv)
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter value %q: %v", kv, err)
+		}
+		out[strings.TrimSpace(parts[0])] = v
+	}
+	return out, nil
+}
+
+func armInjection(m *interp.Machine, spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("bad -inject %q (want step:array:flatIndex:bit)", spec)
+	}
+	step, err1 := strconv.ParseUint(parts[0], 10, 64)
+	idx, err2 := strconv.Atoi(parts[2])
+	bit, err3 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf("bad -inject %q", spec)
+	}
+	base, size, err := m.Region(parts[1])
+	if err != nil {
+		return err
+	}
+	if idx < 0 || idx >= size {
+		return fmt.Errorf("index %d out of range for %s", idx, parts[1])
+	}
+	fired := false
+	m.SetStepHook(func(cur uint64) {
+		if !fired && cur == step {
+			m.Mem().FlipBit(base+idx, bit)
+			fired = true
+			fmt.Fprintf(os.Stderr, "# injected bit flip: %s[%d] bit %d at step %d\n",
+				parts[1], idx, bit, step)
+		}
+	})
+	return nil
+}
+
+func printAnalysis(prog *lang.Program) error {
+	model, err := pdg.Extract(prog)
+	if err != nil {
+		return err
+	}
+	flow := deps.Analyze(model)
+	uc := usecount.Analyze(flow)
+
+	fmt.Println("== statements ==")
+	for _, s := range model.Stmts {
+		fmt.Printf("%-4s domain=%s\n", s.ID, s.Domain)
+		sched := make([]string, len(s.Schedule))
+		for i, t := range s.Schedule {
+			sched[i] = t.String()
+		}
+		fmt.Printf("     schedule=[%s] affine=%v\n", strings.Join(sched, ","), s.FullyAffine())
+	}
+	fmt.Println("== flow dependences ==")
+	for _, d := range flow.Deps {
+		fmt.Printf("%v\n", d)
+	}
+	fmt.Println("== use counts ==")
+	for _, s := range model.Stmts {
+		dc := uc.Defs[s]
+		if dc == nil {
+			fmt.Printf("%-4s (dynamic)\n", s.ID)
+			continue
+		}
+		fmt.Printf("%-4s writes %s:\n", s.ID, s.Write.Array)
+		for _, c := range dc.Contribs {
+			fmt.Printf("     -> %s: %s\n", c.Dep.Dst.ID, c.Count)
+		}
+	}
+	fmt.Println("== variable classes ==")
+	for _, d := range prog.Decls {
+		c := uc.Classes[d.Name]
+		if c == nil {
+			continue
+		}
+		if c.Analyzable {
+			fmt.Printf("%-10s static\n", d.Name)
+		} else {
+			fmt.Printf("%-10s dynamic (%s)\n", d.Name, c.Reason)
+		}
+	}
+	return nil
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "defusec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command goinstr instruments a Go source file with the def-use checksum
+// scheme: every tracked function-level variable's definitions and uses are
+// augmented with calls into defuse/rt, and a deferred epilogue verifies the
+// def/use and e_def/e_use checksums (panicking on a detected memory error).
+//
+// Usage:
+//
+//	goinstr [-funcs f,g] [-o out.go] file.go
+//
+// The instrumented source is written to -o (default: standard output). The
+// consuming module must be able to import defuse/rt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"defuse/internal/goinstr"
+)
+
+func main() {
+	funcs := flag.String("funcs", "", "comma-separated functions to instrument (default: all)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: goinstr [-funcs f,g] [-o out.go] file.go")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var opt goinstr.Options
+	if *funcs != "" {
+		opt.Funcs = strings.Split(*funcs, ",")
+	}
+	res, rep, err := goinstr.Instrument(path, string(src), opt)
+	if err != nil {
+		fatal(err)
+	}
+	for fn, vars := range rep.Tracked {
+		fmt.Fprintf(os.Stderr, "# %s: tracking %s\n", fn, strings.Join(vars, ", "))
+	}
+	for fn, sk := range rep.Skipped {
+		for v, why := range sk {
+			fmt.Fprintf(os.Stderr, "# %s: skipped %s (%s)\n", fn, v, why)
+		}
+	}
+	if *out == "" {
+		fmt.Print(res)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(res), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goinstr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+package defuse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"defuse/internal/faults"
+	"defuse/internal/interp"
+)
+
+const quickSrc = `
+program axpy(n)
+float x[n], y[n], a;
+a = 2.5;
+for i = 0 to n - 1 {
+  S1: y[i] = y[i] + a * x[i];
+}
+`
+
+func TestCompileAndExecute(t *testing.T) {
+	res, err := Compile(quickSrc, Options{Split: true, Inspector: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Source, "add_to_chksm") {
+		t.Error("instrumented source lacks checksum code")
+	}
+	m, err := NewMachine(res.Prog, map[string]int64{"n": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 16; i++ {
+		m.SetFloat("x", float64(i), i)
+		m.SetFloat("y", 1.0, i)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("fault-free run flagged: %v", err)
+	}
+	y5, _ := m.Float("y", 5)
+	if y5 != 1.0+2.5*5 {
+		t.Errorf("y[5] = %v", y5)
+	}
+}
+
+func TestCompileDetectsFault(t *testing.T) {
+	res, err := Compile(quickSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(res.Prog, map[string]int64{"n": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := m.Region("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	m.SetStepHook(func(step uint64) {
+		if !fired && step == 20 {
+			m.Mem().FlipBit(base+15, 33) // corrupt x[15] before its use
+			fired = true
+		}
+	})
+	err = m.Run()
+	var de *interp.DetectionError
+	if !errors.As(err, &de) {
+		t.Fatalf("fault not detected: %v", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("garbage", Options{}); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Compile("program p() y = 1;", Options{}); err == nil {
+		t.Error("expected check error")
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	p, err := Parse(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := PrintProgram(p)
+	if _, err := Parse(printed); err != nil {
+		t.Errorf("print not reparseable: %v", err)
+	}
+}
+
+func TestFaultCoverageFacade(t *testing.T) {
+	r := FaultCoverage(CoverageConfig{
+		Kind: 0, Words: 64, BitFlips: 1, Pattern: faults.Random, Trials: 500, Seed: 9,
+	})
+	if r.Undetected != 0 {
+		t.Errorf("single-bit errors must always be caught, %d escaped", r.Undetected)
+	}
+}
+
+func TestBenchmarksFacade(t *testing.T) {
+	if len(Benchmarks()) != 10 {
+		t.Error("expected the 10 Table 2 benchmarks")
+	}
+	if _, err := Benchmark("LU"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Benchmark("bogus"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestInstrumentGoFacade(t *testing.T) {
+	out, rep, err := InstrumentGo("x.go", `package p
+
+func f(a float64) float64 {
+	b := a * 2.0
+	return b + a
+}
+`, GoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rt.NewTracker") {
+		t.Error("missing tracker")
+	}
+	if len(rep.Tracked["f"]) == 0 {
+		t.Error("nothing tracked")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	res, err := Compile(quickSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Describe(res); !strings.Contains(s, "static") {
+		t.Errorf("Describe = %q", s)
+	}
+}

@@ -1,0 +1,112 @@
+// Cholesky: the paper's affine running example (Figure 2). This example
+// walks the full compile-time pipeline — polyhedral extraction, exact flow
+// dependences, Algorithm 1 use counts, index-set splitting — then runs a
+// fault-injection campaign against the instrumented kernel and reports the
+// detection rate.
+//
+//	go run ./examples/cholesky
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"defuse"
+	"defuse/internal/deps"
+	"defuse/internal/interp"
+	"defuse/internal/pdg"
+	"defuse/internal/usecount"
+)
+
+const src = `
+program cholesky(n)
+float A[n][n];
+for j = 0 to n - 1 {
+  S1: A[j][j] = sqrt(A[j][j]);
+  for i = j + 1 to n - 1 {
+    S2: A[i][j] = A[i][j] / A[j][j];
+  }
+}
+`
+
+func main() {
+	prog, err := defuse.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile-time analysis (Section 3).
+	model, err := pdg.Extract(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flow := deps.Analyze(model)
+	uc := usecount.Analyze(flow)
+	fmt.Println("== Section 3 analysis ==")
+	for _, d := range flow.Deps {
+		fmt.Printf("flow dependence: %v\n", d)
+	}
+	s1 := model.Statement("S1")
+	if dc := uc.Defs[s1]; dc != nil && len(dc.Contribs) > 0 {
+		fmt.Printf("use count of S1 (paper: n-1-j): %s\n\n", dc.Contribs[0].Count)
+	}
+
+	// Instrument with index-set splitting (Figure 6).
+	res, err := defuse.Compile(src, defuse.Options{Split: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== instrumented + index-set split (Figure 6) ==")
+	fmt.Println(res.Source)
+
+	// Fault-injection campaign: random single-bit flips at random steps.
+	const n = 16
+	setup := func(m *defuse.Machine) {
+		rng := rand.New(rand.NewSource(7))
+		m.FillFloat("A", func(i int64) float64 { return 0.1 * rng.Float64() })
+		for d := int64(0); d < n; d++ {
+			m.SetFloat("A", 40+rng.Float64(), d, d)
+		}
+	}
+	clean, err := defuse.NewMachine(res.Prog, map[string]int64{"n": n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup(clean)
+	if err := clean.Run(); err != nil {
+		log.Fatalf("false positive: %v", err)
+	}
+	total := clean.Counts.Stmts
+	fmt.Printf("fault-free run verified (%d statements executed)\n", total)
+
+	rng := rand.New(rand.NewSource(8))
+	detected, trials := 0, 200
+	for t := 0; t < trials; t++ {
+		m, err := defuse.NewMachine(res.Prog, map[string]int64{"n": n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		setup(m)
+		base, size, _ := m.Region("A")
+		step := uint64(rng.Int63n(int64(total))) + 1
+		addr := base + rng.Intn(size)
+		bit := rng.Intn(64)
+		fired := false
+		m.SetStepHook(func(cur uint64) {
+			if !fired && cur == step {
+				m.Mem().FlipBit(addr, bit)
+				fired = true
+			}
+		})
+		err = m.Run()
+		var de *interp.DetectionError
+		if errors.As(err, &de) {
+			detected++
+		}
+	}
+	fmt.Printf("fault injection: %d/%d random single-bit flips detected\n", detected, trials)
+	fmt.Println("(undetected flips land outside any def-use window: after a value's")
+	fmt.Println(" last use, or in cells whose remaining uses were already consumed)")
+}

@@ -1,0 +1,53 @@
+// Operators: the Section 6.1 checksum-operator study as a runnable demo.
+// Compares the fault coverage of integer modulo addition (the paper's
+// choice) against XOR and one's-complement addition, and shows the
+// two-checksum (address-rotated) scheme eliminating the residual two-bit
+// escapes — the experiment behind Table 1 and the Maxino comparison the
+// paper cites.
+//
+//	go run ./examples/operators
+package main
+
+import (
+	"fmt"
+
+	"defuse"
+	"defuse/internal/checksum"
+	"defuse/internal/faults"
+)
+
+func main() {
+	const (
+		words  = 1000
+		trials = 30000
+	)
+	fmt.Printf("fault coverage over %d-word arrays, %d trials, random data\n\n", words, trials)
+	fmt.Printf("%-22s %-12s %-12s\n", "operator", "2-bit flips", "3-bit flips")
+	for _, k := range []checksum.Kind{checksum.ModAdd, checksum.XOR, checksum.OnesComp} {
+		var cells []string
+		for _, flips := range []int{2, 3} {
+			r := defuse.FaultCoverage(defuse.CoverageConfig{
+				Kind: k, Words: words, BitFlips: flips,
+				Pattern: faults.Random, Trials: trials, Seed: 1,
+			})
+			cells = append(cells, fmt.Sprintf("%.3f%%", r.UndetectedPercent()))
+		}
+		fmt.Printf("%-22s %-12s %-12s\n", k.String()+" (1 checksum)", cells[0], cells[1])
+	}
+	// The two-checksum scheme: the second checksum folds each word rotated
+	// by an address-derived amount, so aligned cancellations un-align.
+	var cells []string
+	for _, flips := range []int{2, 3} {
+		r := defuse.FaultCoverage(defuse.CoverageConfig{
+			Kind: checksum.ModAdd, Words: words, BitFlips: flips,
+			Pattern: faults.Random, Trials: trials, Seed: 1, Dual: true,
+		})
+		cells = append(cells, fmt.Sprintf("%.3f%%", r.UndetectedPercent()))
+	}
+	fmt.Printf("%-22s %-12s %-12s\n", "modadd (2 checksums)", cells[0], cells[1])
+
+	fmt.Println("\nwhy XOR is weaker: flips at the same bit position in two words always")
+	fmt.Println("cancel under XOR; under modular addition they only cancel when the")
+	fmt.Println("carry chains also agree (Section 5 / Maxino). The paper therefore uses")
+	fmt.Println("integer modulo addition, which hardware supports as cheaply as XOR.")
+}

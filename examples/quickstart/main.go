@@ -1,0 +1,72 @@
+// Quickstart: instrument the paper's running example (Figure 1/4) and watch
+// a transient memory error being detected.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"defuse"
+	"defuse/internal/interp"
+)
+
+// The Figure 1(a) program: temp is defined once and used twice.
+const src = `
+program figure1()
+float temp, sum1, sum2;
+temp = 10.0 + 20.0;
+sum1 = temp + 30.0;
+sum2 = temp + 40.0;
+`
+
+func main() {
+	res, err := defuse.Compile(src, defuse.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== instrumented program (Figure 4 scheme) ==")
+	fmt.Println(res.Source)
+	fmt.Println(defuse.Describe(res))
+
+	// Fault-free run: the checksums verify.
+	m, err := defuse.NewMachine(res.Prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatalf("unexpected: %v", err)
+	}
+	sum1, _ := m.Float("sum1")
+	sum2, _ := m.Float("sum2")
+	fmt.Printf("fault-free run: sum1=%v sum2=%v, checksums verified\n\n", sum1, sum2)
+
+	// Now corrupt temp in memory between its two uses: a transient bit flip
+	// in the memory subsystem, exactly the paper's fault model.
+	m2, err := defuse.NewMachine(res.Prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, _, err := m2.Region("temp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fired := false
+	m2.SetStepHook(func(step uint64) {
+		// Flip a mantissa bit of temp somewhere in the middle of execution.
+		if !fired && step == uint64(m.Counts.Stmts/2) {
+			m2.Mem().FlipBit(base, 48)
+			fired = true
+			fmt.Println("injected: bit 48 of temp flipped mid-run")
+		}
+	})
+	err = m2.Run()
+	var de *interp.DetectionError
+	if errors.As(err, &de) {
+		fmt.Printf("DETECTED: %v\n", de)
+	} else {
+		fmt.Printf("run result: %v (flip position may precede temp's definition)\n", err)
+	}
+}

@@ -1,0 +1,3 @@
+module defuse
+
+go 1.22

@@ -1,0 +1,715 @@
+package native
+
+import "math"
+
+// This file holds the affine kernels (Table 2) in their variant sets. Use
+// counts and live-in counts are the closed forms the polyhedral analysis
+// derives; the package tests pin them down by requiring fault-free verifies.
+
+// ---------------------------------------------------------------- cholesky
+
+// Cholesky is the paper's Figure 2 kernel over a row-major n×n matrix.
+func Cholesky(a []float64, n int) {
+	for j := 0; j < n; j++ {
+		a[j*n+j] = math.Sqrt(a[j*n+j])
+		for i := j + 1; i < n; i++ {
+			a[i*n+j] = a[i*n+j] / a[j*n+j]
+		}
+	}
+}
+
+// CholeskyResilient is the guarded (unsplit) instrumentation: Figure 5.
+func CholeskyResilient(a []float64, n int) error {
+	var cs CS
+	// Prologue: live-in cells are the lower triangle including the
+	// diagonal, each read exactly once before being overwritten.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			cs.Def(a[i*n+j], 1)
+		}
+	}
+	for j := 0; j < n; j++ {
+		cs.Use(a[j*n+j])
+		a[j*n+j] = math.Sqrt(a[j*n+j])
+		if j <= n-2 { // the Figure 5 guard: no uses in the last iteration
+			cs.Def(a[j*n+j], int64(n-1-j))
+		}
+		for i := j + 1; i < n; i++ {
+			cs.Use(a[i*n+j])
+			cs.Use(a[j*n+j])
+			a[i*n+j] = a[i*n+j] / a[j*n+j]
+			// S2's definitions are never read again: use count 0.
+		}
+	}
+	return cs.Verify()
+}
+
+// CholeskyResilientOpt peels the last iteration (Figure 6) so the guard
+// disappears.
+func CholeskyResilientOpt(a []float64, n int) error {
+	var cs CS
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			cs.Def(a[i*n+j], 1)
+		}
+	}
+	for j := 0; j <= n-2; j++ {
+		cs.Use(a[j*n+j])
+		a[j*n+j] = math.Sqrt(a[j*n+j])
+		cs.Def(a[j*n+j], int64(n-1-j))
+		for i := j + 1; i < n; i++ {
+			cs.Use(a[i*n+j])
+			cs.Use(a[j*n+j])
+			a[i*n+j] = a[i*n+j] / a[j*n+j]
+		}
+	}
+	if n >= 1 { // peeled j = n-1
+		j := n - 1
+		cs.Use(a[j*n+j])
+		a[j*n+j] = math.Sqrt(a[j*n+j])
+	}
+	return cs.Verify()
+}
+
+// CholeskyHW prices checksum points at a counter bump (nop model).
+func CholeskyHW(a []float64, n int) uint64 {
+	var s nop
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s.tick()
+		}
+	}
+	for j := 0; j <= n-2; j++ {
+		s.tick()
+		a[j*n+j] = math.Sqrt(a[j*n+j])
+		s.tick()
+		for i := j + 1; i < n; i++ {
+			s.tick()
+			s.tick()
+			a[i*n+j] = a[i*n+j] / a[j*n+j]
+		}
+	}
+	if n >= 1 {
+		j := n - 1
+		s.tick()
+		a[j*n+j] = math.Sqrt(a[j*n+j])
+	}
+	return s.n
+}
+
+// ---------------------------------------------------------------- jacobi1d
+
+// Jacobi1D runs tsteps of a 3-point stencil over a and scratch b.
+func Jacobi1D(a, b []float64, n, tsteps int) {
+	for t := 0; t < tsteps; t++ {
+		for i := 1; i <= n-2; i++ {
+			b[i] = (a[i-1] + a[i] + a[i+1]) / 3.0
+		}
+		for i := 1; i <= n-2; i++ {
+			a[i] = b[i]
+		}
+	}
+}
+
+// jacobiReaders is the per-timestep read count of interior cell i (the
+// number of S1 instances whose stencil touches it).
+func jacobiReaders(i, n int) int64 {
+	lo, hi := i-1, i+1
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > n-2 {
+		hi = n - 2
+	}
+	if hi < lo {
+		return 0
+	}
+	return int64(hi - lo + 1)
+}
+
+// Jacobi1DResilient is the guarded instrumentation.
+func Jacobi1DResilient(a, b []float64, n, tsteps int) error {
+	var cs CS
+	if tsteps == 0 || n < 3 {
+		return cs.Verify()
+	}
+	// Prologue: boundary cells are read once per timestep forever; interior
+	// initial values are read by timestep 0's stencils only.
+	cs.Def(a[0], int64(tsteps))
+	cs.Def(a[n-1], int64(tsteps))
+	for i := 1; i <= n-2; i++ {
+		cs.Def(a[i], jacobiReaders(i, n))
+	}
+	for t := 0; t < tsteps; t++ {
+		for i := 1; i <= n-2; i++ {
+			cs.Use(a[i-1])
+			cs.Use(a[i])
+			cs.Use(a[i+1])
+			b[i] = (a[i-1] + a[i] + a[i+1]) / 3.0
+			cs.Def(b[i], 1)
+		}
+		for i := 1; i <= n-2; i++ {
+			cs.Use(b[i])
+			a[i] = b[i]
+			if t < tsteps-1 { // guard: last timestep's defs go unused
+				cs.Def(a[i], jacobiReaders(i, n))
+			}
+		}
+	}
+	return cs.Verify()
+}
+
+// Jacobi1DResilientOpt splits the i loops at the boundary cells and peels
+// the last timestep, eliminating both the per-iteration reader computation
+// and the t guard.
+func Jacobi1DResilientOpt(a, b []float64, n, tsteps int) error {
+	var cs CS
+	if tsteps == 0 || n < 3 {
+		return cs.Verify()
+	}
+	cs.Def(a[0], int64(tsteps))
+	cs.Def(a[n-1], int64(tsteps))
+	if n >= 4 {
+		cs.Def(a[1], 2)
+		cs.Def(a[n-2], 2)
+		for i := 2; i <= n-3; i++ {
+			cs.Def(a[i], 3)
+		}
+	} else { // n == 3: single interior cell with one reader
+		cs.Def(a[1], 1)
+	}
+	step := func(t int) {
+		for i := 1; i <= n-2; i++ {
+			cs.Use(a[i-1])
+			cs.Use(a[i])
+			cs.Use(a[i+1])
+			b[i] = (a[i-1] + a[i] + a[i+1]) / 3.0
+			cs.Def(b[i], 1)
+		}
+		if t < tsteps-1 {
+			if n >= 4 {
+				cs.Use(b[1])
+				a[1] = b[1]
+				cs.Def(a[1], 2)
+				for i := 2; i <= n-3; i++ {
+					cs.Use(b[i])
+					a[i] = b[i]
+					cs.Def(a[i], 3)
+				}
+				cs.Use(b[n-2])
+				a[n-2] = b[n-2]
+				cs.Def(a[n-2], 2)
+			} else {
+				cs.Use(b[1])
+				a[1] = b[1]
+				cs.Def(a[1], 1)
+			}
+			return
+		}
+		// Peeled final timestep: no def contributions.
+		for i := 1; i <= n-2; i++ {
+			cs.Use(b[i])
+			a[i] = b[i]
+		}
+	}
+	for t := 0; t < tsteps; t++ {
+		step(t)
+	}
+	return cs.Verify()
+}
+
+// Jacobi1DHW prices checksum points at nop cost.
+func Jacobi1DHW(a, b []float64, n, tsteps int) uint64 {
+	var s nop
+	if tsteps == 0 || n < 3 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		s.tick()
+	}
+	for t := 0; t < tsteps; t++ {
+		for i := 1; i <= n-2; i++ {
+			s.tick()
+			s.tick()
+			s.tick()
+			b[i] = (a[i-1] + a[i] + a[i+1]) / 3.0
+			s.tick()
+		}
+		for i := 1; i <= n-2; i++ {
+			s.tick()
+			a[i] = b[i]
+			s.tick()
+		}
+	}
+	return s.n
+}
+
+// ---------------------------------------------------------------- dsyrk
+
+// Dsyrk computes C += A*Aᵀ for row-major C (n×n) and A (n×m).
+func Dsyrk(c, a []float64, n, m int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < m; k++ {
+				c[i*n+j] = c[i*n+j] + a[i*m+k]*a[j*m+k]
+			}
+		}
+	}
+}
+
+// DsyrkResilient is the guarded instrumentation.
+func DsyrkResilient(c, a []float64, n, m int) error {
+	var cs CS
+	if m == 0 {
+		return cs.Verify()
+	}
+	// Prologue: each C cell is read once (at k=0); each A cell is read 2n
+	// times (n times as a[i][k], n times as a[j][k]).
+	for i := 0; i < n*n; i++ {
+		cs.Def(c[i], 1)
+	}
+	for i := 0; i < n*m; i++ {
+		cs.Def(a[i], int64(2*n))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < m; k++ {
+				cs.Use(c[i*n+j])
+				cs.Use(a[i*m+k])
+				cs.Use(a[j*m+k])
+				c[i*n+j] = c[i*n+j] + a[i*m+k]*a[j*m+k]
+				if k < m-1 { // guard: the k=m-1 def is the final value
+					cs.Def(c[i*n+j], 1)
+				}
+			}
+		}
+	}
+	return cs.Verify()
+}
+
+// DsyrkResilientOpt peels the k = m-1 iteration.
+func DsyrkResilientOpt(c, a []float64, n, m int) error {
+	var cs CS
+	if m == 0 {
+		return cs.Verify()
+	}
+	for i := 0; i < n*n; i++ {
+		cs.Def(c[i], 1)
+	}
+	for i := 0; i < n*m; i++ {
+		cs.Def(a[i], int64(2*n))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k <= m-2; k++ {
+				cs.Use(c[i*n+j])
+				cs.Use(a[i*m+k])
+				cs.Use(a[j*m+k])
+				c[i*n+j] = c[i*n+j] + a[i*m+k]*a[j*m+k]
+				cs.Def(c[i*n+j], 1)
+			}
+			k := m - 1
+			cs.Use(c[i*n+j])
+			cs.Use(a[i*m+k])
+			cs.Use(a[j*m+k])
+			c[i*n+j] = c[i*n+j] + a[i*m+k]*a[j*m+k]
+		}
+	}
+	return cs.Verify()
+}
+
+// DsyrkHW prices checksum points at nop cost.
+func DsyrkHW(c, a []float64, n, m int) uint64 {
+	var s nop
+	if m == 0 {
+		return 0
+	}
+	for i := 0; i < n*n+n*m; i++ {
+		s.tick()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < m; k++ {
+				s.tick()
+				s.tick()
+				s.tick()
+				c[i*n+j] = c[i*n+j] + a[i*m+k]*a[j*m+k]
+				s.tick()
+			}
+		}
+	}
+	return s.n
+}
+
+// ---------------------------------------------------------------- trisolv
+
+// Trisolv solves L x = b by forward substitution.
+func Trisolv(l, x, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		x[i] = b[i]
+		for j := 0; j < i; j++ {
+			x[i] = x[i] - l[i*n+j]*x[j]
+		}
+		x[i] = x[i] / l[i*n+i]
+	}
+}
+
+// TrisolvResilient is the guarded instrumentation.
+func TrisolvResilient(l, x, b []float64, n int) error {
+	var cs CS
+	// Prologue: b once each; L's strict lower triangle once each; the
+	// diagonal once each.
+	for i := 0; i < n; i++ {
+		cs.Def(b[i], 1)
+		for j := 0; j <= i; j++ {
+			cs.Def(l[i*n+j], 1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		cs.Use(b[i])
+		x[i] = b[i]
+		cs.Def(x[i], 1) // next reader: S2[i,0] or S3[i]
+		for j := 0; j < i; j++ {
+			cs.Use(x[i])
+			cs.Use(l[i*n+j])
+			cs.Use(x[j])
+			x[i] = x[i] - l[i*n+j]*x[j]
+			cs.Def(x[i], 1)
+		}
+		cs.Use(x[i])
+		cs.Use(l[i*n+i])
+		x[i] = x[i] / l[i*n+i]
+		if i <= n-2 { // guard: x[n-1]'s final value is never read
+			cs.Def(x[i], int64(n-1-i))
+		}
+	}
+	return cs.Verify()
+}
+
+// TrisolvResilientOpt peels the last row.
+func TrisolvResilientOpt(l, x, b []float64, n int) error {
+	var cs CS
+	for i := 0; i < n; i++ {
+		cs.Def(b[i], 1)
+		for j := 0; j <= i; j++ {
+			cs.Def(l[i*n+j], 1)
+		}
+	}
+	row := func(i int, defCount int64) {
+		cs.Use(b[i])
+		x[i] = b[i]
+		cs.Def(x[i], 1)
+		for j := 0; j < i; j++ {
+			cs.Use(x[i])
+			cs.Use(l[i*n+j])
+			cs.Use(x[j])
+			x[i] = x[i] - l[i*n+j]*x[j]
+			cs.Def(x[i], 1)
+		}
+		cs.Use(x[i])
+		cs.Use(l[i*n+i])
+		x[i] = x[i] / l[i*n+i]
+		if defCount > 0 {
+			cs.Def(x[i], defCount)
+		}
+	}
+	for i := 0; i <= n-2; i++ {
+		row(i, int64(n-1-i))
+	}
+	if n >= 1 {
+		row(n-1, 0)
+	}
+	return cs.Verify()
+}
+
+// TrisolvHW prices checksum points at nop cost.
+func TrisolvHW(l, x, b []float64, n int) uint64 {
+	var s nop
+	for i := 0; i < n; i++ {
+		s.tick()
+		for j := 0; j <= i; j++ {
+			s.tick()
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.tick()
+		x[i] = b[i]
+		s.tick()
+		for j := 0; j < i; j++ {
+			s.tick()
+			s.tick()
+			s.tick()
+			x[i] = x[i] - l[i*n+j]*x[j]
+			s.tick()
+		}
+		s.tick()
+		s.tick()
+		x[i] = x[i] / l[i*n+i]
+		s.tick()
+	}
+	return s.n
+}
+
+// ---------------------------------------------------------------- LU
+
+// LU factorizes a in place (Doolittle, no pivoting).
+func LU(a []float64, n int) {
+	for k := 0; k < n; k++ {
+		for j := k + 1; j < n; j++ {
+			a[k*n+j] = a[k*n+j] / a[k*n+k]
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] = a[i*n+j] - a[i*n+k]*a[k*n+j]
+			}
+		}
+	}
+}
+
+// luS2DefCount is the use count of S2's definition of a[i][j] at step k: the
+// number of step-k+1 reads of that cell before it is overwritten (or, for
+// row/column k+1 and the pivot, ever).
+func luS2DefCount(k, i, j, n int) int64 {
+	kk := k + 1
+	switch {
+	case i == kk && j == kk:
+		return int64(n - k - 2) // next pivot: divisor of S1[k+1,*]
+	case i == kk:
+		return 1 // row k+1: read once by S1[k+1,j], then overwritten
+	case j == kk:
+		return int64(n - k - 2) // column k+1: multiplier for S2[k+1,i,*]
+	default:
+		return 1 // interior: read once by S2[k+1,i,j], then overwritten
+	}
+}
+
+// LUResilient is the guarded instrumentation.
+func LUResilient(a []float64, n int) error {
+	var cs CS
+	// Prologue: the pivot a[0][0] divides n-1 row entries; row 0 entries are
+	// read once (then overwritten by S1[0]); column 0 entries are
+	// multipliers for n-1 S2[0] updates; interior entries are read once.
+	if n >= 1 {
+		cs.Def(a[0], int64(n-1))
+	}
+	for j := 1; j < n; j++ {
+		cs.Def(a[j], 1)
+	}
+	for i := 1; i < n; i++ {
+		cs.Def(a[i*n], int64(n-1))
+		for j := 1; j < n; j++ {
+			cs.Def(a[i*n+j], 1)
+		}
+	}
+	for k := 0; k < n; k++ {
+		for j := k + 1; j < n; j++ {
+			cs.Use(a[k*n+j])
+			cs.Use(a[k*n+k])
+			a[k*n+j] = a[k*n+j] / a[k*n+k]
+			cs.Def(a[k*n+j], int64(n-1-k)) // read by S2[k,i,j] for each i
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				cs.Use(a[i*n+j])
+				cs.Use(a[i*n+k])
+				cs.Use(a[k*n+j])
+				a[i*n+j] = a[i*n+j] - a[i*n+k]*a[k*n+j]
+				if cnt := luS2DefCount(k, i, j, n); cnt > 0 {
+					cs.Def(a[i*n+j], cnt)
+				}
+			}
+		}
+	}
+	return cs.Verify()
+}
+
+// LUResilientOpt splits S2's (i,j) space into the row-(k+1), column-(k+1),
+// pivot, and interior regions so each carries a closed-form count.
+func LUResilientOpt(a []float64, n int) error {
+	var cs CS
+	if n >= 1 {
+		cs.Def(a[0], int64(n-1))
+	}
+	for j := 1; j < n; j++ {
+		cs.Def(a[j], 1)
+	}
+	for i := 1; i < n; i++ {
+		cs.Def(a[i*n], int64(n-1))
+		for j := 1; j < n; j++ {
+			cs.Def(a[i*n+j], 1)
+		}
+	}
+	update := func(k, i, j int, cnt int64) {
+		cs.Use(a[i*n+j])
+		cs.Use(a[i*n+k])
+		cs.Use(a[k*n+j])
+		a[i*n+j] = a[i*n+j] - a[i*n+k]*a[k*n+j]
+		if cnt > 0 {
+			cs.Def(a[i*n+j], cnt)
+		}
+	}
+	for k := 0; k < n; k++ {
+		for j := k + 1; j < n; j++ {
+			cs.Use(a[k*n+j])
+			cs.Use(a[k*n+k])
+			a[k*n+j] = a[k*n+j] / a[k*n+k]
+			cs.Def(a[k*n+j], int64(n-1-k))
+		}
+		kk := k + 1
+		next := int64(n - k - 2)
+		if kk < n {
+			// Row i = kk: pivot column first, then the rest of the row.
+			update(k, kk, kk, next)
+			for j := kk + 1; j < n; j++ {
+				update(k, kk, j, 1)
+			}
+			// Rows below: column kk cell, then interior.
+			for i := kk + 1; i < n; i++ {
+				update(k, i, kk, next)
+				for j := kk + 1; j < n; j++ {
+					update(k, i, j, 1)
+				}
+			}
+		}
+	}
+	return cs.Verify()
+}
+
+// LUHW prices checksum points at nop cost.
+func LUHW(a []float64, n int) uint64 {
+	var s nop
+	for i := 0; i < n*n; i++ {
+		s.tick()
+	}
+	for k := 0; k < n; k++ {
+		for j := k + 1; j < n; j++ {
+			s.tick()
+			s.tick()
+			a[k*n+j] = a[k*n+j] / a[k*n+k]
+			s.tick()
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				s.tick()
+				s.tick()
+				s.tick()
+				a[i*n+j] = a[i*n+j] - a[i*n+k]*a[k*n+j]
+				s.tick()
+			}
+		}
+	}
+	return s.n
+}
+
+// ---------------------------------------------------------------- strsm
+
+// Strsm solves L·X = B for row-major L (n×n) and B (n×m), overwriting B.
+func Strsm(l, b []float64, n, m int) {
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			for k := 0; k < i; k++ {
+				b[i*m+j] = b[i*m+j] - l[i*n+k]*b[k*m+j]
+			}
+			b[i*m+j] = b[i*m+j] / l[i*n+i]
+		}
+	}
+}
+
+// StrsmResilient is the guarded instrumentation.
+func StrsmResilient(l, b []float64, n, m int) error {
+	var cs CS
+	// Prologue: every B cell's initial value is read once; L's lower
+	// triangle (incl. diagonal) is reused across all m right-hand sides.
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			cs.Def(b[i*m+j], 1)
+		}
+		for k := 0; k <= i; k++ {
+			cs.Def(l[i*n+k], int64(m))
+		}
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			for k := 0; k < i; k++ {
+				cs.Use(b[i*m+j])
+				cs.Use(l[i*n+k])
+				cs.Use(b[k*m+j])
+				b[i*m+j] = b[i*m+j] - l[i*n+k]*b[k*m+j]
+				cs.Def(b[i*m+j], 1)
+			}
+			cs.Use(b[i*m+j])
+			cs.Use(l[i*n+i])
+			b[i*m+j] = b[i*m+j] / l[i*n+i]
+			if i <= n-2 { // guard: the last row's solutions are unread
+				cs.Def(b[i*m+j], int64(n-1-i))
+			}
+		}
+	}
+	return cs.Verify()
+}
+
+// StrsmResilientOpt peels the last row of each column solve.
+func StrsmResilientOpt(l, b []float64, n, m int) error {
+	var cs CS
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			cs.Def(b[i*m+j], 1)
+		}
+		for k := 0; k <= i; k++ {
+			cs.Def(l[i*n+k], int64(m))
+		}
+	}
+	row := func(j, i int, cnt int64) {
+		for k := 0; k < i; k++ {
+			cs.Use(b[i*m+j])
+			cs.Use(l[i*n+k])
+			cs.Use(b[k*m+j])
+			b[i*m+j] = b[i*m+j] - l[i*n+k]*b[k*m+j]
+			cs.Def(b[i*m+j], 1)
+		}
+		cs.Use(b[i*m+j])
+		cs.Use(l[i*n+i])
+		b[i*m+j] = b[i*m+j] / l[i*n+i]
+		if cnt > 0 {
+			cs.Def(b[i*m+j], cnt)
+		}
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i <= n-2; i++ {
+			row(j, i, int64(n-1-i))
+		}
+		if n >= 1 {
+			row(j, n-1, 0)
+		}
+	}
+	return cs.Verify()
+}
+
+// StrsmHW prices checksum points at nop cost.
+func StrsmHW(l, b []float64, n, m int) uint64 {
+	var s nop
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			s.tick()
+		}
+		for k := 0; k <= i; k++ {
+			s.tick()
+		}
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			for k := 0; k < i; k++ {
+				s.tick()
+				s.tick()
+				s.tick()
+				b[i*m+j] = b[i*m+j] - l[i*n+k]*b[k*m+j]
+				s.tick()
+			}
+			s.tick()
+			s.tick()
+			b[i*m+j] = b[i*m+j] / l[i*n+i]
+			s.tick()
+		}
+	}
+	return s.n
+}

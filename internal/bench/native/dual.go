@@ -1,0 +1,83 @@
+package native
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file provides the dual-checksum ablation: Section 6.2.2 claims that
+// "tracking multiple checksums in software would be too expensive to be used
+// in practice" and uses that to motivate hardware support. DualCS maintains
+// the paper's two-checksum scheme (the second checksum folds values
+// left-rotated by an address-derived amount, Section 6.1) entirely in
+// software, and CholeskyResilientDual measures what that costs relative to
+// the single-checksum resilient variant.
+
+// DualCS is a def/use checksum pair replicated across the plain and the
+// address-rotated accumulator.
+type DualCS struct {
+	def1, use1 uint64
+	def2, use2 uint64
+}
+
+// rot derives the rotation amount from the element index (the stand-in for
+// bits 3..7 of the element's byte address).
+func rot(idx int) int { return idx & 0x1f }
+
+// Def folds a defined value n times into both def checksums.
+func (c *DualCS) Def(v float64, idx int, n int64) {
+	b := fb(v)
+	c.def1 += b * uint64(n)
+	c.def2 += bits.RotateLeft64(b, rot(idx)) * uint64(n)
+}
+
+// Use folds a consumed value into both use checksums.
+func (c *DualCS) Use(v float64, idx int) {
+	b := fb(v)
+	c.use1 += b
+	c.use2 += bits.RotateLeft64(b, rot(idx))
+}
+
+// Verify compares both pairs.
+func (c *DualCS) Verify() error {
+	if c.def1 != c.use1 {
+		return &mismatch{"dual def/use (plain)"}
+	}
+	if c.def2 != c.use2 {
+		return &mismatch{"dual def/use (rotated)"}
+	}
+	return nil
+}
+
+type mismatch struct{ which string }
+
+func (m *mismatch) Error() string { return "native: checksum mismatch: " + m.which }
+
+// CholeskyResilientDual is the index-set split cholesky instrumentation with
+// the two-checksum scheme maintained in software — the ablation for the
+// paper's "too expensive in software" claim.
+func CholeskyResilientDual(a []float64, n int) error {
+	var cs DualCS
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			cs.Def(a[i*n+j], i*n+j, 1)
+		}
+	}
+	for j := 0; j <= n-2; j++ {
+		d := j*n + j
+		cs.Use(a[d], d)
+		a[d] = math.Sqrt(a[d])
+		cs.Def(a[d], d, int64(n-1-j))
+		for i := j + 1; i < n; i++ {
+			cs.Use(a[i*n+j], i*n+j)
+			cs.Use(a[d], d)
+			a[i*n+j] = a[i*n+j] / a[d]
+		}
+	}
+	if n >= 1 {
+		d := (n-1)*n + (n - 1)
+		cs.Use(a[d], d)
+		a[d] = math.Sqrt(a[d])
+	}
+	return cs.Verify()
+}

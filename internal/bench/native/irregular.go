@@ -1,0 +1,530 @@
+package native
+
+// This file holds the irregular kernels (CG and moldyn). Scalars
+// (alpha, rnorm, ...) are register-resident in compiled code and therefore
+// outside the paper's fault model; only the arrays are protected. CG's
+// optimized variant hoists the inspector (its access pattern is
+// loop-invariant); moldyn rebuilds its neighbor list every iteration, so no
+// inspector can be hoisted and the optimized variant equals the counter
+// variant — exactly the paper's explanation for moldyn's worst-case
+// overhead.
+
+// CGData is the ELLPACK-format problem for the CG-style iteration.
+type CGData struct {
+	N, K  int
+	Aval  []float64 // n×k coefficient values
+	Cols  []int     // n×k column indices in [0, n)
+	P     []float64
+	Q     []float64
+	X     []float64
+	R     []float64
+	Rnorm float64
+}
+
+// CG runs maxiter iterations of the conjugate-gradient-style update.
+func CG(d *CGData, maxiter int) {
+	n, k := d.N, d.K
+	for t := 0; t < maxiter; t++ {
+		for i := 0; i < n; i++ {
+			d.Q[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				d.Q[i] += d.Aval[i*k+j] * d.P[d.Cols[i*k+j]]
+			}
+		}
+		pq := 0.0
+		for i := 0; i < n; i++ {
+			pq += d.P[i] * d.Q[i]
+		}
+		alpha := d.Rnorm / pq
+		for i := 0; i < n; i++ {
+			d.X[i] = d.X[i] + alpha*d.P[i]
+		}
+		for i := 0; i < n; i++ {
+			d.R[i] = d.R[i] - alpha*d.Q[i]
+		}
+		rn := 0.0
+		for i := 0; i < n; i++ {
+			rn += d.R[i] * d.R[i]
+		}
+		beta := rn / d.Rnorm
+		d.Rnorm = rn
+		for i := 0; i < n; i++ {
+			d.P[i] = d.R[i] + beta*d.P[i]
+		}
+	}
+}
+
+// CGResilient protects every array with dynamic shadow counters (the
+// unoptimized scheme; the paper's 81.1 s configuration).
+func CGResilient(d *CGData, maxiter int) error {
+	n, k := d.N, d.K
+	var cs CS
+	cntP := make([]int64, n)
+	cntQ := make([]int64, n)
+	cntX := make([]int64, n)
+	cntR := make([]int64, n)
+	cntA := make([]int64, n*k)
+	cntC := make([]int64, n*k)
+
+	for i := 0; i < n; i++ {
+		cs.EDef(d.P[i])
+		cs.EDef(d.Q[i])
+		cs.EDef(d.X[i])
+		cs.EDef(d.R[i])
+	}
+	for i := 0; i < n*k; i++ {
+		cs.EDef(d.Aval[i])
+		cs.EDefI(int64(d.Cols[i]))
+	}
+
+	useF := func(v float64, cnt []int64, i int) float64 { cs.Use(v); cnt[i]++; return v }
+	defF := func(arr []float64, cnt []int64, i int, nv float64) {
+		cs.Adjust(arr[i], cnt[i])
+		arr[i] = nv
+		cs.EDef(nv)
+		cnt[i] = 0
+	}
+
+	for t := 0; t < maxiter; t++ {
+		for i := 0; i < n; i++ {
+			defF(d.Q, cntQ, i, 0)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				c := d.Cols[i*k+j]
+				cs.UseI(int64(c))
+				cntC[i*k+j]++
+				a := useF(d.Aval[i*k+j], cntA, i*k+j)
+				p := useF(d.P[c], cntP, c)
+				q := useF(d.Q[i], cntQ, i)
+				defF(d.Q, cntQ, i, q+a*p)
+			}
+		}
+		pq := 0.0
+		for i := 0; i < n; i++ {
+			pq += useF(d.P[i], cntP, i) * useF(d.Q[i], cntQ, i)
+		}
+		alpha := d.Rnorm / pq
+		for i := 0; i < n; i++ {
+			x := useF(d.X[i], cntX, i)
+			p := useF(d.P[i], cntP, i)
+			defF(d.X, cntX, i, x+alpha*p)
+		}
+		for i := 0; i < n; i++ {
+			r := useF(d.R[i], cntR, i)
+			q := useF(d.Q[i], cntQ, i)
+			defF(d.R, cntR, i, r-alpha*q)
+		}
+		rn := 0.0
+		for i := 0; i < n; i++ {
+			r := useF(d.R[i], cntR, i)
+			rn += r * r
+		}
+		beta := rn / d.Rnorm
+		d.Rnorm = rn
+		for i := 0; i < n; i++ {
+			r := useF(d.R[i], cntR, i)
+			p := useF(d.P[i], cntP, i)
+			defF(d.P, cntP, i, r+beta*p)
+		}
+	}
+	for i := 0; i < n; i++ {
+		cs.Adjust(d.P[i], cntP[i])
+		cs.Adjust(d.Q[i], cntQ[i])
+		cs.Adjust(d.X[i], cntX[i])
+		cs.Adjust(d.R[i], cntR[i])
+	}
+	for i := 0; i < n*k; i++ {
+		cs.Adjust(d.Aval[i], cntA[i])
+		cs.AdjustI(int64(d.Cols[i]), cntC[i])
+	}
+	return cs.Verify()
+}
+
+// CGResilientOpt hoists the inspector: p and x get exact per-iteration
+// counts (icnt[c]+3 and 1), Aval/Cols are invariant (epilogue scaled by the
+// iteration count), and only q and r keep dynamic counters — the paper's
+// 52.7 s configuration.
+func CGResilientOpt(d *CGData, maxiter int) error {
+	n, k := d.N, d.K
+	var cs CS
+	if maxiter == 0 {
+		return cs.Verify()
+	}
+	// Inspector: count the irregular reads of p per cell (loop-invariant).
+	icnt := make([]int64, n)
+	for i := 0; i < n*k; i++ {
+		icnt[d.Cols[i]]++
+	}
+	cntQ := make([]int64, n)
+	cntR := make([]int64, n)
+
+	// Prologue.
+	for i := 0; i < n; i++ {
+		cs.Def(d.P[i], icnt[i]+3) // iteration 1 reads: S1 (icnt) + S2,S3,S6
+		cs.Def(d.X[i], 1)         // own read in S3 next iteration
+		cs.EDef(d.Q[i])
+		cs.EDef(d.R[i])
+	}
+	for i := 0; i < n*k; i++ {
+		cs.EDef(d.Aval[i]) // invariant: def once + e_def
+		cs.EDefI(int64(d.Cols[i]))
+	}
+
+	defQ := func(i int, nv float64) {
+		cs.Adjust(d.Q[i], cntQ[i])
+		d.Q[i] = nv
+		cs.EDef(nv)
+		cntQ[i] = 0
+	}
+
+	for t := 0; t < maxiter; t++ {
+		for i := 0; i < n; i++ {
+			defQ(i, 0)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				c := d.Cols[i*k+j]
+				cs.UseI(int64(c))
+				a := d.Aval[i*k+j]
+				cs.Use(a)
+				p := d.P[c]
+				cs.Use(p)
+				q := d.Q[i]
+				cs.Use(q)
+				cntQ[i]++
+				defQ(i, q+a*p)
+			}
+		}
+		pq := 0.0
+		for i := 0; i < n; i++ {
+			p, q := d.P[i], d.Q[i]
+			cs.Use(p)
+			cs.Use(q)
+			cntQ[i]++
+			pq += p * q
+		}
+		alpha := d.Rnorm / pq
+		for i := 0; i < n; i++ {
+			x, p := d.X[i], d.P[i]
+			cs.Use(x)
+			cs.Use(p)
+			d.X[i] = x + alpha*p
+			cs.Def(d.X[i], 1)
+		}
+		for i := 0; i < n; i++ {
+			r, q := d.R[i], d.Q[i]
+			cs.Use(r)
+			cntR[i]++
+			cs.Use(q)
+			cntQ[i]++
+			cs.Adjust(r, cntR[i])
+			d.R[i] = r - alpha*q
+			cs.EDef(d.R[i])
+			cntR[i] = 0
+		}
+		rn := 0.0
+		for i := 0; i < n; i++ {
+			r := d.R[i]
+			cs.Use(r)
+			cntR[i]++
+			rn += r * r
+		}
+		beta := rn / d.Rnorm
+		d.Rnorm = rn
+		for i := 0; i < n; i++ {
+			r, p := d.R[i], d.P[i]
+			cs.Use(r)
+			cntR[i]++
+			cs.Use(p)
+			d.P[i] = r + beta*p
+			cs.Def(d.P[i], icnt[i]+3)
+		}
+	}
+	// Epilogue: the last iteration's p and x definitions are unused, so
+	// their final values balance the use checksum; q and r get the dynamic
+	// final adjustment; the invariant arrays' totals scale with the
+	// iteration count.
+	for i := 0; i < n; i++ {
+		cs.UseN(d.P[i], icnt[i]+3)
+		cs.UseN(d.X[i], 1)
+		cs.Adjust(d.Q[i], cntQ[i])
+		cs.Adjust(d.R[i], cntR[i])
+	}
+	for i := 0; i < n*k; i++ {
+		cs.Adjust(d.Aval[i], int64(maxiter))
+		cs.AdjustI(int64(d.Cols[i]), int64(maxiter))
+	}
+	return cs.Verify()
+}
+
+// CGHW prices checksum points at nop cost (counters for q/r retained, as in
+// the paper's hardware estimate).
+func CGHW(d *CGData, maxiter int) uint64 {
+	n, k := d.N, d.K
+	var s nop
+	icnt := make([]int64, n)
+	for i := 0; i < n*k; i++ {
+		icnt[d.Cols[i]]++
+	}
+	cntQ := make([]int64, n)
+	cntR := make([]int64, n)
+	for i := 0; i < 4*n+2*n*k; i++ {
+		s.tick()
+	}
+	for t := 0; t < maxiter; t++ {
+		for i := 0; i < n; i++ {
+			cntQ[i] = 0
+			d.Q[i] = 0
+			s.tick()
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				c := d.Cols[i*k+j]
+				s.tick()
+				s.tick()
+				s.tick()
+				s.tick()
+				cntQ[i]++
+				d.Q[i] += d.Aval[i*k+j] * d.P[c]
+				s.tick()
+				cntQ[i] = 0
+			}
+		}
+		pq := 0.0
+		for i := 0; i < n; i++ {
+			s.tick()
+			s.tick()
+			cntQ[i]++
+			pq += d.P[i] * d.Q[i]
+		}
+		alpha := d.Rnorm / pq
+		for i := 0; i < n; i++ {
+			s.tick()
+			s.tick()
+			d.X[i] = d.X[i] + alpha*d.P[i]
+			s.tick()
+		}
+		for i := 0; i < n; i++ {
+			s.tick()
+			s.tick()
+			cntR[i]++
+			cntQ[i]++
+			d.R[i] = d.R[i] - alpha*d.Q[i]
+			s.tick()
+			cntR[i] = 0
+		}
+		rn := 0.0
+		for i := 0; i < n; i++ {
+			s.tick()
+			cntR[i]++
+			rn += d.R[i] * d.R[i]
+		}
+		beta := rn / d.Rnorm
+		d.Rnorm = rn
+		for i := 0; i < n; i++ {
+			s.tick()
+			s.tick()
+			d.P[i] = d.R[i] + beta*d.P[i]
+			s.tick()
+		}
+	}
+	for i := 0; i < 4*n+2*n*k; i++ {
+		s.tick()
+	}
+	return s.n
+}
+
+// MoldynData is the molecular-dynamics-style problem.
+type MoldynData struct {
+	N, K   int
+	X      []float64
+	F      []float64
+	Neigh  []int
+	Cutoff float64
+	Dt     float64
+}
+
+// Moldyn runs maxiter iterations; the neighbor list is rebuilt each
+// iteration with a varying stride (modeling re-neighboring), which is what
+// defeats inspector hoisting.
+func Moldyn(d *MoldynData, maxiter int) {
+	n, k := d.N, d.K
+	stride := 0
+	for t := 0; t < maxiter; t++ {
+		stride++
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				d.Neigh[i*k+j] = (i + j*stride) % n
+			}
+		}
+		for i := 0; i < n; i++ {
+			d.F[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				diff := d.X[d.Neigh[i*k+j]] - d.X[i]
+				if diff > d.Cutoff {
+					diff = d.Cutoff
+				}
+				d.F[i] = d.F[i] + diff
+			}
+		}
+		for i := 0; i < n; i++ {
+			d.X[i] = d.X[i] + d.F[i]*d.Dt
+		}
+	}
+}
+
+// MoldynResilient protects x, f, and the neighbor list with dynamic
+// counters; no inspector is possible because the list changes per
+// iteration.
+func MoldynResilient(d *MoldynData, maxiter int) error {
+	n, k := d.N, d.K
+	var cs CS
+	cntX := make([]int64, n)
+	cntF := make([]int64, n)
+	cntN := make([]int64, n*k)
+	for i := 0; i < n; i++ {
+		cs.EDef(d.X[i])
+		cs.EDef(d.F[i])
+	}
+	for i := 0; i < n*k; i++ {
+		cs.EDefI(int64(d.Neigh[i]))
+	}
+	stride := 0
+	for t := 0; t < maxiter; t++ {
+		stride++
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				nv := (i + j*stride) % n
+				cs.AdjustI(int64(d.Neigh[i*k+j]), cntN[i*k+j])
+				d.Neigh[i*k+j] = nv
+				cs.EDefI(int64(nv))
+				cntN[i*k+j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			cs.Adjust(d.F[i], cntF[i])
+			d.F[i] = 0
+			cs.EDef(0)
+			cntF[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				c := d.Neigh[i*k+j]
+				cs.UseI(int64(c))
+				cntN[i*k+j]++
+				xc := d.X[c]
+				cs.Use(xc)
+				cntX[c]++
+				xi := d.X[i]
+				cs.Use(xi)
+				cntX[i]++
+				diff := xc - xi
+				if diff > d.Cutoff {
+					diff = d.Cutoff
+				}
+				f := d.F[i]
+				cs.Use(f)
+				cntF[i]++
+				cs.Adjust(f, cntF[i])
+				d.F[i] = f + diff
+				cs.EDef(d.F[i])
+				cntF[i] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			x := d.X[i]
+			cs.Use(x)
+			cntX[i]++
+			f := d.F[i]
+			cs.Use(f)
+			cntF[i]++
+			cs.Adjust(x, cntX[i])
+			d.X[i] = x + f*d.Dt
+			cs.EDef(d.X[i])
+			cntX[i] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		cs.Adjust(d.X[i], cntX[i])
+		cs.Adjust(d.F[i], cntF[i])
+	}
+	for i := 0; i < n*k; i++ {
+		cs.AdjustI(int64(d.Neigh[i]), cntN[i])
+	}
+	return cs.Verify()
+}
+
+// MoldynResilientOpt is identical to MoldynResilient: the paper's
+// optimizations do not apply when the indexing structure is rebuilt inside
+// the loop (this is why moldyn shows the highest overhead in Figure 10).
+func MoldynResilientOpt(d *MoldynData, maxiter int) error {
+	return MoldynResilient(d, maxiter)
+}
+
+// MoldynHW prices checksum points at nop cost with counters retained.
+func MoldynHW(d *MoldynData, maxiter int) uint64 {
+	n, k := d.N, d.K
+	var s nop
+	cntX := make([]int64, n)
+	cntF := make([]int64, n)
+	cntN := make([]int64, n*k)
+	for i := 0; i < 2*n+n*k; i++ {
+		s.tick()
+	}
+	stride := 0
+	for t := 0; t < maxiter; t++ {
+		stride++
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				s.tick()
+				d.Neigh[i*k+j] = (i + j*stride) % n
+				s.tick()
+				cntN[i*k+j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			s.tick()
+			d.F[i] = 0
+			s.tick()
+			cntF[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				c := d.Neigh[i*k+j]
+				s.tick()
+				cntN[i*k+j]++
+				s.tick()
+				cntX[c]++
+				s.tick()
+				cntX[i]++
+				diff := d.X[c] - d.X[i]
+				if diff > d.Cutoff {
+					diff = d.Cutoff
+				}
+				s.tick()
+				cntF[i]++
+				s.tick()
+				d.F[i] = d.F[i] + diff
+				cntF[i] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			s.tick()
+			cntX[i]++
+			s.tick()
+			cntF[i]++
+			s.tick()
+			d.X[i] = d.X[i] + d.F[i]*d.Dt
+			cntX[i] = 0
+		}
+	}
+	for i := 0; i < 2*n+n*k; i++ {
+		s.tick()
+	}
+	return s.n
+}

@@ -1,0 +1,90 @@
+// Package native provides hand-instrumented Go implementations of the
+// paper's benchmarks, mirroring the code the defuse compiler generates for
+// the lang versions. Where the interpreter-based harness measures overheads
+// under a deterministic cost model, these kernels measure real wall-clock
+// overheads under the Go compiler — the closest analogue of the paper's
+// icc-compiled measurements.
+//
+// Each kernel comes in up to four variants:
+//
+//	Xxx            — original computation
+//	XxxResilient   — Algorithm 3 instrumentation with per-iteration use-count
+//	                 guards (the paper's "Resilient" bars)
+//	XxxResilientOpt— index-set split / inspector-hoisted instrumentation
+//	                 (the paper's "Resilient-Optimized" bars)
+//	XxxHW          — the Section 6.2.2 estimate: checksum operations replaced
+//	                 by a cheap counter bump (the nop stand-in), use-count
+//	                 and prologue/epilogue work retained
+//
+// The resilient variants return a non-nil error iff the def/use checksums
+// (or the auxiliary e_def/e_use pair) disagree — i.e., a memory error was
+// detected. With no injected faults they must always return nil; the tests
+// enforce this together with bit-exact numerical equivalence to the
+// original variants, which pins down every hand-derived use count.
+package native
+
+import (
+	"math"
+
+	"defuse/internal/checksum"
+)
+
+// CS holds the four def-use checksums of the scheme (register-resident in
+// the paper's sense: they live outside the protected data).
+type CS struct {
+	def, use, edef, euse uint64
+}
+
+func fb(v float64) uint64 { return math.Float64bits(v) }
+
+// Def folds a defined value n times into the def checksum.
+func (c *CS) Def(v float64, n int64) { c.def += fb(v) * uint64(n) }
+
+// Use folds a consumed value into the use checksum.
+func (c *CS) Use(v float64) { c.use += fb(v) }
+
+// UseN folds a value into the use checksum n times (epilogue balancing for
+// inspector-counted arrays whose final definitions go unused).
+func (c *CS) UseN(v float64, n int64) { c.use += fb(v) * uint64(n) }
+
+// DefI and UseI are the integer-value counterparts.
+func (c *CS) DefI(v int64, n int64) { c.def += uint64(v) * uint64(n) }
+
+// UseI folds a consumed integer value into the use checksum.
+func (c *CS) UseI(v int64) { c.use += uint64(v) }
+
+// EDef registers a dynamically counted definition (def and e_def once).
+func (c *CS) EDef(v float64) { c.def += fb(v); c.edef += fb(v) }
+
+// EDefI is the integer counterpart of EDef.
+func (c *CS) EDefI(v int64) { c.def += uint64(v); c.edef += uint64(v) }
+
+// Adjust performs the overwrite/epilogue adjustment for a dynamically
+// counted value with observed count n.
+func (c *CS) Adjust(v float64, n int64) {
+	c.def += fb(v) * uint64(n-1)
+	c.euse += fb(v)
+}
+
+// AdjustI is the integer counterpart of Adjust.
+func (c *CS) AdjustI(v int64, n int64) {
+	c.def += uint64(v) * uint64(n-1)
+	c.euse += uint64(v)
+}
+
+// Verify reports a checksum mismatch as an error.
+func (c *CS) Verify() error {
+	if c.def != c.use {
+		return &checksum.MismatchError{Which: "def/use", Expected: c.def, Observed: c.use}
+	}
+	if c.edef != c.euse {
+		return &checksum.MismatchError{Which: "e_def/e_use", Expected: c.edef, Observed: c.euse}
+	}
+	return nil
+}
+
+// nop is the hardware-estimate stand-in: one cheap op per checksum point,
+// accumulated so the compiler cannot elide it.
+type nop struct{ n uint64 }
+
+func (s *nop) tick() { s.n++ }

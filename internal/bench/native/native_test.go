@@ -1,0 +1,475 @@
+package native
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mats builds deterministic inputs of the given size.
+func choleskyInput(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = 0.2 * rng.Float64()
+	}
+	for d := 0; d < n; d++ {
+		a[d*n+d] = float64(n) + rng.Float64()
+	}
+	return a
+}
+
+func equalBits(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestCholeskyVariants(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		ref := choleskyInput(n, 1)
+		Cholesky(ref, n)
+		for name, f := range map[string]func([]float64, int) error{
+			"resilient": CholeskyResilient,
+			"optimized": CholeskyResilientOpt,
+		} {
+			a := choleskyInput(n, 1)
+			if err := f(a, n); err != nil {
+				t.Fatalf("n=%d %s: false positive: %v", n, name, err)
+			}
+			equalBits(t, "A", ref, a)
+		}
+		a := choleskyInput(n, 1)
+		if CholeskyHW(a, n) == 0 && n > 0 {
+			t.Error("hw variant did no checksum points")
+		}
+		equalBits(t, "A(hw)", ref, a)
+	}
+}
+
+func jacobiInput(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64() * 100
+	}
+	return a
+}
+
+func TestJacobi1DVariants(t *testing.T) {
+	for _, tc := range []struct{ n, tsteps int }{{3, 1}, {3, 4}, {4, 3}, {12, 5}, {30, 9}, {5, 0}} {
+		ref := jacobiInput(tc.n, 2)
+		refB := make([]float64, tc.n)
+		Jacobi1D(ref, refB, tc.n, tc.tsteps)
+		for name, f := range map[string]func(a, b []float64, n, tsteps int) error{
+			"resilient": Jacobi1DResilient,
+			"optimized": Jacobi1DResilientOpt,
+		} {
+			a := jacobiInput(tc.n, 2)
+			b := make([]float64, tc.n)
+			if err := f(a, b, tc.n, tc.tsteps); err != nil {
+				t.Fatalf("n=%d t=%d %s: false positive: %v", tc.n, tc.tsteps, name, err)
+			}
+			equalBits(t, "A", ref, a)
+		}
+		a := jacobiInput(tc.n, 2)
+		b := make([]float64, tc.n)
+		Jacobi1DHW(a, b, tc.n, tc.tsteps)
+		equalBits(t, "A(hw)", ref, a)
+	}
+}
+
+func TestDsyrkVariants(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{1, 1}, {3, 2}, {6, 6}, {4, 0}} {
+		rng := rand.New(rand.NewSource(3))
+		mk := func() ([]float64, []float64) {
+			rng = rand.New(rand.NewSource(3))
+			c := make([]float64, tc.n*tc.n)
+			a := make([]float64, tc.n*tc.m)
+			for i := range c {
+				c[i] = rng.Float64()
+			}
+			for i := range a {
+				a[i] = rng.Float64()
+			}
+			return c, a
+		}
+		refC, refA := mk()
+		Dsyrk(refC, refA, tc.n, tc.m)
+		for name, f := range map[string]func(c, a []float64, n, m int) error{
+			"resilient": DsyrkResilient,
+			"optimized": DsyrkResilientOpt,
+		} {
+			c, a := mk()
+			if err := f(c, a, tc.n, tc.m); err != nil {
+				t.Fatalf("%dx%d %s: false positive: %v", tc.n, tc.m, name, err)
+			}
+			equalBits(t, "C", refC, c)
+		}
+		c, a := mk()
+		DsyrkHW(c, a, tc.n, tc.m)
+		equalBits(t, "C(hw)", refC, c)
+	}
+}
+
+func triInput(n int, seed int64) ([]float64, []float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	l := make([]float64, n*n)
+	b := make([]float64, n)
+	for i := range l {
+		l[i] = 0.05 * rng.Float64()
+	}
+	for d := 0; d < n; d++ {
+		l[d*n+d] = 2 + rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	return l, make([]float64, n), b
+}
+
+func TestTrisolvVariants(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 13} {
+		l, x, b := triInput(n, 4)
+		Trisolv(l, x, b, n)
+		ref := append([]float64(nil), x...)
+		for name, f := range map[string]func(l, x, b []float64, n int) error{
+			"resilient": TrisolvResilient,
+			"optimized": TrisolvResilientOpt,
+		} {
+			l2, x2, b2 := triInput(n, 4)
+			if err := f(l2, x2, b2, n); err != nil {
+				t.Fatalf("n=%d %s: false positive: %v", n, name, err)
+			}
+			equalBits(t, "x", ref, x2)
+		}
+		l3, x3, b3 := triInput(n, 4)
+		TrisolvHW(l3, x3, b3, n)
+		equalBits(t, "x(hw)", ref, x3)
+	}
+}
+
+func luInput(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = 0.1 * rng.Float64()
+	}
+	for d := 0; d < n; d++ {
+		a[d*n+d] = float64(n) + 1 + rng.Float64()
+	}
+	return a
+}
+
+func TestLUVariants(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 9} {
+		ref := luInput(n, 5)
+		LU(ref, n)
+		for name, f := range map[string]func([]float64, int) error{
+			"resilient": LUResilient,
+			"optimized": LUResilientOpt,
+		} {
+			a := luInput(n, 5)
+			if err := f(a, n); err != nil {
+				t.Fatalf("n=%d %s: false positive: %v", n, name, err)
+			}
+			equalBits(t, "A", ref, a)
+		}
+		a := luInput(n, 5)
+		LUHW(a, n)
+		equalBits(t, "A(hw)", ref, a)
+	}
+}
+
+func strsmInput(n, m int, seed int64) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	l := make([]float64, n*n)
+	b := make([]float64, n*m)
+	for i := range l {
+		l[i] = 0.05 * rng.Float64()
+	}
+	for d := 0; d < n; d++ {
+		l[d*n+d] = 2 + rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	return l, b
+}
+
+func TestStrsmVariants(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{1, 1}, {3, 2}, {5, 7}} {
+		l, b := strsmInput(tc.n, tc.m, 6)
+		Strsm(l, b, tc.n, tc.m)
+		ref := append([]float64(nil), b...)
+		for name, f := range map[string]func(l, b []float64, n, m int) error{
+			"resilient": StrsmResilient,
+			"optimized": StrsmResilientOpt,
+		} {
+			l2, b2 := strsmInput(tc.n, tc.m, 6)
+			if err := f(l2, b2, tc.n, tc.m); err != nil {
+				t.Fatalf("%dx%d %s: false positive: %v", tc.n, tc.m, name, err)
+			}
+			equalBits(t, "B", ref, b2)
+		}
+		l3, b3 := strsmInput(tc.n, tc.m, 6)
+		StrsmHW(l3, b3, tc.n, tc.m)
+		equalBits(t, "B(hw)", ref, b3)
+	}
+}
+
+func cgInput(n, k int, seed int64) *CGData {
+	rng := rand.New(rand.NewSource(seed))
+	d := &CGData{
+		N: n, K: k,
+		Aval: make([]float64, n*k),
+		Cols: make([]int, n*k),
+		P:    make([]float64, n),
+		Q:    make([]float64, n),
+		X:    make([]float64, n),
+		R:    make([]float64, n),
+	}
+	for i := range d.Aval {
+		d.Aval[i] = 0.5 + rng.Float64()
+		d.Cols[i] = rng.Intn(n)
+	}
+	for i := 0; i < n; i++ {
+		v := 1 + rng.Float64()
+		d.P[i] = v
+		d.R[i] = v
+		d.Rnorm += v * v
+	}
+	return d
+}
+
+func TestCGVariants(t *testing.T) {
+	for _, tc := range []struct{ n, k, iters int }{{4, 2, 1}, {8, 3, 4}, {20, 6, 7}, {5, 2, 0}} {
+		ref := cgInput(tc.n, tc.k, 7)
+		CG(ref, tc.iters)
+		for name, f := range map[string]func(*CGData, int) error{
+			"resilient": CGResilient,
+			"optimized": CGResilientOpt,
+		} {
+			d := cgInput(tc.n, tc.k, 7)
+			if err := f(d, tc.iters); err != nil {
+				t.Fatalf("n=%d iters=%d %s: false positive: %v", tc.n, tc.iters, name, err)
+			}
+			equalBits(t, "p", ref.P, d.P)
+			equalBits(t, "x", ref.X, d.X)
+			equalBits(t, "r", ref.R, d.R)
+		}
+		d := cgInput(tc.n, tc.k, 7)
+		CGHW(d, tc.iters)
+		equalBits(t, "p(hw)", ref.P, d.P)
+	}
+}
+
+func moldynInput(n, k int, seed int64) *MoldynData {
+	rng := rand.New(rand.NewSource(seed))
+	d := &MoldynData{
+		N: n, K: k,
+		X:      make([]float64, n),
+		F:      make([]float64, n),
+		Neigh:  make([]int, n*k),
+		Cutoff: 2.5,
+		Dt:     0.0001,
+	}
+	for i := range d.X {
+		d.X[i] = rng.Float64() * 10
+	}
+	return d
+}
+
+func TestMoldynVariants(t *testing.T) {
+	for _, tc := range []struct{ n, k, iters int }{{4, 2, 1}, {10, 4, 5}, {6, 3, 0}} {
+		ref := moldynInput(tc.n, tc.k, 8)
+		Moldyn(ref, tc.iters)
+		for name, f := range map[string]func(*MoldynData, int) error{
+			"resilient": MoldynResilient,
+			"optimized": MoldynResilientOpt,
+		} {
+			d := moldynInput(tc.n, tc.k, 8)
+			if err := f(d, tc.iters); err != nil {
+				t.Fatalf("n=%d iters=%d %s: false positive: %v", tc.n, tc.iters, name, err)
+			}
+			equalBits(t, "x", ref.X, d.X)
+		}
+		d := moldynInput(tc.n, tc.k, 8)
+		MoldynHW(d, tc.iters)
+		equalBits(t, "x(hw)", ref.X, d.X)
+	}
+}
+
+func TestCSDetectsMismatch(t *testing.T) {
+	var cs CS
+	cs.Def(1.5, 2)
+	cs.Use(1.5)
+	cs.Use(1.5000001) // corrupted second read
+	if err := cs.Verify(); err == nil {
+		t.Error("mismatch not detected")
+	}
+	var cs2 CS
+	cs2.EDef(3.0)
+	cs2.Use(3.0)
+	cs2.Adjust(3.0, 1)
+	if err := cs2.Verify(); err != nil {
+		t.Errorf("false positive: %v", err)
+	}
+}
+
+// Wall-clock benchmarks: the native analogue of Figure 10. The ns/op ratios
+// between variants of a kernel are its normalized runtimes.
+
+func BenchmarkNativeCholesky(b *testing.B) {
+	const n = 96
+	run := func(b *testing.B, f func([]float64, int)) {
+		a := choleskyInput(n, 9)
+		work := make([]float64, len(a))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, a)
+			f(work, n)
+		}
+	}
+	b.Run("Original", func(b *testing.B) { run(b, Cholesky) })
+	b.Run("Resilient", func(b *testing.B) {
+		run(b, func(a []float64, n int) {
+			if err := CholeskyResilient(a, n); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("ResilientOpt", func(b *testing.B) {
+		run(b, func(a []float64, n int) {
+			if err := CholeskyResilientOpt(a, n); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("HW", func(b *testing.B) {
+		run(b, func(a []float64, n int) { CholeskyHW(a, n) })
+	})
+}
+
+func BenchmarkNativeJacobi1D(b *testing.B) {
+	const n, tsteps = 4096, 40
+	run := func(b *testing.B, f func(a, bb []float64, n, t int)) {
+		a := jacobiInput(n, 10)
+		work := make([]float64, n)
+		scratch := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, a)
+			f(work, scratch, n, tsteps)
+		}
+	}
+	b.Run("Original", func(b *testing.B) { run(b, Jacobi1D) })
+	b.Run("Resilient", func(b *testing.B) {
+		run(b, func(a, bb []float64, n, t int) {
+			if err := Jacobi1DResilient(a, bb, n, t); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("ResilientOpt", func(b *testing.B) {
+		run(b, func(a, bb []float64, n, t int) {
+			if err := Jacobi1DResilientOpt(a, bb, n, t); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("HW", func(b *testing.B) {
+		run(b, func(a, bb []float64, n, t int) { Jacobi1DHW(a, bb, n, t) })
+	})
+}
+
+func BenchmarkNativeCG(b *testing.B) {
+	const n, k, iters = 2048, 8, 10
+	base := cgInput(n, k, 11)
+	run := func(b *testing.B, f func(*CGData, int)) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := cgInput(n, k, 11)
+			_ = base
+			b.StartTimer()
+			f(d, iters)
+			b.StopTimer()
+		}
+	}
+	b.Run("Original", func(b *testing.B) { run(b, CG) })
+	b.Run("Resilient", func(b *testing.B) {
+		run(b, func(d *CGData, it int) {
+			if err := CGResilient(d, it); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("ResilientOpt", func(b *testing.B) {
+		run(b, func(d *CGData, it int) {
+			if err := CGResilientOpt(d, it); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("HW", func(b *testing.B) {
+		run(b, func(d *CGData, it int) { CGHW(d, it) })
+	})
+}
+
+func BenchmarkNativeMoldyn(b *testing.B) {
+	const n, k, iters = 4096, 6, 5
+	run := func(b *testing.B, f func(*MoldynData, int)) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := moldynInput(n, k, 12)
+			b.StartTimer()
+			f(d, iters)
+		}
+	}
+	b.Run("Original", func(b *testing.B) { run(b, Moldyn) })
+	b.Run("Resilient", func(b *testing.B) {
+		run(b, func(d *MoldynData, it int) {
+			if err := MoldynResilient(d, it); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("HW", func(b *testing.B) {
+		run(b, func(d *MoldynData, it int) { MoldynHW(d, it) })
+	})
+}
+
+func BenchmarkNativeLU(b *testing.B) {
+	const n = 96
+	run := func(b *testing.B, f func([]float64, int)) {
+		a := luInput(n, 13)
+		work := make([]float64, len(a))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, a)
+			f(work, n)
+		}
+	}
+	b.Run("Original", func(b *testing.B) { run(b, LU) })
+	b.Run("Resilient", func(b *testing.B) {
+		run(b, func(a []float64, n int) {
+			if err := LUResilient(a, n); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("ResilientOpt", func(b *testing.B) {
+		run(b, func(a []float64, n int) {
+			if err := LUResilientOpt(a, n); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("HW", func(b *testing.B) {
+		run(b, func(a []float64, n int) { LUHW(a, n) })
+	})
+}

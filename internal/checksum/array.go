@@ -1,0 +1,55 @@
+package checksum
+
+// This file implements whole-array checksums used by the fault-coverage
+// experiments (Table 1 of the paper): a checksum is computed over an array of
+// 64-bit words, bits are flipped, the checksum is recomputed, and a mismatch
+// means the error was detected.
+
+// fletcherMod is the modulus for the two 32-bit running sums of Fletcher64.
+const fletcherMod = 0xffffffff // 2^32 - 1
+
+// adlerMod is the largest prime below 2^32, the Adler-style modulus.
+const adlerMod = 4294967291
+
+// Sum computes the k-checksum of data. For commutative operators this is the
+// fold of Combine over the elements; for Fletcher64/Adler64 it is the usual
+// two-running-sum construction over the 32-bit halves of each word, packed as
+// (sum2 << 32) | sum1.
+func Sum(k Kind, data []uint64) uint64 {
+	switch k {
+	case ModAdd, XOR, OnesComp:
+		var acc uint64
+		for _, v := range data {
+			acc = Combine(k, acc, v)
+		}
+		return acc
+	case Fletcher64:
+		return fletcherSum(data, fletcherMod)
+	case Adler64:
+		return fletcherSum(data, adlerMod)
+	}
+	panic("checksum: Sum on unknown operator")
+}
+
+func fletcherSum(data []uint64, mod uint64) uint64 {
+	var s1, s2 uint64
+	for _, v := range data {
+		s1 = (s1 + (v & 0xffffffff)) % mod
+		s2 = (s2 + s1) % mod
+		s1 = (s1 + (v >> 32)) % mod
+		s2 = (s2 + s1) % mod
+	}
+	return s2<<32 | s1
+}
+
+// DualSum computes the paper's two-checksum scheme over data: the first
+// checksum is the plain k-sum; the second folds each element left-rotated by
+// an amount derived from its address (RotateForIndex, assuming an 8-byte
+// aligned base). Only commutative operators support the dual scheme.
+func DualSum(k Kind, data []uint64) (first, second uint64) {
+	for i, v := range data {
+		first = Combine(k, first, v)
+		second = Combine(k, second, Rotl(v, RotateForIndex(i)))
+	}
+	return first, second
+}

@@ -1,0 +1,147 @@
+// Package checksum implements the checksum operators used by the def-use
+// error detection scheme of Tavarageri et al. (PLDI 2014), "Compiler-Assisted
+// Detection of Transient Memory Errors".
+//
+// The scheme needs a commutative and associative operator so that values can
+// be folded into a running def-checksum and use-checksum in any order; the
+// paper selects integer modulo addition for its hardware efficiency and fault
+// coverage (Section 5). This package provides that operator plus the
+// alternatives discussed in the paper's related work (XOR, one's-complement
+// addition) and the position-dependent checksums from Maxino's comparison
+// (Fletcher, Adler) that are used only in whole-array coverage experiments.
+package checksum
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kind identifies a checksum operator.
+type Kind int
+
+// The supported checksum operators. ModAdd is the operator the paper uses
+// for def/use checksums; the others are provided for the fault-coverage
+// comparison (Section 6.1 and Maxino's study).
+const (
+	// ModAdd is integer addition modulo 2^64 (two's-complement wraparound),
+	// the paper's operator of choice.
+	ModAdd Kind = iota
+	// XOR is bitwise exclusive or.
+	XOR
+	// OnesComp is one's-complement addition (addition modulo 2^64-1 with
+	// end-around carry), the operator used by the Internet checksum.
+	OnesComp
+	// Fletcher64 is a Fletcher-style position-dependent checksum built from
+	// two modular sums. It is not commutative across elements and therefore
+	// cannot serve as the def/use operator; it participates only in
+	// whole-array coverage experiments.
+	Fletcher64
+	// Adler64 is an Adler-style variant of Fletcher64 using prime moduli.
+	Adler64
+)
+
+var kindNames = map[Kind]string{
+	ModAdd:     "modadd",
+	XOR:        "xor",
+	OnesComp:   "onescomp",
+	Fletcher64: "fletcher64",
+	Adler64:    "adler64",
+}
+
+// String returns the lower-case name of the operator.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("checksum.Kind(%d)", int(k))
+}
+
+// Commutative reports whether the operator is commutative and associative and
+// hence usable as a def/use checksum operator.
+func (k Kind) Commutative() bool {
+	switch k {
+	case ModAdd, XOR, OnesComp:
+		return true
+	}
+	return false
+}
+
+// onesCompMod is the modulus of one's-complement 64-bit addition.
+const onesCompMod = ^uint64(0) // 2^64 - 1
+
+// Combine folds value v into accumulator acc under operator k. Combine is
+// commutative and associative for the operators for which Commutative
+// reports true; it panics for position-dependent operators.
+func Combine(k Kind, acc, v uint64) uint64 {
+	switch k {
+	case ModAdd:
+		return acc + v
+	case XOR:
+		return acc ^ v
+	case OnesComp:
+		return onesCompAdd(acc, v)
+	}
+	panic(fmt.Sprintf("checksum: Combine on non-commutative operator %v", k))
+}
+
+// ScaleCombine folds v into acc n times under operator k. n may be negative,
+// in which case the contribution is removed n times (the paper's epilogue
+// adjustment "add use_count - 1 times" relies on this when use_count is 0).
+func ScaleCombine(k Kind, acc, v uint64, n int64) uint64 {
+	switch k {
+	case ModAdd:
+		return acc + v*uint64(n) // two's-complement wraparound handles n < 0
+	case XOR:
+		if n&1 != 0 {
+			return acc ^ v
+		}
+		return acc
+	case OnesComp:
+		return onesCompAdd(acc, onesCompScale(v, n))
+	}
+	panic(fmt.Sprintf("checksum: ScaleCombine on non-commutative operator %v", k))
+}
+
+// onesCompAdd adds a and b with end-around carry (arithmetic mod 2^64-1,
+// treating 0 and 2^64-1 as the same residue, canonicalized to keep sums
+// stable).
+func onesCompAdd(a, b uint64) uint64 {
+	s, carry := bits.Add64(a, b, 0)
+	s += carry
+	if s == onesCompMod {
+		s = 0
+	}
+	return s
+}
+
+// onesCompScale computes v*n mod 2^64-1 for a possibly negative n.
+func onesCompScale(v uint64, n int64) uint64 {
+	neg := n < 0
+	un := uint64(n)
+	if neg {
+		un = uint64(-n)
+	}
+	v %= onesCompMod
+	hi, lo := bits.Mul64(v, un%onesCompMod)
+	// hi <= v <= 2^64-2 < onesCompMod, so Rem64 is safe.
+	r := bits.Rem64(hi, lo, onesCompMod)
+	if neg && r != 0 {
+		r = onesCompMod - r
+	}
+	return r
+}
+
+// Rotation selects the left-rotate amount for the second (auxiliary) checksum
+// of the paper's two-checksum scheme: bits 3..7 of the value's byte address,
+// giving an amount in [0, 31]. Elements of a []uint64 at byte offset 8*i from
+// an aligned base therefore rotate by i mod 32.
+func Rotation(byteAddr uintptr) int {
+	return int((byteAddr >> 3) & 0x1f)
+}
+
+// RotateForIndex returns the rotation for the i-th 8-byte element of an
+// aligned array.
+func RotateForIndex(i int) int { return i & 0x1f }
+
+// Rotl left-rotates v by r bits (r taken mod 64).
+func Rotl(v uint64, r int) uint64 { return bits.RotateLeft64(v, r) }

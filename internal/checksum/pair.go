@@ -1,0 +1,83 @@
+package checksum
+
+import "fmt"
+
+// Pair holds the four global checksums of the paper's scheme: the primary
+// def/use pair and the auxiliary e_def/e_use pair introduced in Section 4.1
+// to catch persistent corruptions that the primary pair alone would miss.
+//
+// The zero Pair uses ModAdd; use NewPair to select another operator.
+type Pair struct {
+	kind Kind
+
+	// Def accumulates every defined value, scaled by its use count.
+	Def uint64
+	// Use accumulates every consumed value once per use.
+	Use uint64
+	// EDef accumulates each dynamically-counted defined value once at its
+	// definition site.
+	EDef uint64
+	// EUse accumulates, for each dynamically-counted definition, the value
+	// observed after its last use (at overwrite or in the epilogue).
+	EUse uint64
+}
+
+// NewPair returns a Pair using operator k. k must be commutative.
+func NewPair(k Kind) *Pair {
+	if !k.Commutative() {
+		panic(fmt.Sprintf("checksum: operator %v cannot be used for def/use checksums", k))
+	}
+	return &Pair{kind: k}
+}
+
+// Kind returns the operator of the pair.
+func (p *Pair) Kind() Kind { return p.kind }
+
+// AddDef folds a defined value into the def-checksum n times, where n is the
+// value's (known) use count.
+func (p *Pair) AddDef(v uint64, n int64) { p.Def = ScaleCombine(p.kind, p.Def, v, n) }
+
+// AddUse folds a consumed value into the use-checksum once.
+func (p *Pair) AddUse(v uint64) { p.Use = Combine(p.kind, p.Use, v) }
+
+// AddEDef folds a dynamically-counted defined value into both the def- and
+// the auxiliary def-checksum once (Algorithm 3, unknown-use-count def site).
+func (p *Pair) AddEDef(v uint64) {
+	p.Def = Combine(p.kind, p.Def, v)
+	p.EDef = Combine(p.kind, p.EDef, v)
+}
+
+// Adjust performs the epilogue/overwrite adjustment for a dynamically-counted
+// definition whose observed current value is v and whose dynamic use count is
+// n: v is folded into the def-checksum n-1 more times and into the auxiliary
+// use-checksum once.
+func (p *Pair) Adjust(v uint64, n int64) {
+	p.Def = ScaleCombine(p.kind, p.Def, v, n-1)
+	p.EUse = Combine(p.kind, p.EUse, v)
+}
+
+// Reset zeroes all four checksums.
+func (p *Pair) Reset() { p.Def, p.Use, p.EDef, p.EUse = 0, 0, 0, 0 }
+
+// MismatchError reports a checksum verification failure.
+type MismatchError struct {
+	Which              string // "def/use" or "e_def/e_use"
+	Expected, Observed uint64
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("checksum: %s mismatch: %#x != %#x (memory error detected)",
+		e.Which, e.Expected, e.Observed)
+}
+
+// Verify compares the def/use and e_def/e_use checksums. A nil return means
+// no memory error was detected; a *MismatchError reports which pair differs.
+func (p *Pair) Verify() error {
+	if p.Def != p.Use {
+		return &MismatchError{Which: "def/use", Expected: p.Def, Observed: p.Use}
+	}
+	if p.EDef != p.EUse {
+		return &MismatchError{Which: "e_def/e_use", Expected: p.EDef, Observed: p.EUse}
+	}
+	return nil
+}

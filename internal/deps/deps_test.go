@@ -1,0 +1,349 @@
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"defuse/internal/lang"
+	"defuse/internal/pdg"
+	"defuse/internal/poly"
+)
+
+func model(t *testing.T, src string) *pdg.Model {
+	t.Helper()
+	m, err := pdg.Extract(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const choleskySrc = `
+program cholesky(n)
+float A[n][n];
+for j = 0 to n - 1 {
+  S1: A[j][j] = sqrt(A[j][j]);
+  for i = j + 1 to n - 1 {
+    S2: A[i][j] = A[i][j] / A[j][j];
+  }
+}
+`
+
+func TestCholeskyFlowMatchesPaper(t *testing.T) {
+	m := model(t, choleskySrc)
+	f := Analyze(m)
+	if !f.Exact {
+		t.Error("cholesky analysis should be exact")
+	}
+	s1, s2 := m.Statement("S1"), m.Statement("S2")
+	from1 := f.From(s1)
+	if len(from1) != 1 {
+		t.Fatalf("S1 has %d outgoing deps, want 1 (to S2's A[j][j] read): %v", len(from1), from1)
+	}
+	d := from1[0]
+	if d.Dst != s2 {
+		t.Fatalf("S1 dep goes to %s", d.Dst.ID)
+	}
+	// The paper's D_flow: { S1[j] -> S2[j,i] : 0<=j<=n-1 and j+1<=i<=n-1 }.
+	for _, tc := range []struct {
+		j, j2, i2, n int64
+		want         bool
+	}{
+		{0, 0, 1, 4, true},
+		{0, 0, 3, 4, true},
+		{1, 1, 2, 4, true},
+		{0, 1, 2, 4, false}, // different j
+		{0, 0, 0, 4, false}, // i < j+1
+		{3, 3, 4, 4, false}, // i out of bounds
+	} {
+		got := relContains(d.Rel, map[string]int64{"j": tc.j, "j'": tc.j2, "i'": tc.i2, "n": tc.n})
+		if got != tc.want {
+			t.Errorf("S1[%d]->S2[%d,%d] n=%d: %v, want %v", tc.j, tc.j2, tc.i2, tc.n, got, tc.want)
+		}
+	}
+	// S2 writes strictly-below-diagonal cells that are never read again.
+	if len(f.From(s2)) != 0 {
+		t.Errorf("S2 should have no outgoing flow deps, got %v", f.From(s2))
+	}
+}
+
+func relContains(m poly.Map, env map[string]int64) bool {
+	for _, bm := range m.Pieces {
+		if bm.ContainsPair(env) {
+			return true
+		}
+	}
+	return false
+}
+
+// instance is one dynamic statement instance.
+type instance struct {
+	stmt *pdg.Statement
+	env  map[string]int64 // iterator values
+	key  []int64          // schedule vector value
+}
+
+// traceFlow executes the affine model literally (enumerate instances in
+// schedule order, track last writer per cell) and returns the exact flow
+// pairs as strings "src[i..] -> dst[j..] #read".
+func traceFlow(t *testing.T, m *pdg.Model, params map[string]int64) map[string]bool {
+	t.Helper()
+	var insts []instance
+	for _, s := range m.Stmts {
+		if !s.ControlAffine {
+			t.Fatal("traceFlow needs a fully control-affine model")
+		}
+		for _, pt := range s.Domain.EnumeratePoints(params, 64) {
+			env := map[string]int64{}
+			for k, v := range params {
+				env[k] = v
+			}
+			for k, v := range pt {
+				env[k] = v
+			}
+			key := make([]int64, len(s.Schedule))
+			for k, term := range s.Schedule {
+				if term.IsIter {
+					key[k] = env[term.Iter]
+				} else {
+					key[k] = term.Const
+				}
+			}
+			insts = append(insts, instance{stmt: s, env: env, key: key})
+		}
+	}
+	sort.Slice(insts, func(a, b int) bool {
+		ka, kb := insts[a].key, insts[b].key
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
+
+	lastWriter := map[string]*instance{}
+	pairs := map[string]bool{}
+	cellKey := func(array string, idx []int64) string { return fmt.Sprintf("%s%v", array, idx) }
+	evalIdx := func(ins *instance, lins []poly.LinExpr) []int64 {
+		out := make([]int64, len(lins))
+		for k, lin := range lins {
+			v, ok := lin.Eval(ins.env)
+			if !ok {
+				t.Fatal("unbound variable in index")
+			}
+			out[k] = v
+		}
+		return out
+	}
+	instKey := func(ins *instance) string {
+		idx := make([]int64, len(ins.stmt.Iters))
+		for k, it := range ins.stmt.Iters {
+			idx[k] = ins.env[it]
+		}
+		return fmt.Sprintf("%s%v", ins.stmt.ID, idx)
+	}
+	for i := range insts {
+		ins := &insts[i]
+		for ri := range ins.stmt.Reads {
+			read := &ins.stmt.Reads[ri]
+			if !read.Affine {
+				continue
+			}
+			cell := cellKey(read.Array, evalIdx(ins, read.Index))
+			if w := lastWriter[cell]; w != nil {
+				pairs[fmt.Sprintf("%s -> %s #%d", instKey(w), instKey(ins), ri)] = true
+			}
+		}
+		if ins.stmt.Write.Affine {
+			cell := cellKey(ins.stmt.Write.Array, evalIdx(ins, ins.stmt.Write.Index))
+			lastWriter[cell] = ins
+		}
+	}
+	return pairs
+}
+
+// relFlow enumerates the pairs asserted by the analyzed dependences.
+func relFlow(t *testing.T, f *Flow, params map[string]int64) map[string]bool {
+	t.Helper()
+	pairs := map[string]bool{}
+	for _, d := range f.Deps {
+		srcPts := d.Src.Domain.EnumeratePoints(params, 64)
+		dstPts := d.Dst.Domain.EnumeratePoints(params, 64)
+		for _, sp := range srcPts {
+			for _, dp := range dstPts {
+				env := map[string]int64{}
+				for k, v := range params {
+					env[k] = v
+				}
+				for k, v := range sp {
+					env[k] = v
+				}
+				for k, v := range dp {
+					env[k+"'"] = v
+				}
+				if relContains(d.Rel, env) {
+					srcIdx := make([]int64, len(d.Src.Iters))
+					for k, it := range d.Src.Iters {
+						srcIdx[k] = sp[it]
+					}
+					dstIdx := make([]int64, len(d.Dst.Iters))
+					for k, it := range d.Dst.Iters {
+						dstIdx[k] = dp[it]
+					}
+					pairs[fmt.Sprintf("%s%v -> %s%v #%d", d.Src.ID, srcIdx, d.Dst.ID, dstIdx, d.DstRead)] = true
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+func comparePairs(t *testing.T, name string, traced, analyzed map[string]bool) {
+	t.Helper()
+	for p := range traced {
+		if !analyzed[p] {
+			t.Errorf("%s: traced pair missing from analysis: %s", name, p)
+		}
+	}
+	for p := range analyzed {
+		if !traced[p] {
+			t.Errorf("%s: analysis asserts spurious pair: %s", name, p)
+		}
+	}
+}
+
+func crossValidate(t *testing.T, src string, params map[string]int64) {
+	t.Helper()
+	m := model(t, src)
+	f := Analyze(m)
+	if !f.Exact {
+		t.Fatalf("analysis inexact for %s", m.Prog.Name)
+	}
+	comparePairs(t, m.Prog.Name, traceFlow(t, m, params), relFlow(t, f, params))
+}
+
+func TestCrossValidateCholesky(t *testing.T) {
+	crossValidate(t, choleskySrc, map[string]int64{"n": 6})
+}
+
+func TestCrossValidateJacobiStyle(t *testing.T) {
+	// Kills matter here: S2's write of A[i] at time t is read by S1 at time
+	// t+1 only — later writes kill older ones.
+	crossValidate(t, `
+program jac(n, tmax)
+float A[n], B[n];
+for t = 0 to tmax - 1 {
+  for i = 1 to n - 2 {
+    S1: B[i] = A[i - 1] + A[i] + A[i + 1];
+  }
+  for i = 1 to n - 2 {
+    S2: A[i] = B[i];
+  }
+}
+`, map[string]int64{"n": 7, "tmax": 3})
+}
+
+func TestCrossValidateScalarAccumulation(t *testing.T) {
+	// Scalars are 0-dim cells: every += reads the previous write (kill chain
+	// through the same statement).
+	crossValidate(t, `
+program acc(n)
+float s, A[n];
+S0: s = 0.0;
+for i = 0 to n - 1 {
+  S1: s += A[i];
+}
+S2: A[0] = s;
+`, map[string]int64{"n": 5})
+}
+
+func TestCrossValidateLU(t *testing.T) {
+	crossValidate(t, `
+program lu(n)
+float A[n][n];
+for k = 0 to n - 1 {
+  for j = k + 1 to n - 1 {
+    S1: A[k][j] = A[k][j] / A[k][k];
+  }
+  for i = k + 1 to n - 1 {
+    for j = k + 1 to n - 1 {
+      S2: A[i][j] = A[i][j] - A[i][k] * A[k][j];
+    }
+  }
+}
+`, map[string]int64{"n": 5})
+}
+
+func TestCrossValidateTrisolv(t *testing.T) {
+	crossValidate(t, `
+program trisolv(n)
+float L[n][n], x[n], b[n];
+for i = 0 to n - 1 {
+  S1: x[i] = b[i];
+  for j = 0 to i - 1 {
+    S2: x[i] = x[i] - L[i][j] * x[j];
+  }
+  S3: x[i] = x[i] / L[i][i];
+}
+`, map[string]int64{"n": 5})
+}
+
+func TestCrossValidateOverwriteChain(t *testing.T) {
+	// Repeated full overwrites of the same array: only the last write before
+	// each read may source the dependence.
+	crossValidate(t, `
+program chain(n)
+float A[n], s;
+for i = 0 to n - 1 {
+  S1: A[i] = 1.0;
+}
+for i = 0 to n - 1 {
+  S2: A[i] = 2.0;
+}
+S3: s = A[0];
+`, map[string]int64{"n": 4})
+}
+
+func TestDepsSkipNonAffine(t *testing.T) {
+	m := model(t, `
+program t(n)
+float A[n], s;
+int cols[n];
+for i = 0 to n - 1 {
+  S1: A[cols[i]] = 1.0;
+}
+S2: s = A[0];
+`)
+	f := Analyze(m)
+	// S1's write is non-affine: no dependence may be asserted from it.
+	for _, d := range f.Deps {
+		if d.Src.ID == "S1" {
+			t.Errorf("non-affine write used as dep source: %v", d)
+		}
+	}
+}
+
+func TestToQuery(t *testing.T) {
+	m := model(t, choleskySrc)
+	f := Analyze(m)
+	s2 := m.Statement("S2")
+	// S2's second read (A[j][j], index 1 in reads order: A[i][j] then A[j][j])
+	var found bool
+	for ri := range s2.Reads {
+		if len(f.To(s2, ri)) > 0 {
+			found = true
+			if s2.Reads[ri].Ref.Indices[0].(*lang.Ref).Name != "j" {
+				// The fed read must be A[j][j].
+				t.Errorf("dependence feeds unexpected read #%d", ri)
+			}
+		}
+	}
+	if !found {
+		t.Error("no dependence feeds any S2 read")
+	}
+	if f.Deps[0].String() == "" {
+		t.Error("empty dep string")
+	}
+}

@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"fmt"
+
+	"defuse/internal/checksum"
+)
+
+// This file implements the Table 1 fault-coverage experiment of the paper:
+// initialize an array of 64-bit integers, compute its checksum(s), inject a
+// k-bit error, recompute, and count the trials in which the checksums still
+// match (the error escaped detection).
+
+// CoverageConfig describes one cell of Table 1.
+type CoverageConfig struct {
+	Kind     checksum.Kind // checksum operator (the paper uses ModAdd)
+	Words    int           // array size in 64-bit words (10^2, 10^4, 10^6)
+	BitFlips int           // number of bits flipped per trial (2..6)
+	Pattern  Pattern       // data initialization
+	Dual     bool          // use the two-checksum (rotated) scheme
+	Trials   int           // number of injection trials (paper: 100,000)
+	Seed     int64         // RNG seed
+}
+
+// CoverageResult reports the outcome of a coverage experiment.
+type CoverageResult struct {
+	CoverageConfig
+	Undetected int // trials whose checksum(s) matched despite the error
+}
+
+// UndetectedPercent returns the percentage of undetected errors, the quantity
+// Table 1 reports.
+func (r CoverageResult) UndetectedPercent() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return 100 * float64(r.Undetected) / float64(r.Trials)
+}
+
+func (r CoverageResult) String() string {
+	scheme := "one checksum"
+	if r.Dual {
+		scheme = "two checksums"
+	}
+	return fmt.Sprintf("%d flips, N=%d, %v, %s: %.3f%% undetected",
+		r.BitFlips, r.Words, r.Pattern, scheme, r.UndetectedPercent())
+}
+
+// RunCoverage executes the experiment described by cfg.
+//
+// Following the paper's methodology, each trial re-initializes the data,
+// computes the initial checksum(s), flips cfg.BitFlips uniformly chosen
+// distinct bits, recomputes, and compares. For AllZero/AllOne patterns the
+// data is identical across trials, so it is initialized once; for Random it
+// is refilled per trial.
+func RunCoverage(cfg CoverageConfig) CoverageResult {
+	if cfg.Trials <= 0 {
+		panic("faults: RunCoverage needs a positive trial count")
+	}
+	if cfg.Words <= 0 {
+		panic("faults: RunCoverage needs a positive word count")
+	}
+	in := NewInjector(cfg.Seed)
+	data := make([]uint64, cfg.Words)
+	res := CoverageResult{CoverageConfig: cfg}
+
+	in.Fill(data, cfg.Pattern)
+	base1, base2 := initialSums(cfg, data)
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		if cfg.Pattern == Random {
+			in.Fill(data, cfg.Pattern)
+			base1, base2 = initialSums(cfg, data)
+		}
+		flips := in.FlipBits(data, cfg.BitFlips)
+		var s1, s2 uint64
+		if cfg.Dual {
+			s1, s2 = checksum.DualSum(cfg.Kind, data)
+		} else {
+			s1 = checksum.Sum(cfg.Kind, data)
+		}
+		if s1 == base1 && (!cfg.Dual || s2 == base2) {
+			res.Undetected++
+		}
+		// Undo the flips so constant-pattern runs can reuse the base sums.
+		for _, f := range flips {
+			data[f.Word] ^= 1 << uint(f.Bit)
+		}
+	}
+	return res
+}
+
+func initialSums(cfg CoverageConfig, data []uint64) (uint64, uint64) {
+	if cfg.Dual {
+		return checksum.DualSum(cfg.Kind, data)
+	}
+	return checksum.Sum(cfg.Kind, data), 0
+}
+
+// Table1Cell runs the paper's Table 1 cell for the given parameters with the
+// paper's operator (integer modulo addition).
+func Table1Cell(words, bitFlips int, p Pattern, dual bool, trials int, seed int64) CoverageResult {
+	return RunCoverage(CoverageConfig{
+		Kind:     checksum.ModAdd,
+		Words:    words,
+		BitFlips: bitFlips,
+		Pattern:  p,
+		Dual:     dual,
+		Trials:   trials,
+		Seed:     seed,
+	})
+}

@@ -1,0 +1,141 @@
+// Package faults injects transient memory faults into simulated memories,
+// reproducing the fault model of Section 2.2 of the paper: undetected
+// multi-bit errors in stored data and address-generation errors that make a
+// load observe the wrong location.
+//
+// The injector is deterministic given its seed so experiments are
+// reproducible.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pattern selects how experiment data is initialized, matching the three data
+// columns of Table 1.
+type Pattern int
+
+// Data patterns used in the coverage experiments.
+const (
+	// AllZero initializes every bit to 0.
+	AllZero Pattern = iota
+	// AllOne initializes every bit to 1.
+	AllOne
+	// Random initializes bits uniformly at random.
+	Random
+)
+
+var patternNames = map[Pattern]string{
+	AllZero: "all-0",
+	AllOne:  "all-1",
+	Random:  "random",
+}
+
+// String returns the Table 1 column label for the pattern.
+func (p Pattern) String() string {
+	if s, ok := patternNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("faults.Pattern(%d)", int(p))
+}
+
+// Injector produces reproducible fault injections.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// NewInjector returns an injector seeded with seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fill initializes data according to the pattern.
+func (in *Injector) Fill(data []uint64, p Pattern) {
+	switch p {
+	case AllZero:
+		for i := range data {
+			data[i] = 0
+		}
+	case AllOne:
+		for i := range data {
+			data[i] = ^uint64(0)
+		}
+	case Random:
+		for i := range data {
+			data[i] = in.rng.Uint64()
+		}
+	default:
+		panic(fmt.Sprintf("faults: unknown pattern %v", p))
+	}
+}
+
+// BitFlip identifies a single flipped bit in a word array.
+type BitFlip struct {
+	Word int // index into the array
+	Bit  int // bit position within the 64-bit word, 0 = LSB
+}
+
+// FlipBits flips exactly k distinct bits chosen uniformly at random over all
+// 64*len(data) bit positions and returns the flips applied. It panics if k
+// exceeds the number of available bits.
+func (in *Injector) FlipBits(data []uint64, k int) []BitFlip {
+	total := 64 * len(data)
+	if k > total {
+		panic(fmt.Sprintf("faults: cannot flip %d bits in %d available", k, total))
+	}
+	flips := make([]BitFlip, 0, k)
+	seen := make(map[int]bool, k)
+	for len(flips) < k {
+		pos := in.rng.Intn(total)
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		f := BitFlip{Word: pos / 64, Bit: pos % 64}
+		data[f.Word] ^= 1 << uint(f.Bit)
+		flips = append(flips, f)
+	}
+	return flips
+}
+
+// FlipBitsInWord flips k distinct bits within a single word value and returns
+// the corrupted value. Used to corrupt an individual in-flight load.
+func (in *Injector) FlipBitsInWord(v uint64, k int) uint64 {
+	if k > 64 {
+		panic("faults: cannot flip more than 64 bits in one word")
+	}
+	seen := 0
+	for flipped := 0; flipped < k; {
+		b := in.rng.Intn(64)
+		if seen&(1<<uint(b)) != 0 {
+			continue
+		}
+		seen |= 1 << uint(b)
+		v ^= 1 << uint(b)
+		flipped++
+	}
+	return v
+}
+
+// WrongAddress models an address-generation error: a load intended for index
+// idx instead observes a different uniformly chosen index in [0, n). n must
+// be at least 2.
+func (in *Injector) WrongAddress(idx, n int) int {
+	if n < 2 {
+		panic("faults: WrongAddress needs at least 2 locations")
+	}
+	for {
+		j := in.rng.Intn(n)
+		if j != idx {
+			return j
+		}
+	}
+}
+
+// Intn exposes the injector's deterministic random stream for experiment
+// schedules (e.g., choosing which dynamic load to corrupt).
+func (in *Injector) Intn(n int) int { return in.rng.Intn(n) }
+
+// Uint64 returns a uniformly random 64-bit value from the injector's stream.
+func (in *Injector) Uint64() uint64 { return in.rng.Uint64() }

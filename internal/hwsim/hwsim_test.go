@@ -1,0 +1,60 @@
+package hwsim
+
+import (
+	"testing"
+
+	"defuse/internal/interp"
+)
+
+func TestSoftwareCostWeights(t *testing.T) {
+	c := interp.OpCounts{Loads: 10, Stores: 5, Arith: 7, Compare: 3, Branches: 2, CsOps: 4, CsLoads: 6, CsArith: 1}
+	cfg := DefaultConfig()
+	got := SoftwareCostWith(c, cfg)
+	want := 4.0*15 + 0*6 + 1.0*(7+3+2+1) + 2.0*4
+	if got != want {
+		t.Errorf("SoftwareCost = %v, want %v", got, want)
+	}
+	if SoftwareCost(c) != got {
+		t.Error("SoftwareCost should use the default config")
+	}
+}
+
+func TestHardwareCostDiscountsChecksums(t *testing.T) {
+	c := interp.OpCounts{Loads: 10, Stores: 5, Arith: 7, CsOps: 100, CsLoads: 50, CsArith: 2}
+	cfg := DefaultConfig()
+	hw := HardwareCost(c, cfg)
+	sw := SoftwareCostWith(c, cfg)
+	if hw >= sw {
+		t.Errorf("hardware cost %v should be below software %v", hw, sw)
+	}
+	// Checksum loads vanish; each op costs NopCost.
+	want := 4.0*15 + 1.0*(7+2) + 0.25*100
+	if hw != want {
+		t.Errorf("HardwareCost = %v, want %v", hw, want)
+	}
+}
+
+func TestHardwareCostRetainsCounters(t *testing.T) {
+	// Counter maintenance shows up as program loads/stores/arith and must
+	// stay at full price under hardware support.
+	base := interp.OpCounts{Loads: 100, Stores: 50, Arith: 30}
+	withCounters := base
+	withCounters.Loads += 40 // counter reads
+	withCounters.Stores += 40
+	cfg := DefaultConfig()
+	if HardwareCost(withCounters, cfg) <= HardwareCost(base, cfg) {
+		t.Error("counter work must not be discounted by hardware support")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	orig := interp.OpCounts{Loads: 10, Stores: 10, Arith: 10}
+	instr := SoftwareCost(interp.OpCounts{Loads: 10, Stores: 10, Arith: 10, CsOps: 20})
+	ov := Overhead(orig, instr)
+	if ov <= 1 {
+		t.Errorf("overhead = %v, want > 1", ov)
+	}
+	if Overhead(interp.OpCounts{}, 5) != 1 {
+		t.Error("zero-cost original should clamp to 1")
+	}
+}

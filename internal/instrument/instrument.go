@@ -1,0 +1,510 @@
+package instrument
+
+import (
+	"fmt"
+	"sort"
+
+	"defuse/internal/deps"
+	"defuse/internal/lang"
+	"defuse/internal/pdg"
+	"defuse/internal/poly"
+	"defuse/internal/usecount"
+)
+
+// Options selects the optimizations of Sections 3.3 and 4.2.
+type Options struct {
+	// Split applies index-set splitting (Algorithm 2), replacing per-
+	// iteration use-count guards with split loops.
+	Split bool
+	// Inspector hoists inspectors for iterative (while) loops whose
+	// irregular index structures are loop-invariant (Section 4.2).
+	Inspector bool
+}
+
+// Plan names the protection scheme chosen for a variable.
+type Plan string
+
+// The possible per-variable plans.
+const (
+	PlanStatic    Plan = "static"    // compile-time use counts (Algorithm 1)
+	PlanDynamic   Plan = "dynamic"   // shadow counters + e-checksums (Section 4.1)
+	PlanInspector Plan = "inspector" // inspector-counted iterative array (Section 4.2)
+	PlanInvariant Plan = "invariant" // read-only array under an inspector loop
+	PlanControl   Plan = "control"   // control variable: protected by other means (Section 2.2)
+)
+
+// Report summarizes instrumentation decisions.
+type Report struct {
+	Plans             map[string]Plan
+	InspectorsHoisted int
+	SplitApplied      bool
+}
+
+// Result is an instrumented program plus its report.
+type Result struct {
+	Prog   *lang.Program
+	Report Report
+}
+
+// CloneProgram deep-copies a program.
+func CloneProgram(p *lang.Program) *lang.Program {
+	np := &lang.Program{Name: p.Name, Params: append([]string(nil), p.Params...)}
+	for _, d := range p.Decls {
+		nd := &lang.VarDecl{Pos: d.Pos, Name: d.Name, Type: d.Type}
+		for _, dim := range d.Dims {
+			nd.Dims = append(nd.Dims, lang.CloneExpr(dim))
+		}
+		np.Decls = append(np.Decls, nd)
+	}
+	np.Body = lang.CloneStmts(p.Body)
+	return np
+}
+
+// Instrument inserts error-detection checksums into a copy of prog.
+func Instrument(src *lang.Program, opt Options) (*Result, error) {
+	prog := CloneProgram(src)
+	model, err := pdg.Extract(prog)
+	if err != nil {
+		return nil, err
+	}
+	flow := deps.Analyze(model)
+	uc := usecount.Analyze(flow)
+
+	ins := &instrumenter{
+		prog:  prog,
+		opt:   opt,
+		model: model,
+		uc:    uc,
+		names: newNames(prog),
+		stmts: map[*lang.Assign]*pdg.Statement{},
+		plans: map[string]Plan{},
+		cnts:  map[string]string{},
+		insp:  map[*lang.While]*inspectorPlan{},
+	}
+	for _, s := range model.Stmts {
+		ins.stmts[s.Node] = s
+	}
+	ins.classify()
+	if opt.Inspector {
+		ins.detectInspectors()
+	}
+	ins.buildDynamicBoilerplate()
+
+	body := ins.rewrite(prog.Body)
+	var full []lang.Stmt
+	full = append(full, ins.prologue...)
+	full = append(full, body...)
+	full = append(full, ins.epilogue...)
+	full = append(full, &lang.AssertChecksums{})
+	prog.Body = full
+	prog.Decls = append(prog.Decls, ins.newDecls...)
+
+	rep := Report{Plans: ins.plans, InspectorsHoisted: len(ins.insp)}
+	if opt.Split {
+		prog.Body = SplitLoops(prog.Body)
+		rep.SplitApplied = true
+	}
+	if err := lang.Check(prog); err != nil {
+		return nil, fmt.Errorf("instrument: generated program fails checks: %w", err)
+	}
+	return &Result{Prog: prog, Report: rep}, nil
+}
+
+type instrumenter struct {
+	prog  *lang.Program
+	opt   Options
+	model *pdg.Model
+	uc    *usecount.Analysis
+	names *names
+	stmts map[*lang.Assign]*pdg.Statement
+	plans map[string]Plan
+	cnts  map[string]string // dynamic var -> counter variable name
+	insp  map[*lang.While]*inspectorPlan
+
+	newDecls []*lang.VarDecl
+	prologue []lang.Stmt
+	epilogue []lang.Stmt
+}
+
+// classify assigns every declared variable a plan: control variables are
+// excluded (fault model Section 2.2); statically analyzable variables use
+// Algorithm 1; the rest use the dynamic scheme. Inspector detection may
+// upgrade dynamic variables afterwards.
+func (ins *instrumenter) classify() {
+	control := map[string]bool{}
+	lang.WalkStmts(ins.prog.Body, func(s lang.Stmt) bool {
+		var cond lang.Expr
+		switch x := s.(type) {
+		case *lang.While:
+			cond = x.Cond
+		case *lang.If:
+			cond = x.Cond
+		default:
+			return true
+		}
+		for _, r := range lang.ExprRefs(cond) {
+			if ins.prog.Decl(r.Name) != nil {
+				control[r.Name] = true
+			}
+		}
+		return true
+	})
+	for _, d := range ins.prog.Decls {
+		switch {
+		case control[d.Name]:
+			ins.plans[d.Name] = PlanControl
+		case ins.uc.Analyzable(d.Name):
+			ins.plans[d.Name] = PlanStatic
+		default:
+			ins.plans[d.Name] = PlanDynamic
+		}
+	}
+}
+
+// buildDynamicBoilerplate declares shadow counters and emits the prologue
+// (live-in contributions, counter zeroing) and epilogue (final adjustments)
+// for every variable, per its plan.
+func (ins *instrumenter) buildDynamicBoilerplate() {
+	// Deterministic order over declarations.
+	for _, d := range ins.prog.Decls {
+		switch ins.plans[d.Name] {
+		case PlanStatic:
+			ins.emitStaticLiveIn(d)
+		case PlanDynamic:
+			ins.emitDynamicBoilerplate(d)
+		}
+	}
+}
+
+// emitStaticLiveIn generates prologue code adding the initial values of an
+// analyzable array to the def-checksum with their live-in use counts. All
+// contributions are merged into a single scan of the array: piece domains
+// are gisted against the rectangular cell bounds (so bounds-only domains
+// need no guard) and pieces with identical residual domains are summed.
+func (ins *instrumenter) emitStaticLiveIn(d *lang.VarDecl) {
+	contribs := ins.uc.LiveIns[d.Name]
+	if len(contribs) == 0 {
+		return
+	}
+	iters := make([]string, len(d.Dims))
+	rename := map[string]string{}
+	for k := range d.Dims {
+		iters[k] = ins.names.fresh(fmt.Sprintf("li%d", k))
+		rename[usecount.CellVarName(d.Name, k)] = iters[k]
+	}
+	// Rectangular context: 0 <= c_k <= dim_k - 1 (in cell-variable names).
+	var ctx []poly.Constraint
+	isParam := func(name string) bool { return ins.prog.IsParam(name) }
+	for k, dim := range d.Dims {
+		cv := poly.V(usecount.CellVarName(d.Name, k))
+		ctx = append(ctx, poly.Ge(cv, poly.L(0)))
+		if lin, ok := pdg.ExprToLin(dim, isParam); ok {
+			ctx = append(ctx, poly.Le(cv, lin.AddConst(-1)))
+		}
+	}
+
+	type merged struct {
+		domain []poly.Constraint
+		count  poly.Polynomial
+	}
+	var pieces []merged
+	keyOf := func(cons []poly.Constraint) string {
+		keys := make([]string, len(cons))
+		for i, c := range cons {
+			keys[i] = c.String()
+		}
+		sort.Strings(keys)
+		return fmt.Sprint(keys)
+	}
+	index := map[string]int{}
+	for _, li := range contribs {
+		for _, piece := range li.Count.Pieces {
+			if piece.Count.IsZero() {
+				continue
+			}
+			g := gist(piece.Domain, ctx)
+			k := keyOf(g)
+			if i, ok := index[k]; ok {
+				pieces[i].count = pieces[i].count.Add(piece.Count)
+			} else {
+				index[k] = len(pieces)
+				pieces = append(pieces, merged{domain: g, count: piece.Count})
+			}
+		}
+	}
+	if len(pieces) == 0 {
+		return
+	}
+
+	var body []lang.Stmt
+	for _, p := range pieces {
+		countExpr, err := polyToExpr(p.count, rename)
+		if err != nil {
+			// Not expressible: conservatively fall back to dynamic.
+			ins.plans[d.Name] = PlanDynamic
+			ins.emitDynamicBoilerplate(d)
+			return
+		}
+		ref := &lang.Ref{Name: d.Name}
+		for _, it := range iters {
+			ref.Indices = append(ref.Indices, &lang.Ref{Name: it})
+		}
+		add := addChk(lang.DefCS, ref, countExpr)
+		if cond := consToCond(p.domain, rename); cond != nil {
+			body = append(body, &lang.If{Cond: cond, Then: []lang.Stmt{add}})
+		} else {
+			body = append(body, add)
+		}
+	}
+	ins.prologue = append(ins.prologue, loopNestOver(iters, d.Dims, body)...)
+}
+
+// emitDynamicBoilerplate declares the shadow counter for a dynamic variable
+// and generates its prologue (counter zeroing + live-in def/e_def adds) and
+// epilogue (final def adjustment + e_use adds), per Algorithm 3 and the
+// Figure 7 scheme.
+func (ins *instrumenter) emitDynamicBoilerplate(d *lang.VarDecl) {
+	cnt := ins.names.fresh(d.Name + "_cnt")
+	ins.cnts[d.Name] = cnt
+	cd := &lang.VarDecl{Name: cnt, Type: lang.TypeInt}
+	for _, dim := range d.Dims {
+		cd.Dims = append(cd.Dims, lang.CloneExpr(dim))
+	}
+	ins.newDecls = append(ins.newDecls, cd)
+
+	iters := make([]string, len(d.Dims))
+	for k := range d.Dims {
+		iters[k] = ins.names.fresh(fmt.Sprintf("dy%d", k))
+	}
+	mkRef := func(name string) *lang.Ref {
+		r := &lang.Ref{Name: name}
+		for _, it := range iters {
+			r.Indices = append(r.Indices, &lang.Ref{Name: it})
+		}
+		return r
+	}
+	pro := []lang.Stmt{
+		&lang.Assign{LHS: mkRef(cnt), Op: lang.OpSet, RHS: intLit(0)},
+		addChk(lang.DefCS, mkRef(d.Name), one()),
+		addChk(lang.EDefCS, mkRef(d.Name), one()),
+	}
+	ins.prologue = append(ins.prologue, loopNestOver(iters, d.Dims, pro)...)
+
+	epi := []lang.Stmt{
+		addChk(lang.DefCS, mkRef(d.Name),
+			&lang.Bin{Op: lang.BinSub, L: mkRef(cnt), R: one()}),
+		addChk(lang.EUseCS, mkRef(d.Name), one()),
+	}
+	ins.epilogue = append(ins.epilogue, loopNestOver(iters, d.Dims, epi)...)
+}
+
+// rewrite instruments a statement list.
+func (ins *instrumenter) rewrite(ss []lang.Stmt) []lang.Stmt {
+	var out []lang.Stmt
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *lang.Assign:
+			out = append(out, ins.rewriteAssign(x)...)
+		case *lang.For:
+			nf := &lang.For{Pos: x.Pos, Iter: x.Iter, Lo: x.Lo, Hi: x.Hi, Body: ins.rewrite(x.Body)}
+			out = append(out, nf)
+		case *lang.While:
+			out = append(out, ins.rewriteWhile(x)...)
+		case *lang.If:
+			ni := &lang.If{Pos: x.Pos, Cond: x.Cond, Then: ins.rewrite(x.Then), Else: ins.rewrite(x.Else)}
+			out = append(out, ni)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (ins *instrumenter) rewriteWhile(x *lang.While) []lang.Stmt {
+	plan := ins.insp[x]
+	if plan == nil {
+		return []lang.Stmt{&lang.While{Pos: x.Pos, Cond: x.Cond, Body: ins.rewrite(x.Body)}}
+	}
+	var out []lang.Stmt
+	out = append(out, plan.preWhile...)
+	body := []lang.Stmt{incr(&lang.Ref{Name: plan.iterName})}
+	body = append(body, ins.rewrite(x.Body)...)
+	out = append(out, &lang.While{Pos: x.Pos, Cond: x.Cond, Body: body})
+	out = append(out, plan.postWhile...)
+	return out
+}
+
+func (ins *instrumenter) rewriteAssign(x *lang.Assign) []lang.Stmt {
+	st := ins.stmts[x]
+	if st == nil {
+		// Generated or unmodeled statement: pass through.
+		return []lang.Stmt{x}
+	}
+	var pre, post []lang.Stmt
+
+	// Use-checksum contributions for every read, per the read variable's
+	// plan (Algorithm 3 lines 3-8).
+	for ri := range st.Reads {
+		read := &st.Reads[ri]
+		switch ins.plans[read.Array] {
+		case PlanControl:
+			continue
+		case PlanDynamic:
+			pre = append(pre, addChk(lang.UseCS, refClone(read.Ref), one()))
+			pre = append(pre, incr(ins.counterRef(read.Ref)))
+		default: // static, inspector, invariant: plain use add
+			pre = append(pre, addChk(lang.UseCS, refClone(read.Ref), one()))
+		}
+	}
+
+	// Def-checksum contributions for the write (Algorithm 3 lines 9-18).
+	w := &st.Write
+	switch ins.plans[w.Array] {
+	case PlanControl:
+		// untracked
+	case PlanStatic:
+		post = append(post, ins.staticDefAdds(st)...)
+	case PlanDynamic:
+		cnt := ins.counterRef(x.LHS)
+		pre = append(pre,
+			addChk(lang.DefCS, refClone(x.LHS), &lang.Bin{Op: lang.BinSub, L: cnt, R: one()}),
+			addChk(lang.EUseCS, refClone(x.LHS), one()),
+		)
+		post = append(post,
+			addChk(lang.DefCS, refClone(x.LHS), one()),
+			addChk(lang.EDefCS, refClone(x.LHS), one()),
+			&lang.Assign{LHS: ins.counterRef(x.LHS), Op: lang.OpSet, RHS: intLit(0)},
+		)
+	case PlanInspector:
+		post = append(post, ins.inspectorDefAdds(x)...)
+	case PlanInvariant:
+		// Invariant arrays are unwritten inside their loop; a write would
+		// have failed inspector qualification, so this is a write outside
+		// any inspector loop — impossible by the untouched-outside rule.
+		panic("instrument: write to inspector-invariant array " + w.Array)
+	}
+
+	out := append(pre, x)
+	return append(out, post...)
+}
+
+// staticDefAdds emits the guarded def-checksum additions for a statically
+// counted definition: one add per non-zero use-count piece, guarded by the
+// piece domain gisted against the statement's iteration domain (Figure 5).
+func (ins *instrumenter) staticDefAdds(st *pdg.Statement) []lang.Stmt {
+	dc := ins.uc.Defs[st]
+	if dc == nil {
+		return nil
+	}
+	// Gist each piece's domain against the iteration domain, then merge
+	// pieces with identical residual guards across all contributions
+	// (summing their counts) so one guarded add covers them.
+	type merged struct {
+		domain []poly.Constraint
+		count  poly.Polynomial
+	}
+	var pieces []merged
+	index := map[string]int{}
+	keyOf := func(cons []poly.Constraint) string {
+		keys := make([]string, len(cons))
+		for i, c := range cons {
+			keys[i] = c.String()
+		}
+		sort.Strings(keys)
+		return fmt.Sprint(keys)
+	}
+	for _, contrib := range dc.Contribs {
+		for _, piece := range contrib.Count.Pieces {
+			if piece.Count.IsZero() {
+				continue
+			}
+			guard := gist(piece.Domain, st.Domain.Cons)
+			k := keyOf(guard)
+			if i, ok := index[k]; ok {
+				pieces[i].count = pieces[i].count.Add(piece.Count)
+			} else {
+				index[k] = len(pieces)
+				pieces = append(pieces, merged{domain: guard, count: piece.Count})
+			}
+		}
+	}
+	var out []lang.Stmt
+	for _, p := range pieces {
+		countExpr, err := polyToExpr(p.count, nil)
+		if err != nil {
+			// Unexpressible count: should not happen for affine counts,
+			// but degrade to a guard-free skip rather than fail.
+			continue
+		}
+		add := addChk(lang.DefCS, refClone(st.Node.LHS), countExpr)
+		if cond := consToCond(p.domain, nil); cond != nil {
+			out = append(out, &lang.If{Cond: cond, Then: []lang.Stmt{add}})
+		} else {
+			out = append(out, add)
+		}
+	}
+	return out
+}
+
+// counterRef builds a reference to the shadow counter cell matching ref.
+func (ins *instrumenter) counterRef(ref *lang.Ref) *lang.Ref {
+	cnt := ins.cnts[ref.Name]
+	if cnt == "" {
+		panic("instrument: no counter for " + ref.Name)
+	}
+	r := &lang.Ref{Name: cnt}
+	for _, ix := range ref.Indices {
+		r.Indices = append(r.Indices, lang.CloneExpr(ix))
+	}
+	return r
+}
+
+// gist removes piece-domain constraints implied by the statement domain
+// together with the remaining piece constraints (so guards match the paper's
+// Figure 5 "if j <= n-2" rather than repeating the loop bounds or carrying
+// redundant bounds accumulated during counting). Removal iterates to a fixed
+// point.
+func gist(cons, context []poly.Constraint) []poly.Constraint {
+	out := append([]poly.Constraint(nil), cons...)
+	impliedBy := func(ctx []poly.Constraint, c poly.Constraint) bool {
+		for _, neg := range c.Negate() {
+			sys := append(append([]poly.Constraint(nil), ctx...), neg)
+			empty, exact := poly.UnionSet(poly.BasicSet{Tuple: "g", Cons: sys}).IsEmpty()
+			if !empty || !exact {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < len(out); {
+		ctx := append([]poly.Constraint(nil), context...)
+		ctx = append(ctx, out[:i]...)
+		ctx = append(ctx, out[i+1:]...)
+		if impliedBy(ctx, out[i]) {
+			out = append(out[:i], out[i+1:]...)
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// sortedPlanNames returns variable names sorted, for deterministic reports.
+func (r Report) sortedPlanNames() []string {
+	names := make([]string, 0, len(r.Plans))
+	for n := range r.Plans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the report.
+func (r Report) String() string {
+	s := ""
+	for _, n := range r.sortedPlanNames() {
+		s += fmt.Sprintf("%s: %s\n", n, r.Plans[n])
+	}
+	s += fmt.Sprintf("inspectors hoisted: %d, split: %v\n", r.InspectorsHoisted, r.SplitApplied)
+	return s
+}

@@ -1,0 +1,316 @@
+package instrument
+
+import (
+	"defuse/internal/lang"
+	"defuse/internal/pdg"
+	"defuse/internal/poly"
+)
+
+// This file implements Algorithm 2 (index-set splitting, Section 3.3): loops
+// containing affine guards are partitioned so that within each partition the
+// guard is statically true or false — the guard conditional disappears, and
+// each split loop carries a single closed-form use count (the paper's
+// Figure 6 peeling of cholesky's last iteration).
+
+// maxSplitsPerLoop bounds the 2^k copy growth when a loop has many guards.
+const maxSplitsPerLoop = 6
+
+// SplitLoops rewrites a statement list, splitting every for loop whose body
+// contains affine guards on that loop's iterator.
+func SplitLoops(ss []lang.Stmt) []lang.Stmt {
+	var out []lang.Stmt
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *lang.For:
+			nf := &lang.For{Pos: x.Pos, Iter: x.Iter, Lo: x.Lo, Hi: x.Hi, Body: SplitLoops(x.Body)}
+			out = append(out, splitFor(nf, maxSplitsPerLoop)...)
+		case *lang.While:
+			out = append(out, &lang.While{Pos: x.Pos, Cond: x.Cond, Body: SplitLoops(x.Body)})
+		case *lang.If:
+			out = append(out, &lang.If{Pos: x.Pos, Cond: x.Cond, Then: SplitLoops(x.Then), Else: SplitLoops(x.Else)})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// splitFor splits one loop on the first eligible guard constraint, then
+// recurses on both halves.
+func splitFor(f *lang.For, budget int) []lang.Stmt {
+	if budget <= 0 {
+		return []lang.Stmt{f}
+	}
+	inner := map[string]bool{}
+	lang.WalkStmts(f.Body, func(s lang.Stmt) bool {
+		if lf, ok := s.(*lang.For); ok {
+			inner[lf.Iter] = true
+		}
+		return true
+	})
+	c, ok := findSplitConstraint(f.Body, f.Iter, inner)
+	if !ok {
+		return []lang.Stmt{f}
+	}
+
+	a := c.E.Coeff(f.Iter)
+	rest := c.E.Subst(f.Iter, poly.L(0))
+	var first, second *lang.For
+	if a == 1 {
+		// c holds iff v >= -rest =: B. Order: [lo, min(hi, B-1)] (false),
+		// then [max(lo, B), hi] (true).
+		b := rest.Neg()
+		first = &lang.For{Iter: f.Iter,
+			Lo:   lang.CloneExpr(f.Lo),
+			Hi:   minExpr(lang.CloneExpr(f.Hi), pdg.LinToExpr(b.AddConst(-1))),
+			Body: rewriteGuards(f.Body, c, false)}
+		second = &lang.For{Iter: f.Iter,
+			Lo:   maxExpr(lang.CloneExpr(f.Lo), pdg.LinToExpr(b)),
+			Hi:   lang.CloneExpr(f.Hi),
+			Body: rewriteGuards(f.Body, c, true)}
+	} else {
+		// a == -1: c holds iff v <= rest =: B. Order: [lo, min(hi, B)]
+		// (true), then [max(lo, B+1), hi] (false).
+		b := rest
+		first = &lang.For{Iter: f.Iter,
+			Lo:   lang.CloneExpr(f.Lo),
+			Hi:   minExpr(lang.CloneExpr(f.Hi), pdg.LinToExpr(b)),
+			Body: rewriteGuards(f.Body, c, true)}
+		second = &lang.For{Iter: f.Iter,
+			Lo:   maxExpr(lang.CloneExpr(f.Lo), pdg.LinToExpr(b.AddConst(1))),
+			Hi:   lang.CloneExpr(f.Hi),
+			Body: rewriteGuards(f.Body, c, false)}
+	}
+	var out []lang.Stmt
+	for _, half := range []*lang.For{first, second} {
+		if rangeProvablyEmpty(half.Lo, half.Hi) {
+			continue
+		}
+		out = append(out, splitFor(half, budget-1)...)
+	}
+	return out
+}
+
+func minExpr(a, b lang.Expr) lang.Expr { return extremeExpr("min", a, b) }
+func maxExpr(a, b lang.Expr) lang.Expr { return extremeExpr("max", a, b) }
+
+// extremeExpr builds min/max of two bound expressions, flattening nested
+// calls, deduplicating syntactically equal arguments, and resolving pairs
+// whose difference is a known constant (min(i-1, i-2) folds to i-2).
+func extremeExpr(kind string, a, b lang.Expr) lang.Expr {
+	args := append(extremeArgs(kind, a), extremeArgs(kind, b)...)
+	// Deduplicate and resolve comparable pairs.
+	var kept []lang.Expr
+	for _, arg := range args {
+		replaced := false
+		for i, k := range kept {
+			r, ok := resolvePair(kind, k, arg)
+			if ok {
+				kept[i] = r
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			kept = append(kept, arg)
+		}
+	}
+	out := kept[0]
+	for _, k := range kept[1:] {
+		out = &lang.Call{Name: kind, Args: []lang.Expr{out, k}}
+	}
+	return out
+}
+
+// extremeArgs flattens nested min/min (or max/max) calls into their leaves.
+func extremeArgs(kind string, e lang.Expr) []lang.Expr {
+	if c, ok := e.(*lang.Call); ok && c.Name == kind {
+		return append(extremeArgs(kind, c.Args[0]), extremeArgs(kind, c.Args[1])...)
+	}
+	return []lang.Expr{e}
+}
+
+// resolvePair returns the dominating expression when a and b differ by a
+// known constant (or are equal), under min/max semantics.
+func resolvePair(kind string, a, b lang.Expr) (lang.Expr, bool) {
+	if lang.ExprString(a) == lang.ExprString(b) {
+		return a, true
+	}
+	anyVar := func(string) bool { return true }
+	la, aok := pdg.ExprToLin(a, anyVar)
+	lb, bok := pdg.ExprToLin(b, anyVar)
+	if !aok || !bok {
+		return nil, false
+	}
+	d := la.Sub(lb)
+	if !d.IsConst() {
+		return nil, false
+	}
+	aSmaller := d.Const() <= 0
+	if (kind == "min") == aSmaller {
+		return a, true
+	}
+	return b, true
+}
+
+// rangeProvablyEmpty reports whether a loop [lo, hi] can be proven empty:
+// some max-component of lo exceeds some min-component of hi by a constant.
+func rangeProvablyEmpty(lo, hi lang.Expr) bool {
+	anyVar := func(string) bool { return true }
+	for _, l := range extremeArgs("max", lo) {
+		ll, lok := pdg.ExprToLin(l, anyVar)
+		if !lok {
+			continue
+		}
+		for _, h := range extremeArgs("min", hi) {
+			lh, hok := pdg.ExprToLin(h, anyVar)
+			if !hok {
+				continue
+			}
+			if d := lh.Sub(ll); d.IsConst() && d.Const() < 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findSplitConstraint locates, in the subtree, an If guard conjunct that
+// references iter with unit coefficient and no inner-loop iterators.
+func findSplitConstraint(ss []lang.Stmt, iter string, inner map[string]bool) (poly.Constraint, bool) {
+	var found poly.Constraint
+	ok := false
+	lang.WalkStmts(ss, func(s lang.Stmt) bool {
+		if ok {
+			return false
+		}
+		ifs, isIf := s.(*lang.If)
+		if !isIf || len(ifs.Else) != 0 {
+			return true
+		}
+		cons, parsed := condToCons(ifs.Cond)
+		if !parsed {
+			return true
+		}
+		for _, c := range cons {
+			if c.Equality {
+				continue // equalities stay as guards
+			}
+			a := c.E.Coeff(iter)
+			if a != 1 && a != -1 {
+				continue
+			}
+			eligible := true
+			for _, v := range c.E.Vars() {
+				if inner[v] {
+					eligible = false
+					break
+				}
+			}
+			if eligible {
+				found, ok = c, true
+				return false
+			}
+		}
+		return true
+	})
+	return found, ok
+}
+
+// rewriteGuards clones ss, resolving guard conjunct c to the given truth
+// value: when true the conjunct is removed (unwrapping the If if nothing
+// remains); when false any If whose condition includes c is deleted.
+func rewriteGuards(ss []lang.Stmt, c poly.Constraint, holds bool) []lang.Stmt {
+	key := c.String()
+	var out []lang.Stmt
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *lang.If:
+			cons, parsed := condToCons(x.Cond)
+			if parsed && len(x.Else) == 0 && hasConstraint(cons, key) {
+				if !holds {
+					continue // guard statically false: drop the whole If
+				}
+				remaining := dropConstraint(cons, key)
+				then := rewriteGuards(x.Then, c, holds)
+				if len(remaining) == 0 {
+					out = append(out, then...)
+				} else {
+					out = append(out, &lang.If{Pos: x.Pos, Cond: consToCond(remaining, nil), Then: then})
+				}
+				continue
+			}
+			out = append(out, &lang.If{Pos: x.Pos, Cond: lang.CloneExpr(x.Cond),
+				Then: rewriteGuards(x.Then, c, holds), Else: rewriteGuards(x.Else, c, holds)})
+		case *lang.For:
+			out = append(out, &lang.For{Pos: x.Pos, Iter: x.Iter,
+				Lo: lang.CloneExpr(x.Lo), Hi: lang.CloneExpr(x.Hi),
+				Body: rewriteGuards(x.Body, c, holds)})
+		case *lang.While:
+			out = append(out, &lang.While{Pos: x.Pos, Cond: lang.CloneExpr(x.Cond),
+				Body: rewriteGuards(x.Body, c, holds)})
+		default:
+			out = append(out, lang.CloneStmt(s))
+		}
+	}
+	return out
+}
+
+func hasConstraint(cons []poly.Constraint, key string) bool {
+	for _, c := range cons {
+		if c.String() == key {
+			return true
+		}
+	}
+	return false
+}
+
+func dropConstraint(cons []poly.Constraint, key string) []poly.Constraint {
+	var out []poly.Constraint
+	dropped := false
+	for _, c := range cons {
+		if !dropped && c.String() == key {
+			dropped = true
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// condToCons parses a generated guard condition (a conjunction of affine
+// comparisons over scalar names) back into constraints.
+func condToCons(e lang.Expr) ([]poly.Constraint, bool) {
+	switch x := e.(type) {
+	case *lang.Bin:
+		switch x.Op {
+		case lang.BinAnd:
+			l, lok := condToCons(x.L)
+			r, rok := condToCons(x.R)
+			if !lok || !rok {
+				return nil, false
+			}
+			return append(l, r...), true
+		case lang.BinGe, lang.BinLe, lang.BinGt, lang.BinLt, lang.BinEq:
+			anyVar := func(string) bool { return true }
+			l, lok := pdg.ExprToLin(x.L, anyVar)
+			r, rok := pdg.ExprToLin(x.R, anyVar)
+			if !lok || !rok {
+				return nil, false
+			}
+			switch x.Op {
+			case lang.BinGe:
+				return []poly.Constraint{poly.Ge(l, r)}, true
+			case lang.BinLe:
+				return []poly.Constraint{poly.Le(l, r)}, true
+			case lang.BinGt:
+				return []poly.Constraint{poly.Gt(l, r)}, true
+			case lang.BinLt:
+				return []poly.Constraint{poly.Lt(l, r)}, true
+			default:
+				return []poly.Constraint{poly.Eq(l, r)}, true
+			}
+		}
+	}
+	return nil, false
+}

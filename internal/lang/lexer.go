@@ -1,0 +1,230 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes source text. '#' and '//' start line comments.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or a *SyntaxError for an illegal character.
+func (l *Lexer) Next() (Token, error) {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: TokEOF, Pos: l.pos()}, nil
+
+scan:
+	start := l.pos()
+	c := l.peek()
+
+	if isIdentStart(c) {
+		var b strings.Builder
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		text := b.String()
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+	}
+
+	if isDigit(c) || (c == '.' && isDigit(l.peek2())) {
+		var b strings.Builder
+		isFloat := false
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		if l.peek() == '.' && isDigit(l.peek2()) {
+			isFloat = true
+			b.WriteByte(l.advance())
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				b.WriteByte(l.advance())
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			save := *l
+			var exp strings.Builder
+			exp.WriteByte(l.advance())
+			if l.peek() == '+' || l.peek() == '-' {
+				exp.WriteByte(l.advance())
+			}
+			if isDigit(l.peek()) {
+				isFloat = true
+				for l.off < len(l.src) && isDigit(l.peek()) {
+					exp.WriteByte(l.advance())
+				}
+				b.WriteString(exp.String())
+			} else {
+				*l = save // 'e' starts an identifier, not an exponent
+			}
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: b.String(), Pos: start}, nil
+	}
+
+	two := func(k TokKind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: text, Pos: start}, nil
+	}
+	one := func(k TokKind, text string) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: text, Pos: start}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(TokLParen, "(")
+	case ')':
+		return one(TokRParen, ")")
+	case '{':
+		return one(TokLBrace, "{")
+	case '}':
+		return one(TokRBrace, "}")
+	case '[':
+		return one(TokLBracket, "[")
+	case ']':
+		return one(TokRBracket, "]")
+	case ',':
+		return one(TokComma, ",")
+	case ';':
+		return one(TokSemicolon, ";")
+	case ':':
+		return one(TokColon, ":")
+	case '%':
+		return one(TokPercent, "%")
+	case '+':
+		if l.peek2() == '=' {
+			return two(TokPlusEq, "+=")
+		}
+		return one(TokPlus, "+")
+	case '-':
+		if l.peek2() == '=' {
+			return two(TokMinusEq, "-=")
+		}
+		return one(TokMinus, "-")
+	case '*':
+		if l.peek2() == '=' {
+			return two(TokStarEq, "*=")
+		}
+		return one(TokStar, "*")
+	case '/':
+		if l.peek2() == '=' {
+			return two(TokSlashEq, "/=")
+		}
+		return one(TokSlash, "/")
+	case '=':
+		if l.peek2() == '=' {
+			return two(TokEq, "==")
+		}
+		return one(TokAssign, "=")
+	case '!':
+		if l.peek2() == '=' {
+			return two(TokNe, "!=")
+		}
+		return one(TokBang, "!")
+	case '<':
+		if l.peek2() == '=' {
+			return two(TokLe, "<=")
+		}
+		return one(TokLt, "<")
+	case '>':
+		if l.peek2() == '=' {
+			return two(TokGe, ">=")
+		}
+		return one(TokGt, ">")
+	case '&':
+		if l.peek2() == '&' {
+			return two(TokAndAnd, "&&")
+		}
+	case '|':
+		if l.peek2() == '|' {
+			return two(TokOrOr, "||")
+		}
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: "illegal character " + string(rune(c))}
+}
+
+// Tokenize scans all tokens including the trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

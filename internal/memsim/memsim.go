@@ -1,0 +1,111 @@
+// Package memsim simulates the memory subsystem of the paper's fault model
+// (Section 2.2): a word-addressed store that is vulnerable to bit flips
+// between a write and a subsequent read, while processor state (registers,
+// ALU) is assumed resilient. The interpreter executes programs against this
+// memory, and fault-injection experiments corrupt words between operations.
+package memsim
+
+import "fmt"
+
+// Memory is a flat word-addressed memory with load/store accounting and an
+// optional load hook for modeling in-flight corruption.
+type Memory struct {
+	words  []uint64
+	loads  uint64
+	stores uint64
+
+	// loadHook, when set, may substitute the value observed by a load
+	// (modeling a fault in the data path or address logic).
+	loadHook func(addr int, raw uint64) uint64
+}
+
+// New returns a memory with the given capacity in 64-bit words.
+func New(words int) *Memory {
+	return &Memory{words: make([]uint64, words)}
+}
+
+// Size returns the memory capacity in words.
+func (m *Memory) Size() int { return len(m.words) }
+
+// Load reads the word at addr.
+func (m *Memory) Load(addr int) uint64 {
+	if addr < 0 || addr >= len(m.words) {
+		panic(fmt.Sprintf("memsim: load out of bounds: %d of %d", addr, len(m.words)))
+	}
+	m.loads++
+	raw := m.words[addr]
+	if m.loadHook != nil {
+		raw = m.loadHook(addr, raw)
+	}
+	return raw
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr int, v uint64) {
+	if addr < 0 || addr >= len(m.words) {
+		panic(fmt.Sprintf("memsim: store out of bounds: %d of %d", addr, len(m.words)))
+	}
+	m.stores++
+	m.words[addr] = v
+}
+
+// Peek reads a word without counting it as a program load (experiment
+// harness use).
+func (m *Memory) Peek(addr int) uint64 { return m.words[addr] }
+
+// Poke writes a word without counting it as a program store (initialization
+// and fault injection).
+func (m *Memory) Poke(addr int, v uint64) { m.words[addr] = v }
+
+// FlipBit flips one bit of the word at addr, modeling a transient fault in
+// stored data.
+func (m *Memory) FlipBit(addr, bit int) {
+	if bit < 0 || bit > 63 {
+		panic(fmt.Sprintf("memsim: bit %d out of range", bit))
+	}
+	m.words[addr] ^= 1 << uint(bit)
+}
+
+// SetLoadHook installs (or clears, with nil) the load observation hook.
+func (m *Memory) SetLoadHook(h func(addr int, raw uint64) uint64) { m.loadHook = h }
+
+// Loads returns the number of Load calls.
+func (m *Memory) Loads() uint64 { return m.loads }
+
+// Stores returns the number of Store calls.
+func (m *Memory) Stores() uint64 { return m.stores }
+
+// ResetCounters zeroes the access counters.
+func (m *Memory) ResetCounters() { m.loads, m.stores = 0, 0 }
+
+// Region is an allocated range of words.
+type Region struct {
+	Base, Size int
+}
+
+// Allocator hands out disjoint regions from a Memory.
+type Allocator struct {
+	mem  *Memory
+	next int
+}
+
+// NewAllocator returns an allocator over m starting at word 0.
+func NewAllocator(m *Memory) *Allocator { return &Allocator{mem: m} }
+
+// Alloc reserves size words, growing the memory if needed.
+func (a *Allocator) Alloc(size int) Region {
+	if size < 0 {
+		panic("memsim: negative allocation")
+	}
+	if a.next+size > len(a.mem.words) {
+		grown := make([]uint64, a.next+size)
+		copy(grown, a.mem.words)
+		a.mem.words = grown
+	}
+	r := Region{Base: a.next, Size: size}
+	a.next += size
+	return r
+}
+
+// Used returns the number of words allocated so far.
+func (a *Allocator) Used() int { return a.next }

@@ -1,0 +1,117 @@
+package memsim
+
+import "testing"
+
+func TestLoadStore(t *testing.T) {
+	m := New(8)
+	m.Store(3, 42)
+	if got := m.Load(3); got != 42 {
+		t.Errorf("Load(3) = %d", got)
+	}
+	if m.Loads() != 1 || m.Stores() != 1 {
+		t.Errorf("counters = %d loads, %d stores", m.Loads(), m.Stores())
+	}
+	m.ResetCounters()
+	if m.Loads() != 0 || m.Stores() != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func TestPeekPokeDoNotCount(t *testing.T) {
+	m := New(4)
+	m.Poke(0, 7)
+	if m.Peek(0) != 7 {
+		t.Error("Peek/Poke broken")
+	}
+	if m.Loads() != 0 || m.Stores() != 0 {
+		t.Error("Peek/Poke affected counters")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	m := New(1)
+	m.Poke(0, 0)
+	m.FlipBit(0, 17)
+	if m.Peek(0) != 1<<17 {
+		t.Errorf("word = %#x", m.Peek(0))
+	}
+	m.FlipBit(0, 17)
+	if m.Peek(0) != 0 {
+		t.Error("double flip should restore")
+	}
+}
+
+func TestFlipBitRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).FlipBit(0, 64)
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	for _, f := range []func(*Memory){
+		func(m *Memory) { m.Load(10) },
+		func(m *Memory) { m.Store(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f(New(4))
+		}()
+	}
+}
+
+func TestLoadHook(t *testing.T) {
+	m := New(4)
+	m.Store(2, 100)
+	m.SetLoadHook(func(addr int, raw uint64) uint64 {
+		if addr == 2 {
+			return raw ^ 1 // corrupt loads of word 2
+		}
+		return raw
+	})
+	if got := m.Load(2); got != 101 {
+		t.Errorf("hooked load = %d, want 101", got)
+	}
+	// The stored word itself is unchanged.
+	if m.Peek(2) != 100 {
+		t.Error("hook should not modify storage")
+	}
+	m.SetLoadHook(nil)
+	if got := m.Load(2); got != 100 {
+		t.Errorf("unhooked load = %d", got)
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	m := New(4)
+	a := NewAllocator(m)
+	r1 := a.Alloc(10) // grows memory
+	r2 := a.Alloc(5)
+	if r1.Base != 0 || r1.Size != 10 || r2.Base != 10 || r2.Size != 5 {
+		t.Errorf("regions = %+v %+v", r1, r2)
+	}
+	if a.Used() != 15 || m.Size() < 15 {
+		t.Errorf("used=%d size=%d", a.Used(), m.Size())
+	}
+	// Regions are disjoint and usable.
+	m.Store(r1.Base+9, 1)
+	m.Store(r2.Base, 2)
+	if m.Load(r1.Base+9) != 1 || m.Load(r2.Base) != 2 {
+		t.Error("region storage broken")
+	}
+}
+
+func TestAllocatorNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAllocator(New(0)).Alloc(-1)
+}

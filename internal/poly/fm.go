@@ -1,0 +1,236 @@
+package poly
+
+import "sort"
+
+// This file implements variable elimination over systems of integer affine
+// constraints: substitution through equalities when possible (exact) and
+// Fourier-Motzkin combination of inequality pairs otherwise. Every
+// elimination reports whether it was exact over the integers; the only
+// sources of approximation are eliminating through an equality with
+// non-unit coefficient (loses a divisibility condition) and combining two
+// inequalities that both have non-unit coefficients on the eliminated
+// variable (the real shadow can exceed the integer shadow).
+
+// system is a constraint set with dedup and infeasibility tracking.
+type system struct {
+	cons       []Constraint
+	seen       map[string]bool
+	infeasible bool
+}
+
+func newSystem(cs []Constraint) *system {
+	s := &system{seen: make(map[string]bool, len(cs))}
+	for _, c := range cs {
+		s.add(c)
+	}
+	return s
+}
+
+func (s *system) add(c Constraint) {
+	nc, st := c.normalize()
+	switch st {
+	case normDrop:
+		return
+	case normInfeasy:
+		s.infeasible = true
+		return
+	}
+	k := nc.key()
+	if s.seen[k] {
+		return
+	}
+	s.seen[k] = true
+	s.cons = append(s.cons, nc)
+}
+
+func (s *system) list() []Constraint {
+	out := make([]Constraint, len(s.cons))
+	copy(out, s.cons)
+	return out
+}
+
+// eliminate removes variable v from cons, returning the projected system, a
+// flag reporting whether the projection is exact over the integers, and
+// whether the system was detected infeasible outright.
+func eliminate(cons []Constraint, v string) (out []Constraint, exact, infeasible bool) {
+	exact = true
+
+	// Prefer substitution through an equality with unit coefficient: exact.
+	bestEq := -1
+	for i, c := range cons {
+		if !c.Equality || !c.E.Uses(v) {
+			continue
+		}
+		if a := c.E.Coeff(v); a == 1 || a == -1 {
+			bestEq = i
+			break
+		}
+		if bestEq < 0 {
+			bestEq = i
+		}
+	}
+	if bestEq >= 0 {
+		eq := cons[bestEq]
+		a := eq.E.Coeff(v)
+		if a == 1 || a == -1 {
+			// v = rest where rest = -(eq - a*v)/a.
+			rest := eq.E.Subst(v, L(0)).Scale(-a) // a^2 = 1
+			sys := newSystem(nil)
+			for i, c := range cons {
+				if i == bestEq {
+					continue
+				}
+				sys.add(c.Subst(v, rest))
+			}
+			return sys.list(), true, sys.infeasible
+		}
+		// Non-unit equality a*v = -rest: scale the other constraints by |a|
+		// and substitute a*v. Drops the divisibility condition a | rest, so
+		// the result is a superset: mark inexact.
+		if a < 0 {
+			eq = EqZero(eq.E.Neg())
+			a = -a
+		}
+		rest := eq.E.Subst(v, L(0)) // a*v + rest == 0, so a*v == -rest
+		sys := newSystem(nil)
+		for i, c := range cons {
+			if i == bestEq {
+				continue
+			}
+			cv := c.E.Coeff(v)
+			if cv == 0 {
+				sys.add(c)
+				continue
+			}
+			// a*c.E = a*cv*v + a*(c.E - cv*v) = cv*(a*v) + a*rest'
+			scaled := c.E.Subst(v, L(0)).Scale(a).Add(rest.Neg().Scale(cv))
+			sys.add(Constraint{E: scaled, Equality: c.Equality})
+		}
+		return sys.list(), false, sys.infeasible
+	}
+
+	// Fourier-Motzkin on inequalities.
+	var lowers, uppers []Constraint // coeff(v) > 0, coeff(v) < 0
+	sys := newSystem(nil)
+	for _, c := range cons {
+		a := c.E.Coeff(v)
+		switch {
+		case a == 0:
+			sys.add(c)
+		case a > 0:
+			lowers = append(lowers, c)
+		default:
+			uppers = append(uppers, c)
+		}
+	}
+	for _, lo := range lowers {
+		cl := lo.E.Coeff(v)
+		rl := lo.E.Subst(v, L(0))
+		for _, up := range uppers {
+			cu := -up.E.Coeff(v)
+			ru := up.E.Subst(v, L(0))
+			// From cl*v + rl >= 0 and -cu*v + ru >= 0:
+			// cu*rl + cl*ru >= 0 is the real shadow.
+			sys.add(GeZero(rl.Scale(cu).Add(ru.Scale(cl))))
+			if cl != 1 && cu != 1 {
+				exact = false
+			}
+		}
+	}
+	return sys.list(), exact, sys.infeasible
+}
+
+// varsOf returns all variables appearing in the constraints, sorted.
+func varsOf(cons []Constraint) []string {
+	set := map[string]bool{}
+	for _, c := range cons {
+		for _, v := range c.E.Vars() {
+			set[v] = true
+		}
+	}
+	vs := make([]string, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// project eliminates every variable in vars from cons. The exact flag is the
+// conjunction of per-step exactness.
+func project(cons []Constraint, vars []string) (out []Constraint, exact bool, infeasible bool) {
+	sys0 := newSystem(cons)
+	if sys0.infeasible {
+		return nil, true, true
+	}
+	out = sys0.list()
+	exact = true
+	remaining := append([]string(nil), vars...)
+	for len(remaining) > 0 {
+		// Eliminate the cheapest variable first: one with an equality, else
+		// the one with the fewest lower*upper combinations.
+		best, bestCost := -1, int(^uint(0)>>1)
+		for i, v := range remaining {
+			cost, hasEq := elimCost(out, v)
+			if hasEq {
+				best = i
+				break
+			}
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		v := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		var ex, inf bool
+		out, ex, inf = eliminate(out, v)
+		exact = exact && ex
+		if inf {
+			return out, exact, true
+		}
+	}
+	return out, exact, false
+}
+
+func elimCost(cons []Constraint, v string) (cost int, hasUnitEq bool) {
+	lo, hi := 0, 0
+	for _, c := range cons {
+		a := c.E.Coeff(v)
+		if a == 0 {
+			continue
+		}
+		if c.Equality && (a == 1 || a == -1) {
+			return 0, true
+		}
+		if a > 0 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	return lo * hi, false
+}
+
+// emptiness decides whether the integer constraint system is empty.
+// When exact is true the answer is definitive; when exact is false and empty
+// is false, the system might still be integer-empty (rational relaxation was
+// non-empty).
+func emptiness(cons []Constraint) (empty, exact bool) {
+	sys := newSystem(cons)
+	if sys.infeasible {
+		return true, true
+	}
+	out, ex, inf := project(sys.list(), varsOf(sys.list()))
+	if inf {
+		return true, true
+	}
+	// All variables eliminated: remaining constraints are constants and were
+	// resolved by normalize inside project/newSystem; anything left implies
+	// a bug, but check defensively.
+	for _, c := range out {
+		if ok, _ := c.Holds(nil); !ok {
+			return true, true
+		}
+	}
+	return false, ex
+}

@@ -1,0 +1,237 @@
+// Package poly is a small Presburger-style library for the affine sets,
+// relations, and parametric counts needed by the paper's compile-time
+// use-count analysis (Sections 3.1-3.2). It plays the role ISL plays for the
+// authors: iteration spaces and access relations are affine constraint
+// systems; dependences are relations; Algorithm 1's use counts are parametric
+// cardinalities returned as piecewise polynomials.
+//
+// The library is exact for the fragment the paper exercises — constraint
+// systems whose eliminated variables carry unit coefficients — and tracks
+// exactness explicitly everywhere Fourier-Motzkin projection is used, so
+// callers can fall back to the paper's dynamic (inspector) scheme instead of
+// silently approximating.
+package poly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LinExpr is an affine expression: a sum of integer-coefficient terms over
+// named variables plus an integer constant. The zero value is the constant 0.
+// LinExpr values are immutable; all methods return new expressions.
+type LinExpr struct {
+	coeffs map[string]int64
+	k      int64
+}
+
+// L returns the constant expression k.
+func L(k int64) LinExpr { return LinExpr{k: k} }
+
+// V returns the expression consisting of the single variable name.
+func V(name string) LinExpr {
+	return LinExpr{coeffs: map[string]int64{name: 1}}
+}
+
+// Term returns c*name.
+func Term(c int64, name string) LinExpr {
+	if c == 0 {
+		return LinExpr{}
+	}
+	return LinExpr{coeffs: map[string]int64{name: c}}
+}
+
+func (e LinExpr) clone() LinExpr {
+	c := make(map[string]int64, len(e.coeffs))
+	for v, k := range e.coeffs {
+		c[v] = k
+	}
+	return LinExpr{coeffs: c, k: e.k}
+}
+
+// Const returns the constant term.
+func (e LinExpr) Const() int64 { return e.k }
+
+// Coeff returns the coefficient of variable v (0 if absent).
+func (e LinExpr) Coeff(v string) int64 { return e.coeffs[v] }
+
+// IsConst reports whether the expression has no variable terms.
+func (e LinExpr) IsConst() bool { return len(e.coeffs) == 0 }
+
+// Vars returns the variables with nonzero coefficients, sorted.
+func (e LinExpr) Vars() []string {
+	vs := make([]string, 0, len(e.coeffs))
+	for v := range e.coeffs {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Uses reports whether variable v occurs with nonzero coefficient.
+func (e LinExpr) Uses(v string) bool { return e.coeffs[v] != 0 }
+
+// Add returns e + f.
+func (e LinExpr) Add(f LinExpr) LinExpr {
+	r := e.clone()
+	r.k += f.k
+	for v, c := range f.coeffs {
+		nc := r.coeffs[v] + c
+		if nc == 0 {
+			delete(r.coeffs, v)
+		} else {
+			r.coeffs[v] = nc
+		}
+	}
+	return r
+}
+
+// Sub returns e - f.
+func (e LinExpr) Sub(f LinExpr) LinExpr { return e.Add(f.Scale(-1)) }
+
+// AddConst returns e + k.
+func (e LinExpr) AddConst(k int64) LinExpr {
+	r := e.clone()
+	r.k += k
+	return r
+}
+
+// Scale returns c*e.
+func (e LinExpr) Scale(c int64) LinExpr {
+	if c == 0 {
+		return LinExpr{}
+	}
+	r := LinExpr{coeffs: make(map[string]int64, len(e.coeffs)), k: e.k * c}
+	for v, k := range e.coeffs {
+		r.coeffs[v] = k * c
+	}
+	return r
+}
+
+// Neg returns -e.
+func (e LinExpr) Neg() LinExpr { return e.Scale(-1) }
+
+// Subst returns e with variable v replaced by expression f.
+func (e LinExpr) Subst(v string, f LinExpr) LinExpr {
+	c := e.coeffs[v]
+	if c == 0 {
+		return e
+	}
+	r := e.clone()
+	delete(r.coeffs, v)
+	r2 := LinExpr{coeffs: r.coeffs, k: r.k}
+	return r2.Add(f.Scale(c))
+}
+
+// Rename returns e with every variable renamed through m; variables absent
+// from m are kept.
+func (e LinExpr) Rename(m map[string]string) LinExpr {
+	r := LinExpr{coeffs: make(map[string]int64, len(e.coeffs)), k: e.k}
+	for v, c := range e.coeffs {
+		nv, ok := m[v]
+		if !ok {
+			nv = v
+		}
+		r.coeffs[nv] += c
+		if r.coeffs[nv] == 0 {
+			delete(r.coeffs, nv)
+		}
+	}
+	return r
+}
+
+// Eval evaluates e under the assignment env. Missing variables evaluate as 0
+// and are reported through the second result.
+func (e LinExpr) Eval(env map[string]int64) (int64, bool) {
+	total := e.k
+	complete := true
+	for v, c := range e.coeffs {
+		val, ok := env[v]
+		if !ok {
+			complete = false
+		}
+		total += c * val
+	}
+	return total, complete
+}
+
+// Equal reports structural equality of the two expressions.
+func (e LinExpr) Equal(f LinExpr) bool {
+	if e.k != f.k || len(e.coeffs) != len(f.coeffs) {
+		return false
+	}
+	for v, c := range e.coeffs {
+		if f.coeffs[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression in human-readable form, e.g. "n - j - 1".
+func (e LinExpr) String() string {
+	if e.IsConst() {
+		return fmt.Sprintf("%d", e.k)
+	}
+	var b strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		c := e.coeffs[v]
+		switch {
+		case first && c == 1:
+			b.WriteString(v)
+		case first && c == -1:
+			b.WriteString("-" + v)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", c, v)
+		case c == 1:
+			b.WriteString(" + " + v)
+		case c == -1:
+			b.WriteString(" - " + v)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, v)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, v)
+		}
+		first = false
+	}
+	switch {
+	case e.k > 0:
+		fmt.Fprintf(&b, " + %d", e.k)
+	case e.k < 0:
+		fmt.Fprintf(&b, " - %d", -e.k)
+	}
+	return b.String()
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// contentGCD returns the gcd of the variable coefficients (0 if none).
+func (e LinExpr) contentGCD() int64 {
+	var g int64
+	for _, c := range e.coeffs {
+		g = gcd64(g, c)
+	}
+	return g
+}
+
+// floorDiv returns floor(a/b) for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

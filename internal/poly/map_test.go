@@ -1,0 +1,192 @@
+package poly
+
+import "testing"
+
+// choleskyFlow builds the paper's flow dependence
+// { S1[j] -> S2[j',i] : j' = j and 0 <= j <= n-1 and j+1 <= i <= n-1 }.
+func choleskyFlow() BasicMap {
+	m := NewBasicMap("S1", []string{"j"}, "S2", []string{"j'", "i"})
+	j, jp2, i, n := V("j"), V("j'"), V("i"), V("n")
+	return m.With(
+		Eq(jp2, j),
+		Ge(j, L(0)), Le(j, n.AddConst(-1)),
+		Ge(i, j.AddConst(1)), Le(i, n.AddConst(-1)),
+	)
+}
+
+func TestBasicMapApplyPaperExample(t *testing.T) {
+	// Section 3.1: applying D_flow to the source iteration {S1[10]} yields
+	// { S2[10,i] : 11 <= i <= n-1 }.
+	d := choleskyFlow()
+	src := NewBasicSet("S1", "j").With(Eq(V("j"), L(10)))
+	img, exact := d.Apply(src)
+	if !exact {
+		t.Fatal("apply should be exact")
+	}
+	if img.Tuple != "S2" || len(img.Dims) != 2 {
+		t.Fatalf("image space = %s%v", img.Tuple, img.Dims)
+	}
+	for _, tc := range []struct {
+		jp, i, n int64
+		want     bool
+	}{
+		{10, 11, 20, true},
+		{10, 19, 20, true},
+		{10, 20, 20, false}, // i <= n-1
+		{10, 10, 20, false}, // i >= j+1
+		{9, 11, 20, false},  // j' pinned to 10
+	} {
+		env := map[string]int64{img.Dims[0]: tc.jp, img.Dims[1]: tc.i, "n": tc.n}
+		if got := img.Contains(env); got != tc.want {
+			t.Errorf("(j'=%d,i=%d,n=%d): Contains = %v, want %v", tc.jp, tc.i, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBasicMapApplyParameterized(t *testing.T) {
+	// Algorithm 1 parameterizes the source: { S1[j] : j = jp }. The image
+	// must be { S2[jp,i] : 0 <= jp <= n-1 and jp+1 <= i <= n-1 } with jp as
+	// a parameter.
+	d := choleskyFlow()
+	src := NewBasicSet("S1", "j").With(Eq(V("j"), V("jp")))
+	img, exact := d.Apply(src)
+	if !exact {
+		t.Fatal("apply should be exact")
+	}
+	if img.Contains(map[string]int64{img.Dims[0]: 3, img.Dims[1]: 3, "jp": 3, "n": 10}) {
+		t.Error("i=jp should be excluded")
+	}
+	if !img.Contains(map[string]int64{img.Dims[0]: 3, img.Dims[1]: 4, "jp": 3, "n": 10}) {
+		t.Error("i=jp+1 should be included")
+	}
+}
+
+func TestBasicMapDomainRange(t *testing.T) {
+	d := choleskyFlow()
+	dom, exact := d.Domain()
+	if !exact {
+		t.Fatal("domain projection inexact")
+	}
+	// Domain is { S1[j] : 0 <= j <= n-2 } (needs a target i).
+	if !dom.Contains(map[string]int64{"j": 0, "n": 3}) || dom.Contains(map[string]int64{"j": 2, "n": 3}) {
+		t.Errorf("domain wrong: %v", dom)
+	}
+	rng, exact := d.Range()
+	if !exact {
+		t.Fatal("range projection inexact")
+	}
+	if !rng.Contains(map[string]int64{rng.Dims[0]: 0, rng.Dims[1]: 1, "n": 3}) {
+		t.Errorf("range wrong: %v", rng)
+	}
+}
+
+func TestBasicMapReverse(t *testing.T) {
+	d := choleskyFlow()
+	r := d.Reverse()
+	if r.InTuple != "S2" || r.OutTuple != "S1" || len(r.In) != 2 || len(r.Out) != 1 {
+		t.Fatalf("reverse structure wrong: %v", r)
+	}
+	env := map[string]int64{"j": 2, "j'": 2, "i": 5, "n": 10}
+	if !d.ContainsPair(env) || !r.ContainsPair(env) {
+		t.Error("reverse changed the constraint semantics")
+	}
+}
+
+func TestMapUnionApply(t *testing.T) {
+	// Two dependences from the same source statement to different targets.
+	m1 := NewBasicMap("W", []string{"t"}, "R1", []string{"u"}).With(Eq(V("u"), V("t")))
+	m2 := NewBasicMap("W", []string{"t"}, "R2", []string{"v"}).With(Eq(V("v"), V("t").AddConst(1)))
+	um := UnionMap(m1, m2)
+	src := UnionSet(NewBasicSet("W", "t").With(Eq(V("t"), L(5))))
+	img, exact := um.Apply(src)
+	if !exact {
+		t.Fatal("apply inexact")
+	}
+	if len(img.Pieces) != 2 {
+		t.Fatalf("expected 2 image pieces, got %d", len(img.Pieces))
+	}
+	foundR1, foundR2 := false, false
+	for _, p := range img.Pieces {
+		switch p.Tuple {
+		case "R1":
+			foundR1 = p.Contains(map[string]int64{p.Dims[0]: 5})
+		case "R2":
+			foundR2 = p.Contains(map[string]int64{p.Dims[0]: 6})
+		}
+	}
+	if !foundR1 || !foundR2 {
+		t.Error("union apply missed a target piece")
+	}
+}
+
+func TestMapApplySkipsMismatchedTuples(t *testing.T) {
+	m := UnionMap(NewBasicMap("A", []string{"x"}, "B", []string{"y"}).With(Eq(V("y"), V("x"))))
+	s := UnionSet(NewBasicSet("C", "z")) // different tuple name
+	img, _ := m.Apply(s)
+	if len(img.Pieces) != 0 {
+		t.Error("apply should skip tuple-mismatched pieces")
+	}
+}
+
+func TestWrapUnwrap(t *testing.T) {
+	d := choleskyFlow()
+	w := d.Wrap()
+	if len(w.Dims) != 3 {
+		t.Fatalf("wrapped dims = %v", w.Dims)
+	}
+	u := UnwrapInto(w, NewBasicMap("S1", []string{"a"}, "S2", []string{"b", "c"}))
+	env := map[string]int64{"a": 2, "b": 2, "c": 5, "n": 10}
+	if !u.ContainsPair(env) {
+		t.Error("unwrap lost constraints")
+	}
+	env["c"] = 2
+	if u.ContainsPair(env) {
+		t.Error("unwrap gained points")
+	}
+}
+
+func TestBasicMapEmpty(t *testing.T) {
+	m := NewBasicMap("A", []string{"x"}, "B", []string{"y"}).
+		With(Eq(V("y"), V("x")), Ge(V("x"), L(5)), Le(V("x"), L(3)))
+	empty, exact := m.IsEmpty()
+	if !empty || !exact {
+		t.Errorf("IsEmpty = %v,%v", empty, exact)
+	}
+}
+
+func TestNewBasicMapCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on in/out name collision")
+		}
+	}()
+	NewBasicMap("A", []string{"x"}, "B", []string{"x"})
+}
+
+func TestMapString(t *testing.T) {
+	d := choleskyFlow()
+	s := d.String()
+	if s == "" || s[0] != '{' {
+		t.Errorf("String() = %q", s)
+	}
+	if got := UnionMap().String(); got != "{ }" {
+		t.Errorf("empty map String() = %q", got)
+	}
+}
+
+func TestApplyFreshNamesAvoidCapture(t *testing.T) {
+	// The set's parameter "n" must not be captured by a map dim named "n".
+	m := NewBasicMap("A", []string{"n"}, "B", []string{"y"}).With(Eq(V("y"), V("n")))
+	s := NewBasicSet("A", "x").With(Ge(V("x"), V("n")), Le(V("x"), V("n"))) // x == n (parameter!)
+	img, exact := m.Apply(s)
+	if !exact {
+		t.Fatal("apply inexact")
+	}
+	// Image should be { B[y] : y = n } with n remaining a free parameter.
+	if !img.Contains(map[string]int64{"y": 7, "n": 7}) {
+		t.Errorf("capture bug: image = %v", img)
+	}
+	if img.Contains(map[string]int64{"y": 7, "n": 8}) {
+		t.Errorf("image ignores parameter: %v", img)
+	}
+}

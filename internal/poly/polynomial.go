@@ -1,0 +1,454 @@
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Polynomial is a multivariate polynomial with rational coefficients, used to
+// represent parametric cardinalities (use counts such as n-1-j, or triangular
+// totals such as (n^2-n)/2). Values are immutable.
+type Polynomial struct {
+	// terms maps a canonical monomial key to its term.
+	terms map[string]polyTerm
+}
+
+type polyTerm struct {
+	coef *big.Rat
+	vars map[string]int // variable -> exponent (all > 0)
+}
+
+func monoKey(vars map[string]int) string {
+	if len(vars) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(vars))
+	for v := range vars {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, v := range names {
+		if vars[v] == 1 {
+			parts[i] = v
+		} else {
+			parts[i] = fmt.Sprintf("%s^%d", v, vars[v])
+		}
+	}
+	return strings.Join(parts, "*")
+}
+
+func copyVars(vars map[string]int) map[string]int {
+	m := make(map[string]int, len(vars))
+	for k, v := range vars {
+		m[k] = v
+	}
+	return m
+}
+
+// PolyZero returns the zero polynomial.
+func PolyZero() Polynomial { return Polynomial{terms: map[string]polyTerm{}} }
+
+// PolyInt returns the constant polynomial k.
+func PolyInt(k int64) Polynomial { return PolyRat(big.NewRat(k, 1)) }
+
+// PolyRat returns the constant polynomial r.
+func PolyRat(r *big.Rat) Polynomial {
+	p := PolyZero()
+	if r.Sign() != 0 {
+		p.terms[""] = polyTerm{coef: new(big.Rat).Set(r), vars: map[string]int{}}
+	}
+	return p
+}
+
+// PolyVar returns the polynomial consisting of the single variable v.
+func PolyVar(v string) Polynomial {
+	p := PolyZero()
+	vars := map[string]int{v: 1}
+	p.terms[monoKey(vars)] = polyTerm{coef: big.NewRat(1, 1), vars: vars}
+	return p
+}
+
+// PolyFromLin converts an affine expression to a polynomial.
+func PolyFromLin(e LinExpr) Polynomial {
+	p := PolyInt(e.Const())
+	for _, v := range e.Vars() {
+		p = p.Add(PolyVar(v).ScaleInt(e.Coeff(v)))
+	}
+	return p
+}
+
+func (p Polynomial) clone() Polynomial {
+	q := PolyZero()
+	for k, t := range p.terms {
+		q.terms[k] = polyTerm{coef: new(big.Rat).Set(t.coef), vars: copyVars(t.vars)}
+	}
+	return q
+}
+
+// IsZero reports whether p is identically zero.
+func (p Polynomial) IsZero() bool { return len(p.terms) == 0 }
+
+// IsConst reports whether p is constant, returning its value if so.
+func (p Polynomial) IsConst() (*big.Rat, bool) {
+	switch len(p.terms) {
+	case 0:
+		return big.NewRat(0, 1), true
+	case 1:
+		if t, ok := p.terms[""]; ok {
+			return new(big.Rat).Set(t.coef), true
+		}
+	}
+	return nil, false
+}
+
+// Add returns p + q.
+func (p Polynomial) Add(q Polynomial) Polynomial {
+	r := p.clone()
+	for k, t := range q.terms {
+		if rt, ok := r.terms[k]; ok {
+			sum := new(big.Rat).Add(rt.coef, t.coef)
+			if sum.Sign() == 0 {
+				delete(r.terms, k)
+			} else {
+				r.terms[k] = polyTerm{coef: sum, vars: rt.vars}
+			}
+		} else {
+			r.terms[k] = polyTerm{coef: new(big.Rat).Set(t.coef), vars: copyVars(t.vars)}
+		}
+	}
+	return r
+}
+
+// Sub returns p - q.
+func (p Polynomial) Sub(q Polynomial) Polynomial { return p.Add(q.ScaleInt(-1)) }
+
+// ScaleInt returns k*p.
+func (p Polynomial) ScaleInt(k int64) Polynomial { return p.ScaleRat(big.NewRat(k, 1)) }
+
+// ScaleRat returns r*p.
+func (p Polynomial) ScaleRat(r *big.Rat) Polynomial {
+	if r.Sign() == 0 {
+		return PolyZero()
+	}
+	q := PolyZero()
+	for k, t := range p.terms {
+		q.terms[k] = polyTerm{coef: new(big.Rat).Mul(t.coef, r), vars: copyVars(t.vars)}
+	}
+	return q
+}
+
+// Mul returns p*q.
+func (p Polynomial) Mul(q Polynomial) Polynomial {
+	r := PolyZero()
+	for _, pt := range p.terms {
+		for _, qt := range q.terms {
+			vars := copyVars(pt.vars)
+			for v, e := range qt.vars {
+				vars[v] += e
+			}
+			k := monoKey(vars)
+			coef := new(big.Rat).Mul(pt.coef, qt.coef)
+			if rt, ok := r.terms[k]; ok {
+				coef.Add(coef, rt.coef)
+			}
+			if coef.Sign() == 0 {
+				delete(r.terms, k)
+			} else {
+				r.terms[k] = polyTerm{coef: coef, vars: vars}
+			}
+		}
+	}
+	return r
+}
+
+// MulLin returns p * e for an affine e.
+func (p Polynomial) MulLin(e LinExpr) Polynomial { return p.Mul(PolyFromLin(e)) }
+
+// Pow returns p^k for k >= 0.
+func (p Polynomial) Pow(k int) Polynomial {
+	r := PolyInt(1)
+	for i := 0; i < k; i++ {
+		r = r.Mul(p)
+	}
+	return r
+}
+
+// Uses reports whether variable v appears in p.
+func (p Polynomial) Uses(v string) bool {
+	for _, t := range p.terms {
+		if t.vars[v] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the highest exponent of v in p.
+func (p Polynomial) Degree(v string) int {
+	d := 0
+	for _, t := range p.terms {
+		if t.vars[v] > d {
+			d = t.vars[v]
+		}
+	}
+	return d
+}
+
+// Vars returns the variables appearing in p, sorted.
+func (p Polynomial) Vars() []string {
+	set := map[string]bool{}
+	for _, t := range p.terms {
+		for v := range t.vars {
+			set[v] = true
+		}
+	}
+	return sortedVars(set)
+}
+
+// SubstLin returns p with variable v replaced by the affine expression e.
+func (p Polynomial) SubstLin(v string, e LinExpr) Polynomial {
+	if !p.Uses(v) {
+		return p
+	}
+	sub := PolyFromLin(e)
+	r := PolyZero()
+	for _, t := range p.terms {
+		exp := t.vars[v]
+		rest := copyVars(t.vars)
+		delete(rest, v)
+		base := Polynomial{terms: map[string]polyTerm{
+			monoKey(rest): {coef: new(big.Rat).Set(t.coef), vars: rest},
+		}}
+		if exp > 0 {
+			base = base.Mul(sub.Pow(exp))
+		}
+		r = r.Add(base)
+	}
+	return r
+}
+
+// CoeffsByVar decomposes p = sum_k c_k * v^k, returning the slice of c_k
+// polynomials (index = exponent).
+func (p Polynomial) CoeffsByVar(v string) []Polynomial {
+	d := p.Degree(v)
+	out := make([]Polynomial, d+1)
+	for i := range out {
+		out[i] = PolyZero()
+	}
+	for _, t := range p.terms {
+		exp := t.vars[v]
+		rest := copyVars(t.vars)
+		delete(rest, v)
+		mono := Polynomial{terms: map[string]polyTerm{
+			monoKey(rest): {coef: new(big.Rat).Set(t.coef), vars: rest},
+		}}
+		out[exp] = out[exp].Add(mono)
+	}
+	return out
+}
+
+// EvalRat evaluates p under env, returning an exact rational. Variables
+// absent from env are an error.
+func (p Polynomial) EvalRat(env map[string]int64) (*big.Rat, error) {
+	total := big.NewRat(0, 1)
+	for _, t := range p.terms {
+		term := new(big.Rat).Set(t.coef)
+		for v, e := range t.vars {
+			val, ok := env[v]
+			if !ok {
+				return nil, fmt.Errorf("poly: variable %q unbound in evaluation", v)
+			}
+			x := big.NewRat(val, 1)
+			for i := 0; i < e; i++ {
+				term.Mul(term, x)
+			}
+		}
+		total.Add(total, term)
+	}
+	return total, nil
+}
+
+// EvalInt evaluates p under env and requires the result to be an integer
+// (parametric counts always are on their domains).
+func (p Polynomial) EvalInt(env map[string]int64) (int64, error) {
+	r, err := p.EvalRat(env)
+	if err != nil {
+		return 0, err
+	}
+	if !r.IsInt() {
+		return 0, fmt.Errorf("poly: %s evaluates to non-integer %s", p, r)
+	}
+	return r.Num().Int64(), nil
+}
+
+// AsLin converts p to a LinExpr if it is affine with integer coefficients.
+func (p Polynomial) AsLin() (LinExpr, bool) {
+	e := LinExpr{}
+	for _, t := range p.terms {
+		if !t.coef.IsInt() {
+			return LinExpr{}, false
+		}
+		c := t.coef.Num().Int64()
+		switch len(t.vars) {
+		case 0:
+			e = e.AddConst(c)
+		case 1:
+			for v, exp := range t.vars {
+				if exp != 1 {
+					return LinExpr{}, false
+				}
+				e = e.Add(Term(c, v))
+			}
+		default:
+			return LinExpr{}, false
+		}
+	}
+	return e, true
+}
+
+// Equal reports whether p and q are identical polynomials.
+func (p Polynomial) Equal(q Polynomial) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for k, t := range p.terms {
+		qt, ok := q.terms[k]
+		if !ok || t.coef.Cmp(qt.coef) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the polynomial deterministically, e.g. "1/2*n^2 - 1/2*n".
+func (p Polynomial) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	degreeOf := func(k string) int {
+		d := 0
+		for _, e := range p.terms[k].vars {
+			d += e
+		}
+		return d
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		di, dj := degreeOf(keys[i]), degreeOf(keys[j])
+		if di != dj {
+			return di > dj // higher-degree terms first
+		}
+		return keys[i] < keys[j]
+	})
+	var b strings.Builder
+	for i, k := range keys {
+		t := p.terms[k]
+		c := t.coef
+		neg := c.Sign() < 0
+		abs := new(big.Rat).Abs(c)
+		switch {
+		case i == 0 && neg:
+			b.WriteString("-")
+		case i > 0 && neg:
+			b.WriteString(" - ")
+		case i > 0:
+			b.WriteString(" + ")
+		}
+		one := abs.Cmp(big.NewRat(1, 1)) == 0
+		switch {
+		case k == "":
+			b.WriteString(abs.RatString())
+		case one:
+			b.WriteString(k)
+		default:
+			b.WriteString(abs.RatString() + "*" + k)
+		}
+	}
+	return b.String()
+}
+
+// faulhaber returns the polynomial F_k(m) = sum_{x=0}^{m} x^k in the symbolic
+// variable mv, valid for m >= 0 (and, as a polynomial identity, usable with
+// F_k(L-1) for telescoping sums). Supported for k up to 8.
+func faulhaber(k int, mv string) Polynomial {
+	m := PolyVar(mv)
+	m1 := m.Add(PolyInt(1))                // m+1
+	twoM1 := m.ScaleInt(2).Add(PolyInt(1)) // 2m+1
+	switch k {
+	case 0:
+		return m1
+	case 1:
+		return m.Mul(m1).ScaleRat(big.NewRat(1, 2))
+	case 2:
+		return m.Mul(m1).Mul(twoM1).ScaleRat(big.NewRat(1, 6))
+	case 3:
+		sq := m.Mul(m1)
+		return sq.Mul(sq).ScaleRat(big.NewRat(1, 4))
+	case 4:
+		inner := m.Mul(m).ScaleInt(3).Add(m.ScaleInt(3)).Sub(PolyInt(1)) // 3m^2+3m-1
+		return m.Mul(m1).Mul(twoM1).Mul(inner).ScaleRat(big.NewRat(1, 30))
+	case 5:
+		sq := m.Mul(m1)
+		inner := m.Mul(m).ScaleInt(2).Add(m.ScaleInt(2)).Sub(PolyInt(1)) // 2m^2+2m-1
+		return sq.Mul(sq).Mul(inner).ScaleRat(big.NewRat(1, 12))
+	case 6:
+		m2 := m.Mul(m)
+		inner := m2.Mul(m2).ScaleInt(3).
+			Add(m2.Mul(m).ScaleInt(6)).
+			Sub(m.ScaleInt(3)).
+			Add(PolyInt(1)) // 3m^4+6m^3-3m+1
+		return m.Mul(m1).Mul(twoM1).Mul(inner).ScaleRat(big.NewRat(1, 42))
+	case 7:
+		sq := m.Mul(m1)
+		m2 := m.Mul(m)
+		inner := m2.Mul(m2).ScaleInt(3).
+			Add(m2.Mul(m).ScaleInt(6)).
+			Sub(m2).
+			Sub(m.ScaleInt(4)).
+			Add(PolyInt(2)) // 3m^4+6m^3-m^2-4m+2
+		return sq.Mul(sq).Mul(inner).ScaleRat(big.NewRat(1, 24))
+	case 8:
+		m2 := m.Mul(m)
+		m4 := m2.Mul(m2)
+		inner := m4.Mul(m2).ScaleInt(5).
+			Add(m4.Mul(m).ScaleInt(15)).
+			Add(m4.ScaleInt(5)).
+			Sub(m2.Mul(m).ScaleInt(15)).
+			Sub(m2).
+			Add(m.ScaleInt(9)).
+			Sub(PolyInt(3)) // 5m^6+15m^5+5m^4-15m^3-m^2+9m-3
+		return m.Mul(m1).Mul(twoM1).Mul(inner).ScaleRat(big.NewRat(1, 90))
+	}
+	panic(fmt.Sprintf("poly: faulhaber power %d unsupported", k))
+}
+
+// SumOverVar computes sum_{x=lo}^{hi} p(x, ...) symbolically, where lo and hi
+// are affine expressions not involving x. The result is valid on domains
+// where hi >= lo - 1 (an empty sum yields 0 at hi = lo-1 by telescoping).
+func SumOverVar(p Polynomial, x string, lo, hi LinExpr) (Polynomial, error) {
+	coeffs := p.CoeffsByVar(x)
+	if len(coeffs) > 9 {
+		return Polynomial{}, fmt.Errorf("poly: summation degree %d exceeds supported range", len(coeffs)-1)
+	}
+	if lo.Uses(x) || hi.Uses(x) {
+		return Polynomial{}, fmt.Errorf("poly: summation bounds must not involve %q", x)
+	}
+	total := PolyZero()
+	const mv = "$m"
+	for k, ck := range coeffs {
+		if ck.IsZero() {
+			continue
+		}
+		fk := faulhaber(k, mv)
+		atHi := fk.SubstLin(mv, hi)
+		atLoMinus1 := fk.SubstLin(mv, lo.AddConst(-1))
+		total = total.Add(ck.Mul(atHi.Sub(atLoMinus1)))
+	}
+	return total, nil
+}

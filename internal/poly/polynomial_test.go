@@ -1,0 +1,276 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestPolyBasics(t *testing.T) {
+	p := PolyVar("n").Mul(PolyVar("n")).Sub(PolyVar("n")).ScaleRat(big.NewRat(1, 2))
+	// p = (n^2 - n)/2, the triangular number T(n-1).
+	for n := int64(0); n <= 10; n++ {
+		got, err := p.EvalInt(map[string]int64{"n": n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n * (n - 1) / 2; got != want {
+			t.Errorf("T(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := p.String(); got != "1/2*n^2 - 1/2*n" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPolyFromLinRoundTrip(t *testing.T) {
+	e := Term(3, "i").Add(Term(-2, "j")).AddConst(7)
+	p := PolyFromLin(e)
+	back, ok := p.AsLin()
+	if !ok || !back.Equal(e) {
+		t.Errorf("round trip failed: %v -> %v", e, back)
+	}
+	// Non-affine polynomial does not convert.
+	if _, ok := PolyVar("x").Mul(PolyVar("x")).AsLin(); ok {
+		t.Error("x^2 should not convert to LinExpr")
+	}
+	// Non-integer coefficients do not convert.
+	if _, ok := PolyVar("x").ScaleRat(big.NewRat(1, 2)).AsLin(); ok {
+		t.Error("x/2 should not convert to LinExpr")
+	}
+}
+
+func TestPolyArithmeticAgainstEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	randPoly := func() Polynomial {
+		p := PolyInt(int64(rng.Intn(7) - 3))
+		for k := 0; k < 3; k++ {
+			v := []string{"x", "y"}[rng.Intn(2)]
+			t := PolyVar(v).Pow(rng.Intn(3)).ScaleInt(int64(rng.Intn(5) - 2))
+			p = p.Add(t)
+		}
+		return p
+	}
+	env := map[string]int64{"x": 3, "y": -2}
+	evalOf := func(p Polynomial) *big.Rat {
+		r, err := p.EvalRat(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for trial := 0; trial < 100; trial++ {
+		a, b := randPoly(), randPoly()
+		sum := new(big.Rat).Add(evalOf(a), evalOf(b))
+		if sum.Cmp(evalOf(a.Add(b))) != 0 {
+			t.Fatalf("Add mismatch: %v + %v", a, b)
+		}
+		prod := new(big.Rat).Mul(evalOf(a), evalOf(b))
+		if prod.Cmp(evalOf(a.Mul(b))) != 0 {
+			t.Fatalf("Mul mismatch: %v * %v", a, b)
+		}
+		diff := new(big.Rat).Sub(evalOf(a), evalOf(b))
+		if diff.Cmp(evalOf(a.Sub(b))) != 0 {
+			t.Fatalf("Sub mismatch")
+		}
+	}
+}
+
+func TestPolySubstLin(t *testing.T) {
+	// (x^2 + x)[x := y+1] = y^2 + 3y + 2
+	p := PolyVar("x").Pow(2).Add(PolyVar("x"))
+	q := p.SubstLin("x", V("y").AddConst(1))
+	for y := int64(-5); y <= 5; y++ {
+		got, err := q.EvalInt(map[string]int64{"y": y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := y + 1
+		if want := x*x + x; got != want {
+			t.Errorf("subst at y=%d: %d want %d", y, got, want)
+		}
+	}
+	// Substituting an absent variable is identity.
+	if !p.SubstLin("zz", L(9)).Equal(p) {
+		t.Error("substituting absent var changed polynomial")
+	}
+}
+
+func TestPolyCoeffsByVar(t *testing.T) {
+	// p = 2x^2*y + 3x + y + 5, decomposed by x: [y+5, 3, 2y]
+	p := PolyVar("x").Pow(2).Mul(PolyVar("y")).ScaleInt(2).
+		Add(PolyVar("x").ScaleInt(3)).
+		Add(PolyVar("y")).
+		Add(PolyInt(5))
+	cs := p.CoeffsByVar("x")
+	if len(cs) != 3 {
+		t.Fatalf("got %d coefficients", len(cs))
+	}
+	env := map[string]int64{"y": 4}
+	wants := []int64{9, 3, 8}
+	for k, want := range wants {
+		got, err := cs[k].EvalInt(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("coeff of x^%d = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestFaulhaberIdentities(t *testing.T) {
+	// F_k(m) must equal sum_{x=0}^{m} x^k for every supported k.
+	for k := 0; k <= 8; k++ {
+		f := faulhaber(k, "m")
+		for m := int64(0); m <= 12; m++ {
+			got, err := f.EvalInt(map[string]int64{"m": m})
+			if err != nil {
+				t.Fatalf("k=%d m=%d: %v", k, m, err)
+			}
+			var want int64
+			for x := int64(0); x <= m; x++ {
+				p := int64(1)
+				for i := 0; i < k; i++ {
+					p *= x
+				}
+				want += p
+			}
+			if got != want {
+				t.Errorf("F_%d(%d) = %d, want %d", k, m, got, want)
+			}
+		}
+		// Telescoping empty-sum property: F_k(-1) = 0 for k >= 1; F_0(-1)=0.
+		got, err := f.EvalInt(map[string]int64{"m": -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Errorf("F_%d(-1) = %d, want 0", k, got)
+		}
+	}
+}
+
+func TestFaulhaberUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=9")
+		}
+	}()
+	faulhaber(9, "m")
+}
+
+func TestSumOverVar(t *testing.T) {
+	// sum_{x=L}^{U} (x + c) for affine bounds in n.
+	p := PolyVar("x").Add(PolyVar("c"))
+	lo := V("j").AddConst(1)
+	hi := V("n").AddConst(-1)
+	s, err := SumOverVar(p, "x", lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cases keep hi >= lo-1, the documented validity domain (an empty sum at
+	// hi = lo-1 telescopes to 0; the counting engine guards hi >= lo).
+	for _, tc := range []struct{ j, n, c int64 }{{0, 5, 2}, {3, 10, -1}, {4, 5, 0}, {4, 6, 7}} {
+		got, err := s.EvalInt(map[string]int64{"j": tc.j, "n": tc.n, "c": tc.c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for x := tc.j + 1; x <= tc.n-1; x++ {
+			want += x + tc.c
+		}
+		if got != want {
+			t.Errorf("sum j=%d n=%d c=%d: got %d want %d", tc.j, tc.n, tc.c, got, want)
+		}
+	}
+}
+
+func TestSumOverVarRejectsBadBounds(t *testing.T) {
+	p := PolyVar("x")
+	if _, err := SumOverVar(p, "x", V("x"), L(10)); err == nil {
+		t.Error("bounds involving the summation variable must be rejected")
+	}
+}
+
+func TestSumOverVarHighDegree(t *testing.T) {
+	// sum of x^4 from 0 to n: exercise the higher Faulhaber formulas.
+	p := PolyVar("x").Pow(4)
+	s, err := SumOverVar(p, "x", L(0), V("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := int64(0); n <= 8; n++ {
+		got, _ := s.EvalInt(map[string]int64{"n": n})
+		var want int64
+		for x := int64(0); x <= n; x++ {
+			want += x * x * x * x
+		}
+		if got != want {
+			t.Errorf("sum x^4 to %d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestPolyIsConstAndZero(t *testing.T) {
+	if !PolyZero().IsZero() {
+		t.Error("PolyZero not zero")
+	}
+	if c, ok := PolyInt(5).IsConst(); !ok || c.Cmp(big.NewRat(5, 1)) != 0 {
+		t.Error("PolyInt(5) should be const 5")
+	}
+	if _, ok := PolyVar("x").IsConst(); ok {
+		t.Error("x is not constant")
+	}
+	if p := PolyVar("x").Sub(PolyVar("x")); !p.IsZero() {
+		t.Error("x - x should be zero")
+	}
+}
+
+func TestPolyEvalMissingVar(t *testing.T) {
+	if _, err := PolyVar("q").EvalInt(nil); err == nil {
+		t.Error("expected error for unbound variable")
+	}
+}
+
+func TestPolyEvalNonInteger(t *testing.T) {
+	p := PolyVar("x").ScaleRat(big.NewRat(1, 2))
+	if _, err := p.EvalInt(map[string]int64{"x": 3}); err == nil {
+		t.Error("x/2 at x=3 should fail EvalInt")
+	}
+	if v, err := p.EvalInt(map[string]int64{"x": 4}); err != nil || v != 2 {
+		t.Errorf("x/2 at x=4 = %d, %v", v, err)
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	cases := []struct {
+		p    Polynomial
+		want string
+	}{
+		{PolyZero(), "0"},
+		{PolyInt(-3), "-3"},
+		{PolyVar("n"), "n"},
+		{PolyVar("n").ScaleInt(-1), "-n"},
+		{PolyVar("n").Pow(2).Sub(PolyInt(1)), "n^2 - 1"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPolyVarsAndDegree(t *testing.T) {
+	p := PolyVar("a").Mul(PolyVar("b")).Pow(2).Add(PolyVar("c"))
+	vs := p.Vars()
+	if len(vs) != 3 || vs[0] != "a" || vs[1] != "b" || vs[2] != "c" {
+		t.Errorf("Vars = %v", vs)
+	}
+	if p.Degree("a") != 2 || p.Degree("c") != 1 || p.Degree("zz") != 0 {
+		t.Error("Degree wrong")
+	}
+	if !p.Uses("a") || p.Uses("zz") {
+		t.Error("Uses wrong")
+	}
+}

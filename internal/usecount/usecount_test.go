@@ -1,0 +1,324 @@
+package usecount
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"defuse/internal/deps"
+	"defuse/internal/lang"
+	"defuse/internal/pdg"
+	"defuse/internal/poly"
+)
+
+func analyze(t *testing.T, src string) (*pdg.Model, *Analysis) {
+	t.Helper()
+	m, err := pdg.Extract(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, Analyze(deps.Analyze(m))
+}
+
+const choleskySrc = `
+program cholesky(n)
+float A[n][n];
+for j = 0 to n - 1 {
+  S1: A[j][j] = sqrt(A[j][j]);
+  for i = j + 1 to n - 1 {
+    S2: A[i][j] = A[i][j] / A[j][j];
+  }
+}
+`
+
+func TestCholeskyUseCountMatchesPaper(t *testing.T) {
+	// Section 3.2: use count of S1 is n-1-j for 0 <= j <= n-2, zero at
+	// j = n-1.
+	m, a := analyze(t, choleskySrc)
+	s1 := m.Statement("S1")
+	dc := a.Defs[s1]
+	if dc == nil {
+		t.Fatal("no def count for S1")
+	}
+	if len(dc.Contribs) != 1 {
+		t.Fatalf("S1 has %d contributions, want 1", len(dc.Contribs))
+	}
+	poly1, single := dc.Contribs[0].Count.IsSinglePolynomial()
+	if !single {
+		t.Fatalf("expected single polynomial, got %v", dc.Contribs[0].Count)
+	}
+	want := poly.PolyFromLin(poly.V("n").Sub(poly.V("j")).AddConst(-1))
+	if !poly1.Equal(want) {
+		t.Errorf("S1 use count = %v, want n - j - 1", poly1)
+	}
+	n := int64(7)
+	for j := int64(0); j < n; j++ {
+		got, err := dc.TotalAt(map[string]int64{"j": j, "n": n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCount := n - 1 - j
+		if j == n-1 {
+			wantCount = 0
+		}
+		if got != wantCount {
+			t.Errorf("j=%d: use count %d, want %d", j, got, wantCount)
+		}
+	}
+	// S2's definitions are never read again: zero contributions.
+	s2 := m.Statement("S2")
+	if dc2 := a.Defs[s2]; dc2 == nil {
+		t.Fatal("S2 should still have a (zero-contribution) def count")
+	} else if len(dc2.Contribs) != 0 {
+		t.Errorf("S2 has %d contributions, want 0", len(dc2.Contribs))
+	}
+}
+
+func TestCholeskyLiveIns(t *testing.T) {
+	// Live-in cells of A: S1 reads A[j][j] at its first... every S1 read of
+	// the diagonal is live-in (nothing writes the diagonal before S1[j]);
+	// S2's A[i][j] reads are live-in; S2's A[j][j] reads are fed by S1.
+	_, a := analyze(t, choleskySrc)
+	if !a.Analyzable("A") {
+		t.Fatal("A should be analyzable")
+	}
+	lis := a.LiveIns["A"]
+	if len(lis) == 0 {
+		t.Fatal("expected live-in contributions for A")
+	}
+	// Sum live-in counts for each cell at n=5 and compare with a trace.
+	n := int64(5)
+	total := map[string]int64{}
+	for _, li := range lis {
+		for c0 := int64(0); c0 < n; c0++ {
+			for c1 := int64(0); c1 < n; c1++ {
+				env := map[string]int64{"n": n, li.CellVars[0]: c0, li.CellVars[1]: c1}
+				v, _, err := li.Count.Eval(env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total[fmt.Sprintf("%d,%d", c0, c1)] += v
+			}
+		}
+	}
+	// Trace: initial A[c0][c1] is read... S1[j] reads A[j][j] (live-in: yes,
+	// first toucher of the diagonal). S2[j,i] reads A[i][j] (i>j): cell
+	// (i,j) below diagonal, live-in (written only by S2 itself at that
+	// iteration). S2 reads A[j][j]: fed by S1. So live-in counts:
+	// diagonal (j,j) -> 1; below-diagonal (i,j), i>j -> 1; above -> 0.
+	for c0 := int64(0); c0 < n; c0++ {
+		for c1 := int64(0); c1 < n; c1++ {
+			want := int64(0)
+			if c0 >= c1 {
+				want = 1
+			}
+			got := total[fmt.Sprintf("%d,%d", c0, c1)]
+			if got != want {
+				t.Errorf("live-in count of A[%d][%d] = %d, want %d", c0, c1, got, want)
+			}
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	_, a := analyze(t, `
+program t(n)
+float A[n], B[n], s;
+int cols[n];
+for i = 0 to n - 1 {
+  S1: A[cols[i]] = 1.0;
+}
+for i = 0 to n - 1 {
+  S2: B[i] = 2.0;
+}
+S3: s = B[0];
+`)
+	if a.Analyzable("A") {
+		t.Error("A has indirect accesses: must be dynamic")
+	}
+	if !a.Analyzable("B") || !a.Analyzable("s") {
+		t.Error("B and s should be analyzable")
+	}
+	if !a.Analyzable("cols") {
+		t.Error("cols itself is accessed affinely: analyzable")
+	}
+	if a.Classes["A"].Reason == "" {
+		t.Error("dynamic class should carry a reason")
+	}
+}
+
+func TestWhileMakesDynamic(t *testing.T) {
+	_, a := analyze(t, `
+program t(n)
+float A[n];
+int k;
+k = 0;
+while (k < 3) {
+  for i = 0 to n - 1 {
+    S1: A[i] = A[i] + 1.0;
+  }
+  k = k + 1;
+}
+`)
+	if a.Analyzable("A") {
+		t.Error("A accessed under while: must be dynamic")
+	}
+	if a.Analyzable("k") {
+		t.Error("k accessed under while: must be dynamic")
+	}
+}
+
+// TestUseCountsAgainstTrace cross-validates Algorithm 1 against a dynamic
+// trace on several kernels: for every write instance, the traced number of
+// reads of that value must equal the static count.
+func TestUseCountsAgainstTrace(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		params map[string]int64
+	}{
+		{"cholesky", choleskySrc, map[string]int64{"n": 6}},
+		{"jacobi", `
+program jac(n, tmax)
+float A[n], B[n];
+for t = 0 to tmax - 1 {
+  for i = 1 to n - 2 {
+    S1: B[i] = A[i - 1] + A[i] + A[i + 1];
+  }
+  for i = 1 to n - 2 {
+    S2: A[i] = B[i];
+  }
+}
+`, map[string]int64{"n": 8, "tmax": 3}},
+		{"trisolv", `
+program trisolv(n)
+float L[n][n], x[n], b[n];
+for i = 0 to n - 1 {
+  S1: x[i] = b[i];
+  for j = 0 to i - 1 {
+    S2: x[i] = x[i] - L[i][j] * x[j];
+  }
+  S3: x[i] = x[i] / L[i][i];
+}
+`, map[string]int64{"n": 6}},
+		{"dsyrk", `
+program dsyrk(n, m)
+float C[n][n], A[n][m];
+for i = 0 to n - 1 {
+  for j = 0 to n - 1 {
+    for k = 0 to m - 1 {
+      S1: C[i][j] = C[i][j] + A[i][k] * A[j][k];
+    }
+  }
+}
+`, map[string]int64{"n": 4, "m": 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, a := analyze(t, tc.src)
+			traced := traceUseCounts(t, m, tc.params)
+			for _, s := range m.Stmts {
+				dc := a.Defs[s]
+				if dc == nil {
+					t.Fatalf("%s: no def count", s.ID)
+				}
+				for _, pt := range s.Domain.EnumeratePoints(tc.params, 64) {
+					env := map[string]int64{}
+					for k, v := range tc.params {
+						env[k] = v
+					}
+					for k, v := range pt {
+						env[k] = v
+					}
+					got, err := dc.TotalAt(env)
+					if err != nil {
+						t.Fatal(err)
+					}
+					key := instKeyOf(s, env)
+					if got != traced[key] {
+						t.Errorf("%s at %v: static count %d, traced %d", s.ID, pt, got, traced[key])
+					}
+				}
+			}
+		})
+	}
+}
+
+func instKeyOf(s *pdg.Statement, env map[string]int64) string {
+	idx := make([]int64, len(s.Iters))
+	for k, it := range s.Iters {
+		idx[k] = env[it]
+	}
+	return fmt.Sprintf("%s%v", s.ID, idx)
+}
+
+// traceUseCounts executes the model and counts, per write instance, how many
+// subsequent reads observe that write.
+func traceUseCounts(t *testing.T, m *pdg.Model, params map[string]int64) map[string]int64 {
+	t.Helper()
+	type inst struct {
+		stmt *pdg.Statement
+		env  map[string]int64
+		key  []int64
+	}
+	var insts []inst
+	for _, s := range m.Stmts {
+		for _, pt := range s.Domain.EnumeratePoints(params, 64) {
+			env := map[string]int64{}
+			for k, v := range params {
+				env[k] = v
+			}
+			for k, v := range pt {
+				env[k] = v
+			}
+			key := make([]int64, len(s.Schedule))
+			for k, term := range s.Schedule {
+				if term.IsIter {
+					key[k] = env[term.Iter]
+				} else {
+					key[k] = term.Const
+				}
+			}
+			insts = append(insts, inst{s, env, key})
+		}
+	}
+	sort.Slice(insts, func(a, b int) bool {
+		ka, kb := insts[a].key, insts[b].key
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
+	counts := map[string]int64{}
+	lastWriter := map[string]string{}
+	for i := range insts {
+		ins := &insts[i]
+		for ri := range ins.stmt.Reads {
+			read := &ins.stmt.Reads[ri]
+			idx := make([]int64, len(read.Index))
+			for k, lin := range read.Index {
+				idx[k], _ = lin.Eval(ins.env)
+			}
+			cell := fmt.Sprintf("%s%v", read.Array, idx)
+			if w, ok := lastWriter[cell]; ok {
+				counts[w]++
+			}
+		}
+		w := &ins.stmt.Write
+		idx := make([]int64, len(w.Index))
+		for k, lin := range w.Index {
+			idx[k], _ = lin.Eval(ins.env)
+		}
+		lastWriter[fmt.Sprintf("%s%v", w.Array, idx)] = instKeyOf(ins.stmt, ins.env)
+	}
+	return counts
+}
+
+func TestCellVarName(t *testing.T) {
+	n := CellVarName("A", 1)
+	if n != "A#c1" {
+		t.Errorf("CellVarName = %q", n)
+	}
+}

@@ -1,0 +1,142 @@
+// Package rt is the runtime library for checksum-instrumented Go code
+// produced by the goinstr source instrumenter. It implements the paper's
+// general (dynamic use count) scheme of Algorithm 3 and Section 4.1: each
+// tracked variable carries a shadow use counter; definitions and uses fold
+// the variable's bit pattern into global def/use checksums, and auxiliary
+// e_def/e_use checksums close the persistent-corruption loophole.
+//
+// The checksums live in Tracker fields — ordinary Go variables that the
+// instrumented code keeps "register-resident" in the paper's sense of being
+// outside the protected data set.
+package rt
+
+import (
+	"math"
+
+	"defuse/internal/checksum"
+)
+
+// Word is the set of value types the instrumenter can track: their bit
+// patterns are folded into the checksums. The constraint is deliberately
+// exact (no ~): Bits must see the concrete type to pick the right bit
+// extraction.
+type Word interface {
+	float64 | int | int64 | uint64 | int32 | uint32
+}
+
+// Bits returns the canonical 64-bit pattern of a tracked value.
+func Bits[T Word](v T) uint64 {
+	switch x := any(v).(type) {
+	case float64:
+		return math.Float64bits(x)
+	case int:
+		return uint64(x)
+	case int64:
+		return uint64(x)
+	case uint64:
+		return x
+	case int32:
+		return uint64(uint32(x))
+	case uint32:
+		return uint64(x)
+	}
+	panic("rt: unreachable: Word constraint admits only the types above")
+}
+
+// Counter is a shadow dynamic use counter for one tracked variable.
+type Counter struct {
+	n       int64
+	defined bool
+}
+
+// Tracker holds the global checksum state for one instrumented function
+// activation.
+type Tracker struct {
+	pair *checksum.Pair
+}
+
+// NewTracker returns a tracker using the paper's modulo-addition operator.
+func NewTracker() *Tracker { return NewTrackerWith(checksum.ModAdd) }
+
+// NewTrackerWith returns a tracker using the given commutative operator.
+func NewTrackerWith(k checksum.Kind) *Tracker {
+	return &Tracker{pair: checksum.NewPair(k)}
+}
+
+// Def records a definition with a compile-time-known use count n: the stored
+// value is folded into the def-checksum n times (Algorithm 3, known path).
+// It returns v so the call can wrap an assignment's right-hand side.
+func Def[T Word](t *Tracker, v T, n int64) T {
+	t.pair.AddDef(Bits(v), n)
+	return v
+}
+
+// DefDyn records a definition whose use count is unknown at compile time
+// (Algorithm 3 lines 13-16): first the variable's previous value prev is
+// adjusted against its counter, then the new value v is folded into def and
+// e_def and the counter reset. The first definition of a variable has no
+// previous value to adjust; the counter tracks that.
+func DefDyn[T Word](t *Tracker, c *Counter, prev, v T) T {
+	if c.defined {
+		t.pair.Adjust(Bits(prev), c.n)
+	}
+	t.pair.AddEDef(Bits(v))
+	c.n = 0
+	c.defined = true
+	return v
+}
+
+// Use records a use of a dynamically counted variable: the observed value is
+// folded into the use-checksum and the counter incremented. It returns v so
+// reads can be wrapped in place.
+func Use[T Word](t *Tracker, c *Counter, v T) T {
+	t.pair.AddUse(Bits(v))
+	c.n++
+	return v
+}
+
+// UseKnown records a use of a statically counted value (no counter needed).
+func UseKnown[T Word](t *Tracker, v T) T {
+	t.pair.AddUse(Bits(v))
+	return v
+}
+
+// Final performs the epilogue adjustment for a dynamically counted variable
+// (Algorithm 3 lines 21-22): its current value joins the def-checksum
+// count-1 times and the auxiliary use-checksum once.
+func Final[T Word](t *Tracker, c *Counter, v T) {
+	if !c.defined {
+		return
+	}
+	t.pair.Adjust(Bits(v), c.n)
+	c.n = 0
+	c.defined = false
+}
+
+// Verify compares the def/use and e_def/e_use checksums; a non-nil error is
+// a detected memory corruption (*checksum.MismatchError).
+func (t *Tracker) Verify() error { return t.pair.Verify() }
+
+// MustVerify panics with the mismatch if a memory error was detected. The
+// goinstr instrumenter inserts it in a deferred epilogue so that silent data
+// corruption becomes a loud failure.
+func (t *Tracker) MustVerify() {
+	if err := t.pair.Verify(); err != nil {
+		panic(err)
+	}
+}
+
+// Reset clears all checksums for reuse.
+func (t *Tracker) Reset() { t.pair.Reset() }
+
+// Checksums exposes the four accumulators (def, use, e_def, e_use) for
+// inspection and testing.
+func (t *Tracker) Checksums() (def, use, edef, euse uint64) {
+	return t.pair.Def, t.pair.Use, t.pair.EDef, t.pair.EUse
+}
+
+// CorruptBits is a test helper that flips the given bit of a float64's
+// representation, simulating a memory error on a tracked variable.
+func CorruptBits(v float64, bit uint) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ 1<<bit)
+}
