@@ -7,9 +7,12 @@
 // Usage:
 //
 //	defusec [-split] [-inspector] [-analyze] [-run] [-param n=100,...] \
-//	        [-inject step:array:index:bit] file.dl
+//	        [-inject step:array:index:bit] [-trace events.jsonl] [-metrics out] file.dl
 //
-// With no file the program is read from standard input.
+// With no file the program is read from standard input. -trace streams
+// structured events (compile.phase, plan.chosen, fault.injected, detection,
+// verify.*) as JSON lines; -metrics writes a final metrics snapshot (JSON if
+// the path ends in .json, Prometheus text otherwise).
 package main
 
 import (
@@ -27,54 +30,77 @@ import (
 	"defuse/internal/lang"
 	"defuse/internal/pdg"
 	"defuse/internal/usecount"
+	"defuse/telemetry"
 )
 
-func main() {
-	split := flag.Bool("split", false, "apply index-set splitting (Algorithm 2)")
-	inspector := flag.Bool("inspector", false, "hoist inspectors for iterative loops (Section 4.2)")
-	analyze := flag.Bool("analyze", false, "print dependence and use-count analysis instead of code")
-	run := flag.Bool("run", false, "execute the instrumented program on the simulated memory")
-	params := flag.String("param", "", "comma-separated parameter values, e.g. n=100,tsteps=5")
-	inject := flag.String("inject", "", "inject a fault: step:array:flatIndex:bit")
-	flag.Parse()
+type options struct {
+	split, inspector, analyze, run bool
+	params, inject, file           string
+}
 
-	src, err := readInput(flag.Arg(0))
+func main() {
+	var o options
+	flag.BoolVar(&o.split, "split", false, "apply index-set splitting (Algorithm 2)")
+	flag.BoolVar(&o.inspector, "inspector", false, "hoist inspectors for iterative loops (Section 4.2)")
+	flag.BoolVar(&o.analyze, "analyze", false, "print dependence and use-count analysis instead of code")
+	flag.BoolVar(&o.run, "run", false, "execute the instrumented program on the simulated memory")
+	flag.StringVar(&o.params, "param", "", "comma-separated parameter values, e.g. n=100,tsteps=5")
+	flag.StringVar(&o.inject, "inject", "", "inject a fault: step:array:flatIndex:bit")
+	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
+	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
+	flag.Parse()
+	o.file = flag.Arg(0)
+
+	sink, reg, finish, err := telemetry.Setup(*trace, *metrics)
 	if err != nil {
 		fatal(err)
+	}
+	err = compile(o, sink, reg)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func compile(o options, sink telemetry.Sink, reg *telemetry.Registry) error {
+	src, err := readInput(o.file)
+	if err != nil {
+		return err
 	}
 	prog, err := lang.Parse(src)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	if *analyze {
-		if err := printAnalysis(prog); err != nil {
-			fatal(err)
-		}
-		return
+	if o.analyze {
+		return printAnalysis(prog)
 	}
 
-	res, err := instrument.Instrument(prog, instrument.Options{Split: *split, Inspector: *inspector})
+	res, err := instrument.Instrument(prog, instrument.Options{
+		Split: o.split, Inspector: o.inspector, Trace: sink, Metrics: reg,
+	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "# instrumentation plan:\n%s", indent(res.Report.String(), "# "))
-	if !*run {
+	if !o.run {
 		fmt.Print(lang.Print(res.Prog))
-		return
+		return nil
 	}
 
-	pv, err := parseParams(*params)
+	pv, err := parseParams(o.params)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	m, err := interp.New(res.Prog, pv)
+	m, err := interp.New(res.Prog, pv, interp.WithTrace(sink), interp.WithMetrics(reg))
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *inject != "" {
-		if err := armInjection(m, *inject); err != nil {
-			fatal(err)
+	if o.inject != "" {
+		if err := armInjection(m, o.inject); err != nil {
+			return err
 		}
 	}
 	err = m.Run()
@@ -83,13 +109,14 @@ func main() {
 	case errors.As(err, &de):
 		fmt.Printf("MEMORY ERROR DETECTED: %v\n", de)
 	case err != nil:
-		fatal(err)
+		return err
 	default:
 		fmt.Println("run completed, checksums verified")
 	}
 	c := m.Counts
 	fmt.Printf("ops: %d loads, %d stores, %d arith, %d compare, %d checksum ops\n",
 		c.Loads, c.Stores, c.Arith, c.Compare, c.CsOps)
+	return nil
 }
 
 func readInput(path string) (string, error) {

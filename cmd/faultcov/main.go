@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	faultcov [-trials 100000] [-sizes 100,10000,1000000] [-flips 2,3,4,5,6] [-seed 1]
+//	faultcov [-trials 100000] [-sizes 100,10000,1000000] [-flips 2,3,4,5,6] \
+//	         [-patterns zero,one,random] [-schemes single,dual] [-seed 1] \
+//	         [-trace events.jsonl] [-metrics out]
 //
 // The paper uses 100,000 trials; -trials 10000 gives the same shape in
-// seconds rather than minutes.
+// seconds rather than minutes. -trace streams one fault.injected event per
+// trial per cell (with the flipped word/bit coordinates) plus a detection or
+// escaped verify.ok outcome; select a single cell (one size, one flip count,
+// one pattern, one scheme) to get exactly -trials events.
 package main
 
 import (
@@ -20,54 +25,90 @@ import (
 
 	"defuse/internal/checksum"
 	"defuse/internal/faults"
+	"defuse/telemetry"
 )
 
 func main() {
 	trials := flag.Int("trials", 100000, "injection trials per cell (paper: 100000)")
 	sizes := flag.String("sizes", "100,10000,1000000", "array sizes in 64-bit words")
 	flips := flag.String("flips", "2,3,4,5,6", "bit-flip counts")
+	patterns := flag.String("patterns", "zero,one,random", "data patterns: zero, one, random")
+	schemes := flag.String("schemes", "single,dual", "checksum schemes: single, dual")
 	seed := flag.Int64("seed", 1, "random seed")
 	op := flag.String("op", "modadd", "checksum operator: modadd, xor, onescomp")
+	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
+	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
 	flag.Parse()
 
-	kind, err := parseKind(*op)
+	sink, reg, finish, err := telemetry.Setup(*trace, *metrics)
 	if err != nil {
 		fatal(err)
 	}
-	sizeList, err := parseInts(*sizes)
+	err = run(*trials, *sizes, *flips, *patterns, *schemes, *seed, *op, sink, reg)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		fatal(err)
 	}
-	flipList, err := parseInts(*flips)
+}
+
+func run(trials int, sizes, flips, patterns, schemes string, seed int64, op string,
+	sink telemetry.Sink, reg *telemetry.Registry) error {
+	kind, err := parseKind(op)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	sizeList, err := parseInts(sizes)
+	if err != nil {
+		return err
+	}
+	flipList, err := parseInts(flips)
+	if err != nil {
+		return err
+	}
+	patternList, err := parsePatterns(patterns)
+	if err != nil {
+		return err
+	}
+	dualList, err := parseSchemes(schemes)
+	if err != nil {
+		return err
 	}
 
-	patterns := []faults.Pattern{faults.AllZero, faults.AllOne, faults.Random}
-	fmt.Printf("Table 1: percentage of undetected errors with %s checksums (%d trials)\n\n", kind, *trials)
-	fmt.Printf("%-10s %-9s | %-10s %-10s %-11s | %-10s %-10s %-11s\n",
-		"", "", "One checksum", "", "", "Two checksums", "", "")
-	fmt.Printf("%-10s %-9s | %-10s %-10s %-11s | %-10s %-10s %-11s\n",
-		"#bit-flips", "N", "All 0 bits", "All 1 bits", "Random bits",
-		"All 0 bits", "All 1 bits", "Random bits")
+	fmt.Printf("Table 1: percentage of undetected errors with %s checksums (%d trials)\n\n", kind, trials)
+	fmt.Printf("%-10s %-9s", "#bit-flips", "N")
+	for _, dual := range dualList {
+		for _, p := range patternList {
+			fmt.Printf(" | %-11s", cellName(p, dual))
+		}
+	}
+	fmt.Println()
 	for _, k := range flipList {
 		for _, n := range sizeList {
-			fmt.Printf("%-10d %-9d |", k, n)
-			for _, dual := range []bool{false, true} {
-				for _, p := range patterns {
+			fmt.Printf("%-10d %-9d", k, n)
+			for _, dual := range dualList {
+				for _, p := range patternList {
 					r := faults.RunCoverage(faults.CoverageConfig{
 						Kind: kind, Words: n, BitFlips: k, Pattern: p,
-						Dual: dual, Trials: *trials, Seed: *seed,
+						Dual: dual, Trials: trials, Seed: seed,
+						Trace: sink, Metrics: reg,
 					})
-					fmt.Printf(" %-10s", fmt.Sprintf("%.3f%%", r.UndetectedPercent()))
-				}
-				if !dual {
-					fmt.Printf(" |")
+					fmt.Printf(" | %-11s", fmt.Sprintf("%.3f%%", r.UndetectedPercent()))
 				}
 			}
 			fmt.Println()
 		}
 	}
+	return nil
+}
+
+func cellName(p faults.Pattern, dual bool) string {
+	scheme := "1cs"
+	if dual {
+		scheme = "2cs"
+	}
+	return fmt.Sprintf("%s %v", scheme, p)
 }
 
 func parseKind(s string) (checksum.Kind, error) {
@@ -80,6 +121,38 @@ func parseKind(s string) (checksum.Kind, error) {
 		return checksum.OnesComp, nil
 	}
 	return 0, fmt.Errorf("unknown operator %q", s)
+}
+
+func parsePatterns(s string) ([]faults.Pattern, error) {
+	var out []faults.Pattern
+	for _, p := range strings.Split(s, ",") {
+		switch strings.TrimSpace(p) {
+		case "zero":
+			out = append(out, faults.AllZero)
+		case "one":
+			out = append(out, faults.AllOne)
+		case "random":
+			out = append(out, faults.Random)
+		default:
+			return nil, fmt.Errorf("unknown pattern %q (want zero, one, or random)", p)
+		}
+	}
+	return out, nil
+}
+
+func parseSchemes(s string) ([]bool, error) {
+	var out []bool
+	for _, p := range strings.Split(s, ",") {
+		switch strings.TrimSpace(p) {
+		case "single":
+			out = append(out, false)
+		case "dual":
+			out = append(out, true)
+		default:
+			return nil, fmt.Errorf("unknown scheme %q (want single or dual)", p)
+		}
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	overhead [-fig 10|11|all] [-scale 0.01] [-bench name] [-list]
+//	overhead [-fig 10|11|all] [-scale 0.01] [-bench name] [-list] \
+//	         [-json] [-json-out BENCH_overhead.json] \
+//	         [-trace events.jsonl] [-metrics out]
 //
 // Scale multiplies the paper's problem sizes; the kernels execute on the
 // package's instruction-counting interpreter, so the op-count columns are
-// deterministic and machine-independent.
+// deterministic and machine-independent. -json additionally writes the
+// machine-readable overhead report (schema defuse/overhead/v1) for
+// regression tracking across commits.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 
 	"defuse/internal/bench"
+	"defuse/telemetry"
 )
 
 func main() {
@@ -25,6 +30,10 @@ func main() {
 	scale := flag.Float64("scale", 0.004, "problem-size scale relative to the paper's sizes")
 	one := flag.String("bench", "", "run a single benchmark by Table 2 name")
 	list := flag.Bool("list", false, "print Table 2 (benchmarks and problem sizes) and exit")
+	jsonOut := flag.Bool("json", false, "also write the machine-readable overhead report")
+	jsonPath := flag.String("json-out", "BENCH_overhead.json", "path of the -json report")
+	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
+	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
 	flag.Parse()
 
 	if *list {
@@ -35,39 +44,73 @@ func main() {
 		return
 	}
 
+	sink, reg, finish, err := telemetry.Setup(*trace, *metrics)
+	if err != nil {
+		fatal(err)
+	}
+	err = run(*fig, *scale, *one, *jsonOut, *jsonPath, bench.Telemetry{Trace: sink, Metrics: reg})
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func run(fig string, scale float64, one string, jsonOut bool, jsonPath string, tel bench.Telemetry) error {
 	var rows10 []bench.Figure10Row
 	var rows11 []bench.Figure11Row
-	if *one != "" {
-		b, err := bench.ByName(*one)
+	if one != "" {
+		b, err := bench.ByName(one)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		r10, r11, err := bench.RunBenchmark(b, *scale)
+		r10, r11, err := bench.RunBenchmarkWith(b, scale, tel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		rows10, rows11 = []bench.Figure10Row{r10}, []bench.Figure11Row{r11}
 	} else {
 		var err error
-		rows10, rows11, err = bench.Figure10(*scale)
+		rows10, rows11, err = bench.Figure10With(scale, tel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	if *fig == "10" || *fig == "all" {
+	if fig == "10" || fig == "all" {
 		fmt.Println("Figure 10: normalized running time of the resilient codes (software-only)")
 		fmt.Println("(paper geomeans on its icc/Xeon testbed: resilient 1.788, optimized 1.402)")
 		fmt.Println()
 		fmt.Print(bench.FormatFigure10(rows10))
 		fmt.Println()
 	}
-	if *fig == "11" || *fig == "all" {
+	if fig == "11" || fig == "all" {
 		fmt.Println("Figure 11: estimated normalized runtime with a hardware checksum unit")
 		fmt.Println("(paper: largest overheads 4-10%, ~3% geomean excluding strsm)")
 		fmt.Println()
 		fmt.Print(bench.FormatFigure11(rows11))
 	}
+
+	if jsonOut {
+		rep, err := bench.BuildOverheadReport(rows10, rows11, scale)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "overhead: wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ package defuse
 
 import (
 	"fmt"
+	"strings"
 
 	"defuse/internal/bench"
 	"defuse/internal/faults"
@@ -36,6 +37,7 @@ import (
 	"defuse/internal/instrument"
 	"defuse/internal/interp"
 	"defuse/internal/lang"
+	"defuse/telemetry"
 )
 
 // Options mirrors the instrumenter's optimization switches.
@@ -54,9 +56,14 @@ type CompileResult struct {
 }
 
 // Compile parses a program in the defuse loop language and instruments it
-// with error-detection checksums.
+// with error-detection checksums. When opt carries telemetry hooks
+// (Options.Trace / Options.Metrics), every pipeline phase — parse included —
+// is timed and streamed through them.
 func Compile(src string, opt Options) (*CompileResult, error) {
-	prog, err := lang.Parse(src)
+	var prog *lang.Program
+	var err error
+	parseDur := telemetry.TimePhase(opt.Trace, opt.Metrics, "compile", "parse",
+		func() { prog, err = lang.Parse(src) })
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +71,9 @@ func Compile(src string, opt Options) (*CompileResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Report.Phases = append(
+		[]instrument.PhaseTiming{{Phase: "parse", Duration: parseDur}},
+		res.Report.Phases...)
 	return &CompileResult{
 		Source: lang.Print(res.Prog),
 		Prog:   res.Prog,
@@ -122,8 +132,32 @@ func Benchmark(name string) (*bench.Benchmark, error) { return bench.ByName(name
 // Version identifies the library.
 const Version = "1.0.0"
 
-// Describe returns a short human-readable summary of a compile result.
+// Describe returns a short human-readable summary of a compile result: the
+// per-variable protection plans, the optimization counts (inspectors
+// hoisted, split segments, checksum statements inserted), and the wall time
+// of each compile phase.
 func Describe(r *CompileResult) string {
-	return fmt.Sprintf("instrumented program (%d variables tracked):\n%s",
-		len(r.Report.Plans), r.Report.String())
+	var b strings.Builder
+	fmt.Fprintf(&b, "instrumented program (%d variables tracked):\n", len(r.Report.Plans))
+	b.WriteString(r.Report.String())
+	counts := r.Report.PlanCounts()
+	if len(counts) > 0 {
+		var parts []string
+		for _, p := range []instrument.Plan{instrument.PlanStatic, instrument.PlanDynamic,
+			instrument.PlanInspector, instrument.PlanInvariant, instrument.PlanControl} {
+			if n := counts[p]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", n, p))
+			}
+		}
+		fmt.Fprintf(&b, "plan mix: %s\n", strings.Join(parts, ", "))
+	}
+	var total float64
+	for _, pt := range r.Report.Phases {
+		total += pt.Duration.Seconds()
+	}
+	if len(r.Report.Phases) > 0 {
+		fmt.Fprintf(&b, "total compile time: %.3fms over %d phases\n",
+			total*1e3, len(r.Report.Phases))
+	}
+	return b.String()
 }

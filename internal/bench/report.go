@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// This file defines the machine-readable overhead record written by
+// cmd/overhead -json (BENCH_overhead.json): the repo's perf-trajectory
+// format, so Figure 10/11 overhead claims can be regression-tracked across
+// PRs instead of living only in terminal scrollback.
+
+// OverheadSchema identifies the BENCH_overhead.json format version.
+const OverheadSchema = "defuse/overhead/v1"
+
+// OverheadRow is one benchmark's measurements across the three variants.
+type OverheadRow struct {
+	Bench           string  `json:"bench"`
+	OriginalSeconds float64 `json:"original_seconds"`
+	ResilientTime   float64 `json:"resilient_time"`
+	OptimizedTime   float64 `json:"optimized_time"`
+	ResilientOps    float64 `json:"resilient_ops"`
+	OptimizedOps    float64 `json:"optimized_ops"`
+	HWEstimate      float64 `json:"hw_estimate"`
+}
+
+// OverheadGeomean summarizes the suite the way the paper does.
+type OverheadGeomean struct {
+	ResilientOps float64 `json:"resilient_ops"`
+	OptimizedOps float64 `json:"optimized_ops"`
+	HWEstimate   float64 `json:"hw_estimate"`
+}
+
+// OverheadReport is the full BENCH_overhead.json document.
+type OverheadReport struct {
+	Schema      string          `json:"schema"`
+	GeneratedAt time.Time       `json:"generated_at"`
+	Scale       float64         `json:"scale"`
+	Rows        []OverheadRow   `json:"rows"`
+	Geomean     OverheadGeomean `json:"geomean"`
+}
+
+// BuildOverheadReport merges Figure 10 and Figure 11 rows into one report.
+// The row slices must be parallel (as Figure10With returns them).
+func BuildOverheadReport(rows10 []Figure10Row, rows11 []Figure11Row, scale float64) (OverheadReport, error) {
+	if len(rows10) != len(rows11) {
+		return OverheadReport{}, fmt.Errorf("bench: %d figure-10 rows vs %d figure-11 rows", len(rows10), len(rows11))
+	}
+	rep := OverheadReport{
+		Schema:      OverheadSchema,
+		GeneratedAt: time.Now().UTC(),
+		Scale:       scale,
+	}
+	hwSum, hwN := 0.0, 0
+	for i, r := range rows10 {
+		if rows11[i].Bench != r.Bench {
+			return OverheadReport{}, fmt.Errorf("bench: row %d mismatch: %s vs %s", i, r.Bench, rows11[i].Bench)
+		}
+		rep.Rows = append(rep.Rows, OverheadRow{
+			Bench:           r.Bench,
+			OriginalSeconds: r.OriginalSeconds,
+			ResilientTime:   r.ResilientTime,
+			OptimizedTime:   r.OptimizedTime,
+			ResilientOps:    r.ResilientOps,
+			OptimizedOps:    r.OptimizedOps,
+			HWEstimate:      rows11[i].HWEstimate,
+		})
+		hwSum += math.Log(rows11[i].HWEstimate)
+		hwN++
+	}
+	rg, og := GeoMeans(rows10)
+	rep.Geomean = OverheadGeomean{ResilientOps: rg, OptimizedOps: og}
+	if hwN > 0 {
+		rep.Geomean.HWEstimate = math.Exp(hwSum / float64(hwN))
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r OverheadReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseOverheadReport reads a report back, validating its schema tag — the
+// consumer side of the perf trajectory.
+func ParseOverheadReport(r io.Reader) (OverheadReport, error) {
+	var rep OverheadReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("bench: parsing overhead report: %w", err)
+	}
+	if rep.Schema != OverheadSchema {
+		return rep, fmt.Errorf("bench: unexpected schema %q (want %q)", rep.Schema, OverheadSchema)
+	}
+	if len(rep.Rows) == 0 {
+		return rep, fmt.Errorf("bench: overhead report has no rows")
+	}
+	return rep, nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRows() ([]Figure10Row, []Figure11Row) {
+	rows10 := []Figure10Row{
+		{Bench: "jacobi", OriginalSeconds: 0.01, ResilientTime: 1.9, OptimizedTime: 1.4, ResilientOps: 1.8, OptimizedOps: 1.4},
+		{Bench: "cg", OriginalSeconds: 0.02, ResilientTime: 2.1, OptimizedTime: 1.5, ResilientOps: 2.0, OptimizedOps: 1.5},
+	}
+	rows11 := []Figure11Row{
+		{Bench: "jacobi", HWEstimate: 1.05},
+		{Bench: "cg", HWEstimate: 1.10},
+	}
+	return rows10, rows11
+}
+
+func TestOverheadReportRoundTrip(t *testing.T) {
+	rows10, rows11 := sampleRows()
+	rep, err := BuildOverheadReport(rows10, rows11, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != OverheadSchema || len(rep.Rows) != 2 {
+		t.Fatalf("report = %+v, want schema %s with 2 rows", rep, OverheadSchema)
+	}
+	if rep.Rows[0].HWEstimate != 1.05 || rep.Rows[1].HWEstimate != 1.10 {
+		t.Errorf("hw estimates not merged: %+v", rep.Rows)
+	}
+	rg, og := GeoMeans(rows10)
+	if rep.Geomean.ResilientOps != rg || rep.Geomean.OptimizedOps != og {
+		t.Errorf("geomean = %+v, want %v/%v", rep.Geomean, rg, og)
+	}
+	if rep.Geomean.HWEstimate <= 1.05 || rep.Geomean.HWEstimate >= 1.10 {
+		t.Errorf("hw geomean %v not between row values", rep.Geomean.HWEstimate)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseOverheadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 2 || back.Rows[1].Bench != "cg" || back.Scale != 0.5 {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestBuildOverheadReportValidation(t *testing.T) {
+	rows10, rows11 := sampleRows()
+	if _, err := BuildOverheadReport(rows10, rows11[:1], 1); err == nil {
+		t.Error("mismatched row counts not rejected")
+	}
+	bad := append([]Figure11Row(nil), rows11...)
+	bad[1].Bench = "other"
+	if _, err := BuildOverheadReport(rows10, bad, 1); err == nil {
+		t.Error("mismatched bench names not rejected")
+	}
+}
+
+func TestParseOverheadReportRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema": `{"schema":"other/v9","rows":[{"bench":"x"}]}`,
+		"no rows":      `{"schema":"` + OverheadSchema + `","rows":[]}`,
+		"not json":     `BENCHMARK jacobi 1.8`,
+	}
+	for name, in := range cases {
+		if _, err := ParseOverheadReport(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid report", name)
+		}
+	}
+}

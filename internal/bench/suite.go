@@ -10,7 +10,16 @@ import (
 	"defuse/internal/instrument"
 	"defuse/internal/interp"
 	"defuse/internal/lang"
+	"defuse/telemetry"
 )
+
+// Telemetry carries the optional observability hooks through benchmark
+// runs: compile phases, plan decisions, run durations, verification
+// outcomes, and cost-model gauges all report through it.
+type Telemetry struct {
+	Trace   telemetry.Sink
+	Metrics *telemetry.Registry
+}
 
 // Variant names the three compilation modes of Figure 10.
 type Variant string
@@ -36,11 +45,18 @@ func variantOptions(v Variant) instrument.Options {
 
 // BuildVariant returns the program for a benchmark variant.
 func (b *Benchmark) BuildVariant(v Variant) (*lang.Program, error) {
+	return b.BuildVariantWith(v, Telemetry{})
+}
+
+// BuildVariantWith is BuildVariant with instrumentation telemetry attached.
+func (b *Benchmark) BuildVariantWith(v Variant, tel Telemetry) (*lang.Program, error) {
 	prog := b.Program()
 	if v == Original {
 		return prog, nil
 	}
-	res, err := instrument.Instrument(prog, variantOptions(v))
+	opt := variantOptions(v)
+	opt.Trace, opt.Metrics = tel.Trace, tel.Metrics
+	res, err := instrument.Instrument(prog, opt)
 	if err != nil {
 		return nil, fmt.Errorf("bench: instrumenting %s as %s: %w", b.Name, v, err)
 	}
@@ -62,12 +78,19 @@ type RunResult struct {
 // Instrumented variants must pass their checksum verification; a detection
 // on a fault-free run is reported as an error.
 func (b *Benchmark) Run(v Variant, scale float64) (*RunResult, error) {
-	prog, err := b.BuildVariant(v)
+	return b.RunWith(v, scale, Telemetry{})
+}
+
+// RunWith is Run with telemetry attached: instrumentation events stream to
+// tel.Trace and the run duration lands in a per-bench/variant histogram.
+func (b *Benchmark) RunWith(v Variant, scale float64, tel Telemetry) (*RunResult, error) {
+	prog, err := b.BuildVariantWith(v, tel)
 	if err != nil {
 		return nil, err
 	}
 	params := b.Params(scale)
-	m, err := interp.New(prog, params)
+	m, err := interp.New(prog, params,
+		interp.WithTrace(tel.Trace), interp.WithMetrics(tel.Metrics))
 	if err != nil {
 		return nil, err
 	}
@@ -77,6 +100,9 @@ func (b *Benchmark) Run(v Variant, scale float64) (*RunResult, error) {
 		return nil, fmt.Errorf("bench: %s/%s: %w", b.Name, v, err)
 	}
 	dur := time.Since(start)
+	tel.Metrics.Histogram("defuse_bench_run_seconds", telemetry.DefBuckets(),
+		telemetry.Label{Key: "bench", Value: b.Name},
+		telemetry.Label{Key: "variant", Value: string(v)}).Observe(dur.Seconds())
 
 	out := map[string][]float64{}
 	for _, d := range b.Program().Decls {
@@ -116,17 +142,29 @@ type Figure11Row struct {
 // RunBenchmark measures the three variants of one benchmark and checks
 // output equivalence.
 func RunBenchmark(b *Benchmark, scale float64) (Figure10Row, Figure11Row, error) {
-	orig, err := b.Run(Original, scale)
+	return RunBenchmarkWith(b, scale, Telemetry{})
+}
+
+// RunBenchmarkWith is RunBenchmark with telemetry attached; per-variant cost
+// gauges are published as defuse_cost_model{run="bench/variant"}.
+func RunBenchmarkWith(b *Benchmark, scale float64, tel Telemetry) (Figure10Row, Figure11Row, error) {
+	orig, err := b.RunWith(Original, scale, tel)
 	if err != nil {
 		return Figure10Row{}, Figure11Row{}, err
 	}
-	res, err := b.Run(Resilient, scale)
+	res, err := b.RunWith(Resilient, scale, tel)
 	if err != nil {
 		return Figure10Row{}, Figure11Row{}, err
 	}
-	opt, err := b.Run(ResilientOpt, scale)
+	opt, err := b.RunWith(ResilientOpt, scale, tel)
 	if err != nil {
 		return Figure10Row{}, Figure11Row{}, err
+	}
+	if tel.Metrics != nil {
+		for _, r := range []*RunResult{orig, res, opt} {
+			hwsim.RecordMetrics(tel.Metrics, b.Name+"/"+string(r.Variant),
+				r.Counts, hwsim.DefaultConfig())
+		}
 	}
 	for _, r := range []*RunResult{res, opt} {
 		if err := sameOutput(orig, r); err != nil {
@@ -176,10 +214,15 @@ func sameOutput(a, b *RunResult) error {
 // geometric-mean normalized runtimes (the paper reports 1.788 resilient and
 // 1.402 resilient-optimized on its testbed).
 func Figure10(scale float64) ([]Figure10Row, []Figure11Row, error) {
+	return Figure10With(scale, Telemetry{})
+}
+
+// Figure10With is Figure10 with telemetry attached to every run.
+func Figure10With(scale float64, tel Telemetry) ([]Figure10Row, []Figure11Row, error) {
 	var rows10 []Figure10Row
 	var rows11 []Figure11Row
 	for _, b := range Suite() {
-		r10, r11, err := RunBenchmark(b, scale)
+		r10, r11, err := RunBenchmarkWith(b, scale, tel)
 		if err != nil {
 			return nil, nil, err
 		}

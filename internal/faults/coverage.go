@@ -2,8 +2,10 @@ package faults
 
 import (
 	"fmt"
+	"strconv"
 
 	"defuse/internal/checksum"
+	"defuse/telemetry"
 )
 
 // This file implements the Table 1 fault-coverage experiment of the paper:
@@ -20,6 +22,14 @@ type CoverageConfig struct {
 	Dual     bool          // use the two-checksum (rotated) scheme
 	Trials   int           // number of injection trials (paper: 100,000)
 	Seed     int64         // RNG seed
+
+	// Trace, when non-nil, receives one fault.injected event per trial
+	// (with the flipped word/bit coordinates) and a detection or verify.ok
+	// event for its outcome.
+	Trace telemetry.Sink
+	// Metrics, when non-nil, receives per-cell trial and undetected
+	// counters labeled by flips/words/pattern/scheme.
+	Metrics *telemetry.Registry
 }
 
 // CoverageResult reports the outcome of a coverage experiment.
@@ -64,6 +74,19 @@ func RunCoverage(cfg CoverageConfig) CoverageResult {
 	data := make([]uint64, cfg.Words)
 	res := CoverageResult{CoverageConfig: cfg}
 
+	scheme := "single"
+	if cfg.Dual {
+		scheme = "dual"
+	}
+	cellLabels := []telemetry.Label{
+		{Key: "flips", Value: strconv.Itoa(cfg.BitFlips)},
+		{Key: "words", Value: strconv.Itoa(cfg.Words)},
+		{Key: "pattern", Value: cfg.Pattern.String()},
+		{Key: "scheme", Value: scheme},
+	}
+	trialsCtr := cfg.Metrics.Counter("defuse_faultcov_trials_total", cellLabels...)
+	undetCtr := cfg.Metrics.Counter("defuse_faultcov_undetected_total", cellLabels...)
+
 	in.Fill(data, cfg.Pattern)
 	base1, base2 := initialSums(cfg, data)
 
@@ -79,8 +102,32 @@ func RunCoverage(cfg CoverageConfig) CoverageResult {
 		} else {
 			s1 = checksum.Sum(cfg.Kind, data)
 		}
-		if s1 == base1 && (!cfg.Dual || s2 == base2) {
+		undetected := s1 == base1 && (!cfg.Dual || s2 == base2)
+		if undetected {
 			res.Undetected++
+			undetCtr.Inc()
+		}
+		trialsCtr.Inc()
+		if cfg.Trace != nil {
+			coords := make([]map[string]any, len(flips))
+			for i, f := range flips {
+				coords[i] = map[string]any{"word": f.Word, "bit": f.Bit}
+			}
+			telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, map[string]any{
+				"trial": trial, "flips": coords, "scheme": scheme,
+				"words": cfg.Words, "pattern": cfg.Pattern.String(),
+			})
+			if undetected {
+				// The checksums matched despite the error: the injected
+				// fault escaped (verify passed, wrongly).
+				telemetry.Emit(cfg.Trace, telemetry.EvVerifyOK, map[string]any{
+					"trial": trial, "escaped": true,
+				})
+			} else {
+				telemetry.Emit(cfg.Trace, telemetry.EvDetection, map[string]any{
+					"trial": trial,
+				})
+			}
 		}
 		// Undo the flips so constant-pattern runs can reuse the base sums.
 		for _, f := range flips {

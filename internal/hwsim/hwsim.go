@@ -18,7 +18,10 @@
 //     (fetch/decode only).
 package hwsim
 
-import "defuse/internal/interp"
+import (
+	"defuse/internal/interp"
+	"defuse/telemetry"
+)
 
 // Config parameterizes the cost model. Weights approximate a cached
 // superscalar core: memory operations dominate kernel runtime (several
@@ -82,4 +85,15 @@ func Overhead(original interp.OpCounts, instrumented float64) float64 {
 		return 1
 	}
 	return instrumented / base
+}
+
+// RecordMetrics publishes the modeled software and hardware-assisted cost of
+// a run into reg as gauges labeled by run name (nil-registry safe).
+func RecordMetrics(reg *telemetry.Registry, run string, c interp.OpCounts, cfg Config) {
+	reg.Gauge("defuse_cost_model",
+		telemetry.Label{Key: "run", Value: run},
+		telemetry.Label{Key: "model", Value: "software"}).Set(SoftwareCostWith(c, cfg))
+	reg.Gauge("defuse_cost_model",
+		telemetry.Label{Key: "run", Value: run},
+		telemetry.Label{Key: "model", Value: "hardware"}).Set(HardwareCost(c, cfg))
 }

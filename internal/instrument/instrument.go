@@ -3,12 +3,14 @@ package instrument
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"defuse/internal/deps"
 	"defuse/internal/lang"
 	"defuse/internal/pdg"
 	"defuse/internal/poly"
 	"defuse/internal/usecount"
+	"defuse/telemetry"
 )
 
 // Options selects the optimizations of Sections 3.3 and 4.2.
@@ -19,6 +21,12 @@ type Options struct {
 	// Inspector hoists inspectors for iterative (while) loops whose
 	// irregular index structures are loop-invariant (Section 4.2).
 	Inspector bool
+	// Trace, when non-nil, receives structured instrumentation events
+	// (compile.phase, plan.chosen, split.applied, inspector.hoisted).
+	Trace telemetry.Sink
+	// Metrics, when non-nil, receives phase-timing histograms and
+	// plan-decision counters.
+	Metrics *telemetry.Registry
 }
 
 // Plan names the protection scheme chosen for a variable.
@@ -33,11 +41,34 @@ const (
 	PlanControl   Plan = "control"   // control variable: protected by other means (Section 2.2)
 )
 
+// PhaseTiming records the wall time of one pipeline phase.
+type PhaseTiming struct {
+	Phase    string
+	Duration time.Duration
+}
+
 // Report summarizes instrumentation decisions.
 type Report struct {
 	Plans             map[string]Plan
 	InspectorsHoisted int
 	SplitApplied      bool
+	// Phases lists per-phase wall times in execution order (the parse
+	// phase is prepended by defuse.Compile).
+	Phases []PhaseTiming
+	// SplitSegments counts the extra loops materialized by index-set
+	// splitting (loops after splitting minus loops before).
+	SplitSegments int
+	// ChecksumStmts counts the add_to_chksm statements inserted.
+	ChecksumStmts int
+}
+
+// PlanCounts tallies variables per protection plan, for summary reporting.
+func (r Report) PlanCounts() map[Plan]int {
+	out := map[Plan]int{}
+	for _, p := range r.Plans {
+		out[p]++
+	}
+	return out
 }
 
 // Result is an instrumented program plus its report.
@@ -63,12 +94,22 @@ func CloneProgram(p *lang.Program) *lang.Program {
 // Instrument inserts error-detection checksums into a copy of prog.
 func Instrument(src *lang.Program, opt Options) (*Result, error) {
 	prog := CloneProgram(src)
-	model, err := pdg.Extract(prog)
+	rep := Report{}
+	phase := func(name string, f func()) {
+		d := telemetry.TimePhase(opt.Trace, opt.Metrics, "instrument", name, f)
+		rep.Phases = append(rep.Phases, PhaseTiming{Phase: name, Duration: d})
+	}
+
+	var model *pdg.Model
+	var err error
+	phase("pdg.extract", func() { model, err = pdg.Extract(prog) })
 	if err != nil {
 		return nil, err
 	}
-	flow := deps.Analyze(model)
-	uc := usecount.Analyze(flow)
+	var flow *deps.Flow
+	phase("dependence.analysis", func() { flow = deps.Analyze(model) })
+	var uc *usecount.Analysis
+	phase("polyhedral.counting", func() { uc = usecount.Analyze(flow) })
 
 	ins := &instrumenter{
 		prog:  prog,
@@ -84,30 +125,91 @@ func Instrument(src *lang.Program, opt Options) (*Result, error) {
 	for _, s := range model.Stmts {
 		ins.stmts[s.Node] = s
 	}
-	ins.classify()
+	phase("classify", func() { ins.classify() })
 	if opt.Inspector {
-		ins.detectInspectors()
+		phase("inspector.hoisting", func() { ins.detectInspectors() })
 	}
-	ins.buildDynamicBoilerplate()
+	phase("rewrite", func() {
+		ins.buildDynamicBoilerplate()
+		body := ins.rewrite(prog.Body)
+		var full []lang.Stmt
+		full = append(full, ins.prologue...)
+		full = append(full, body...)
+		full = append(full, ins.epilogue...)
+		full = append(full, &lang.AssertChecksums{})
+		prog.Body = full
+		prog.Decls = append(prog.Decls, ins.newDecls...)
+	})
 
-	body := ins.rewrite(prog.Body)
-	var full []lang.Stmt
-	full = append(full, ins.prologue...)
-	full = append(full, body...)
-	full = append(full, ins.epilogue...)
-	full = append(full, &lang.AssertChecksums{})
-	prog.Body = full
-	prog.Decls = append(prog.Decls, ins.newDecls...)
-
-	rep := Report{Plans: ins.plans, InspectorsHoisted: len(ins.insp)}
+	rep.Plans = ins.plans
+	rep.InspectorsHoisted = len(ins.insp)
 	if opt.Split {
-		prog.Body = SplitLoops(prog.Body)
+		before := countLoops(prog.Body)
+		phase("index-set.splitting", func() { prog.Body = SplitLoops(prog.Body) })
 		rep.SplitApplied = true
+		rep.SplitSegments = countLoops(prog.Body) - before
 	}
-	if err := lang.Check(prog); err != nil {
-		return nil, fmt.Errorf("instrument: generated program fails checks: %w", err)
+	phase("check", func() {
+		if cerr := lang.Check(prog); cerr != nil {
+			err = fmt.Errorf("instrument: generated program fails checks: %w", cerr)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.ChecksumStmts = countChecksumStmts(prog.Body)
+	rep.emitDecisions(opt)
 	return &Result{Prog: prog, Report: rep}, nil
+}
+
+// countLoops counts for loops in a statement tree.
+func countLoops(ss []lang.Stmt) int {
+	n := 0
+	lang.WalkStmts(ss, func(s lang.Stmt) bool {
+		if _, ok := s.(*lang.For); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// countChecksumStmts counts add_to_chksm statements in a statement tree.
+func countChecksumStmts(ss []lang.Stmt) int {
+	n := 0
+	lang.WalkStmts(ss, func(s lang.Stmt) bool {
+		if _, ok := s.(*lang.AddToChecksum); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// emitDecisions streams the final instrumentation decisions as events and
+// counters (a no-op when telemetry is disabled).
+func (r Report) emitDecisions(opt Options) {
+	for _, name := range r.sortedPlanNames() {
+		plan := r.Plans[name]
+		telemetry.Emit(opt.Trace, telemetry.EvPlanChosen, map[string]any{
+			"variable": name,
+			"plan":     string(plan),
+		})
+		opt.Metrics.Counter("defuse_plans_total",
+			telemetry.Label{Key: "plan", Value: string(plan)}).Inc()
+	}
+	if r.SplitApplied {
+		telemetry.Emit(opt.Trace, telemetry.EvSplitApplied, map[string]any{
+			"segments": r.SplitSegments,
+		})
+	}
+	if r.InspectorsHoisted > 0 {
+		telemetry.Emit(opt.Trace, telemetry.EvInspectorHoisted, map[string]any{
+			"loops": r.InspectorsHoisted,
+		})
+		opt.Metrics.Counter("defuse_inspectors_hoisted_total").Add(uint64(r.InspectorsHoisted))
+	}
+	opt.Metrics.Counter("defuse_checksum_stmts_total").Add(uint64(r.ChecksumStmts))
 }
 
 type instrumenter struct {
@@ -499,12 +601,22 @@ func (r Report) sortedPlanNames() []string {
 	return names
 }
 
-// String renders the report.
+// String renders the report: per-variable plans, optimization counts, and
+// phase timings.
 func (r Report) String() string {
 	s := ""
 	for _, n := range r.sortedPlanNames() {
 		s += fmt.Sprintf("%s: %s\n", n, r.Plans[n])
 	}
 	s += fmt.Sprintf("inspectors hoisted: %d, split: %v\n", r.InspectorsHoisted, r.SplitApplied)
+	if r.SplitApplied {
+		s += fmt.Sprintf("split segments added: %d\n", r.SplitSegments)
+	}
+	if r.ChecksumStmts > 0 {
+		s += fmt.Sprintf("checksum statements inserted: %d\n", r.ChecksumStmts)
+	}
+	for _, pt := range r.Phases {
+		s += fmt.Sprintf("phase %-22s %v\n", pt.Phase, pt.Duration)
+	}
 	return s
 }

@@ -1,0 +1,126 @@
+package instrument
+
+import (
+	"testing"
+
+	"defuse/internal/lang"
+	"defuse/telemetry"
+)
+
+// Compile-path telemetry: instrumentation must report per-phase wall time in
+// the Report, emit one plan.chosen event per protected variable, and record
+// applied optimizations (split.applied, inspector.hoisted) with counts.
+
+func TestInstrumentPhaseTimings(t *testing.T) {
+	prog, err := lang.Parse(choleskySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Instrument(prog, Options{Split: true, Inspector: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"pdg.extract":         false,
+		"dependence.analysis": false,
+		"polyhedral.counting": false,
+		"classify":            false,
+		"rewrite":             false,
+		"check":               false,
+	}
+	for _, ph := range res.Report.Phases {
+		if ph.Duration < 0 {
+			t.Errorf("phase %s has negative duration %v", ph.Phase, ph.Duration)
+		}
+		if _, ok := want[ph.Phase]; ok {
+			want[ph.Phase] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("phase %s missing from Report.Phases %v", name, res.Report.Phases)
+		}
+	}
+}
+
+func TestInstrumentEventsAndMetrics(t *testing.T) {
+	prog, err := lang.Parse(cgishSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &telemetry.Collector{}
+	reg := telemetry.NewRegistry()
+	res, err := Instrument(prog, Options{Split: true, Inspector: true, Trace: sink, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plans := sink.Named(telemetry.EvPlanChosen)
+	if want := len(res.Report.Plans); len(plans) != want {
+		t.Errorf("plan.chosen events = %d, want %d (one per variable)", len(plans), want)
+	}
+	for _, ev := range plans {
+		v, _ := ev.Fields["variable"].(string)
+		plan, _ := ev.Fields["plan"].(string)
+		if got, ok := res.Report.Plans[v]; !ok || string(got) != plan {
+			t.Errorf("plan.chosen{%s=%s} does not match report plan %v", v, plan, res.Report.Plans[v])
+		}
+	}
+
+	if res.Report.SplitSegments > 0 {
+		ev := sink.Named(telemetry.EvSplitApplied)
+		if len(ev) != 1 || ev[0].Fields["segments"] != res.Report.SplitSegments {
+			t.Errorf("split.applied events %v do not carry segments=%d", ev, res.Report.SplitSegments)
+		}
+	}
+	if res.Report.InspectorsHoisted > 0 {
+		ev := sink.Named(telemetry.EvInspectorHoisted)
+		if len(ev) != 1 || ev[0].Fields["loops"] != res.Report.InspectorsHoisted {
+			t.Errorf("inspector.hoisted events %v do not carry loops=%d", ev, res.Report.InspectorsHoisted)
+		}
+	}
+	if sink.Count(telemetry.EvCompilePhase) == 0 {
+		t.Error("no compile.phase events emitted")
+	}
+	if res.Report.ChecksumStmts <= 0 {
+		t.Errorf("ChecksumStmts = %d, want > 0", res.Report.ChecksumStmts)
+	}
+
+	var planTotal uint64
+	phaseHistSeen := false
+	for _, ms := range reg.Snapshot().Metrics {
+		switch ms.Name {
+		case "defuse_plans_total":
+			planTotal += uint64(ms.Value)
+		case "defuse_phase_seconds":
+			if ms.Labels["component"] == "instrument" {
+				phaseHistSeen = true
+			}
+		}
+	}
+	if want := uint64(len(res.Report.Plans)); planTotal != want {
+		t.Errorf("defuse_plans_total sums to %d, want %d", planTotal, want)
+	}
+	if !phaseHistSeen {
+		t.Error("defuse_phase_seconds{component=instrument} not recorded")
+	}
+}
+
+func TestPlanCounts(t *testing.T) {
+	prog, err := lang.Parse(cgishSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Instrument(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Report.PlanCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(res.Report.Plans) {
+		t.Errorf("PlanCounts total %d != %d plans", total, len(res.Report.Plans))
+	}
+}

@@ -8,12 +8,14 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"defuse/internal/checksum"
 	"defuse/internal/lang"
 	"defuse/internal/memsim"
+	"defuse/telemetry"
 )
 
 // OpCounts tallies dynamic operations, separating checksum-instrumentation
@@ -80,6 +82,9 @@ type Machine struct {
 
 	stepHook   func(step uint64)
 	inChecksum bool
+
+	trace   telemetry.Sink
+	metrics *telemetry.Registry
 }
 
 // Option configures a Machine.
@@ -93,6 +98,18 @@ func WithChecksumKind(k checksum.Kind) Option {
 // WithMaxSteps bounds statement execution.
 func WithMaxSteps(n uint64) Option {
 	return func(m *Machine) { m.MaxSteps = n }
+}
+
+// WithTrace streams execution events (fault.injected with bit/word
+// coordinates, detection, verify.ok/mismatch) to s.
+func WithTrace(s telemetry.Sink) Option {
+	return func(m *Machine) { m.trace = s }
+}
+
+// WithMetrics publishes dynamic operation counts and verification outcomes
+// into r after each Run.
+func WithMetrics(r *telemetry.Registry) Option {
+	return func(m *Machine) { m.metrics = r }
 }
 
 // New builds a machine for prog with the given integer parameter values,
@@ -137,7 +154,29 @@ func New(prog *lang.Program, params map[string]int64, opts ...Option) (*Machine,
 		vi.region = alloc.Alloc(int(size))
 		m.vars[d.Name] = vi
 	}
+	if m.trace != nil {
+		// Stream every bit flip the harness injects, with both the raw
+		// word address and the owning array's coordinates.
+		m.mem.SetFaultHook(func(addr, bit int) {
+			fields := map[string]any{"addr": addr, "bit": bit}
+			if name, idx, ok := m.varAt(addr); ok {
+				fields["array"] = name
+				fields["index"] = idx
+			}
+			telemetry.Emit(m.trace, telemetry.EvFaultInjected, fields)
+		})
+	}
 	return m, nil
+}
+
+// varAt reverse-maps a word address to the owning variable and flat index.
+func (m *Machine) varAt(addr int) (name string, index int, ok bool) {
+	for n, vi := range m.vars {
+		if addr >= vi.region.Base && addr < vi.region.Base+vi.region.Size {
+			return n, addr - vi.region.Base, true
+		}
+	}
+	return "", 0, false
 }
 
 // Mem exposes the simulated memory (for fault injection).
@@ -211,7 +250,29 @@ func (m *Machine) Run() error {
 	if max == 0 {
 		max = 500_000_000
 	}
-	return m.execStmts(m.prog.Body, max)
+	err := m.execStmts(m.prog.Body, max)
+	m.publishMetrics()
+	return err
+}
+
+// publishMetrics exports the cumulative dynamic operation counts as gauges
+// (Counts accumulates across Run calls, so gauges rather than counters).
+func (m *Machine) publishMetrics() {
+	if m.metrics == nil {
+		return
+	}
+	c := m.Counts
+	for _, kv := range []struct {
+		op string
+		v  uint64
+	}{
+		{"loads", c.Loads}, {"stores", c.Stores}, {"arith", c.Arith},
+		{"compare", c.Compare}, {"cs_ops", c.CsOps}, {"cs_loads", c.CsLoads},
+		{"cs_arith", c.CsArith}, {"branches", c.Branches}, {"stmts", c.Stmts},
+	} {
+		m.metrics.Gauge("defuse_interp_ops",
+			telemetry.Label{Key: "op", Value: kv.op}).Set(float64(kv.v))
+	}
 }
 
 func (m *Machine) execStmts(ss []lang.Stmt, max uint64) error {
@@ -280,11 +341,43 @@ func (m *Machine) execStmt(s lang.Stmt, max uint64) error {
 		return m.execChecksum(x)
 	case *lang.AssertChecksums:
 		if err := m.pair.Verify(); err != nil {
+			m.emitVerify(err)
 			return &DetectionError{Pos: x.Pos, Err: err}
 		}
+		m.emitVerify(nil)
 		return nil
 	}
 	return &RuntimeError{Pos: s.StmtPos(), Msg: fmt.Sprintf("unknown statement %T", s)}
+}
+
+// emitVerify streams the outcome of a checksum verification: verify.ok on a
+// match, verify.mismatch plus a detection event (with the mismatching pair
+// and both values) on a caught memory error.
+func (m *Machine) emitVerify(err error) {
+	if m.trace == nil && m.metrics == nil {
+		return
+	}
+	if err == nil {
+		telemetry.Emit(m.trace, telemetry.EvVerifyOK, map[string]any{
+			"def": m.pair.Def, "use": m.pair.Use,
+			"e_def": m.pair.EDef, "e_use": m.pair.EUse,
+		})
+		m.metrics.Counter("defuse_verifications_total",
+			telemetry.Label{Key: "result", Value: "ok"}).Inc()
+		return
+	}
+	fields := map[string]any{"error": err.Error()}
+	var mm *checksum.MismatchError
+	if errors.As(err, &mm) {
+		fields["which"] = mm.Which
+		fields["expected"] = mm.Expected
+		fields["observed"] = mm.Observed
+	}
+	telemetry.Emit(m.trace, telemetry.EvVerifyMismatch, fields)
+	telemetry.Emit(m.trace, telemetry.EvDetection, fields)
+	m.metrics.Counter("defuse_verifications_total",
+		telemetry.Label{Key: "result", Value: "mismatch"}).Inc()
+	m.metrics.Counter("defuse_detections_total").Inc()
 }
 
 func (m *Machine) execAssign(x *lang.Assign) error {

@@ -17,6 +17,11 @@ type Memory struct {
 	// loadHook, when set, may substitute the value observed by a load
 	// (modeling a fault in the data path or address logic).
 	loadHook func(addr int, raw uint64) uint64
+
+	// faultHook, when set, observes every FlipBit call, so experiment
+	// harnesses can stream fault-injection telemetry without wrapping
+	// every injection site.
+	faultHook func(addr, bit int)
 }
 
 // New returns a memory with the given capacity in 64-bit words.
@@ -64,10 +69,17 @@ func (m *Memory) FlipBit(addr, bit int) {
 		panic(fmt.Sprintf("memsim: bit %d out of range", bit))
 	}
 	m.words[addr] ^= 1 << uint(bit)
+	if m.faultHook != nil {
+		m.faultHook(addr, bit)
+	}
 }
 
 // SetLoadHook installs (or clears, with nil) the load observation hook.
 func (m *Memory) SetLoadHook(h func(addr int, raw uint64) uint64) { m.loadHook = h }
+
+// SetFaultHook installs (or clears, with nil) the fault observation hook
+// invoked after every FlipBit.
+func (m *Memory) SetFaultHook(h func(addr, bit int)) { m.faultHook = h }
 
 // Loads returns the number of Load calls.
 func (m *Memory) Loads() uint64 { return m.loads }

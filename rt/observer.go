@@ -1,0 +1,111 @@
+package rt
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"defuse/internal/checksum"
+	"defuse/telemetry"
+)
+
+// Observer receives runtime checksum telemetry from a Tracker. The hook is
+// nil-checked on every operation, so an unobserved tracker pays only an
+// untaken branch; implementations must be cheap and concurrency-safe if the
+// tracker is shared.
+type Observer interface {
+	// ObserveDef fires on every definition; n is the compile-time use
+	// count, or -1 for a dynamically counted definition (DefDyn).
+	ObserveDef(bits uint64, n int64)
+	// ObserveUse fires on every use.
+	ObserveUse(bits uint64)
+	// ObserveVerify fires on every verification; err is nil on a match and
+	// a *checksum.MismatchError on a detected memory error.
+	ObserveVerify(err error)
+}
+
+// SetObserver installs (or clears, with nil) the tracker's observer and
+// returns the tracker for chaining.
+func (t *Tracker) SetObserver(o Observer) *Tracker {
+	t.obs = o
+	return t
+}
+
+// CountingObserver tallies runtime checksum activity with atomic counters.
+type CountingObserver struct {
+	Defs, Uses           atomic.Int64
+	Verifies, Mismatches atomic.Int64
+	// LastDefBits/LastUseBits record the most recent observed bit
+	// patterns, for coordinate-level fault diagnosis in tests.
+	LastDefBits, LastUseBits atomic.Uint64
+}
+
+// ObserveDef implements Observer.
+func (c *CountingObserver) ObserveDef(bits uint64, n int64) {
+	c.Defs.Add(1)
+	c.LastDefBits.Store(bits)
+}
+
+// ObserveUse implements Observer.
+func (c *CountingObserver) ObserveUse(bits uint64) {
+	c.Uses.Add(1)
+	c.LastUseBits.Store(bits)
+}
+
+// ObserveVerify implements Observer.
+func (c *CountingObserver) ObserveVerify(err error) {
+	c.Verifies.Add(1)
+	if err != nil {
+		c.Mismatches.Add(1)
+	}
+}
+
+// TelemetryObserver bridges a Tracker into the defuse/telemetry substrate:
+// def/use totals land in registry counters (no per-op events — that would
+// swamp any sink), and each verification emits a verify.ok or
+// verify.mismatch event (mismatches also emit detection, with the
+// mismatching checksum pair's values).
+type TelemetryObserver struct {
+	sink       telemetry.Sink
+	defs, uses *telemetry.Counter
+	verifyOK   *telemetry.Counter
+	verifyBad  *telemetry.Counter
+}
+
+// NewTelemetryObserver builds an observer reporting into sink and reg
+// (either may be nil).
+func NewTelemetryObserver(sink telemetry.Sink, reg *telemetry.Registry) *TelemetryObserver {
+	return &TelemetryObserver{
+		sink: sink,
+		defs: reg.Counter("defuse_rt_ops_total", telemetry.Label{Key: "op", Value: "def"}),
+		uses: reg.Counter("defuse_rt_ops_total", telemetry.Label{Key: "op", Value: "use"}),
+		verifyOK: reg.Counter("defuse_rt_verifications_total",
+			telemetry.Label{Key: "result", Value: "ok"}),
+		verifyBad: reg.Counter("defuse_rt_verifications_total",
+			telemetry.Label{Key: "result", Value: "mismatch"}),
+	}
+}
+
+// ObserveDef implements Observer.
+func (o *TelemetryObserver) ObserveDef(bits uint64, n int64) { o.defs.Inc() }
+
+// ObserveUse implements Observer.
+func (o *TelemetryObserver) ObserveUse(bits uint64) { o.uses.Inc() }
+
+// ObserveVerify implements Observer.
+func (o *TelemetryObserver) ObserveVerify(err error) {
+	if err == nil {
+		o.verifyOK.Inc()
+		telemetry.Emit(o.sink, telemetry.EvVerifyOK, nil)
+		return
+	}
+	o.verifyBad.Inc()
+	fields := map[string]any{"error": err.Error()}
+	var mm *checksum.MismatchError
+	if errors.As(err, &mm) {
+		fields["which"] = mm.Which
+		fields["expected"] = mm.Expected
+		fields["observed"] = mm.Observed
+	}
+	telemetry.Emit(o.sink, telemetry.EvVerifyMismatch, fields)
+	telemetry.Emit(o.sink, telemetry.EvDetection, fields)
+}

@@ -1,0 +1,269 @@
+package rt
+
+import (
+	"errors"
+	"testing"
+
+	"defuse/internal/checksum"
+	"defuse/telemetry"
+)
+
+// Observer coordinate tests: a single-bit flip between def and use must be
+// visible to the observer as exactly that bit differing between the last
+// observed def and use patterns, and Verify must report the mismatch.
+
+func TestObserverCoordinatesFloat64(t *testing.T) {
+	cases := []struct {
+		name string
+		bit  uint
+	}{
+		{"lsb", 0},
+		{"mantissa bit 23", 23},
+		{"mantissa high bit 51", 51},
+		{"exponent bit 55", 55},
+		{"sign bit", 63},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			obs := &CountingObserver{}
+			tr := NewTracker().SetObserver(obs)
+			v := Def(tr, 3.25, 1)
+			corrupted := CorruptBits(v, tc.bit)
+			_ = UseKnown(tr, corrupted)
+			if err := tr.Verify(); err == nil {
+				t.Fatal("corrupted use not detected")
+			}
+			if got := obs.LastDefBits.Load() ^ obs.LastUseBits.Load(); got != 1<<tc.bit {
+				t.Errorf("def^use bits = %#x, want %#x", got, uint64(1)<<tc.bit)
+			}
+			if obs.Defs.Load() != 1 || obs.Uses.Load() != 1 {
+				t.Errorf("defs=%d uses=%d, want 1/1", obs.Defs.Load(), obs.Uses.Load())
+			}
+			if obs.Verifies.Load() != 1 || obs.Mismatches.Load() != 1 {
+				t.Errorf("verifies=%d mismatches=%d, want 1/1",
+					obs.Verifies.Load(), obs.Mismatches.Load())
+			}
+		})
+	}
+}
+
+func TestObserverCoordinatesInt64(t *testing.T) {
+	cases := []struct {
+		name string
+		bit  uint
+	}{
+		{"lsb", 0},
+		{"bit 17", 17},
+		{"bit 31", 31},
+		{"bit 47", 47},
+		{"msb", 63},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			obs := &CountingObserver{}
+			tr := NewTracker().SetObserver(obs)
+			v := Def(tr, int64(987654321), 1)
+			corrupted := v ^ int64(1)<<tc.bit
+			_ = UseKnown(tr, corrupted)
+			if err := tr.Verify(); err == nil {
+				t.Fatal("corrupted use not detected")
+			}
+			if got := obs.LastDefBits.Load() ^ obs.LastUseBits.Load(); got != 1<<tc.bit {
+				t.Errorf("def^use bits = %#x, want %#x", got, uint64(1)<<tc.bit)
+			}
+			if obs.Mismatches.Load() != 1 {
+				t.Errorf("mismatches = %d, want 1", obs.Mismatches.Load())
+			}
+		})
+	}
+}
+
+func TestObserverCleanRun(t *testing.T) {
+	obs := &CountingObserver{}
+	tr := NewTracker().SetObserver(obs)
+	v := Def(tr, 2.5, 2)
+	_ = UseKnown(tr, v)
+	_ = UseKnown(tr, v)
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("clean run detected: %v", err)
+	}
+	if obs.Defs.Load() != 1 || obs.Uses.Load() != 2 {
+		t.Errorf("defs=%d uses=%d, want 1/2", obs.Defs.Load(), obs.Uses.Load())
+	}
+	if obs.Verifies.Load() != 1 || obs.Mismatches.Load() != 0 {
+		t.Errorf("verifies=%d mismatches=%d, want 1/0", obs.Verifies.Load(), obs.Mismatches.Load())
+	}
+}
+
+func TestObserverDynPath(t *testing.T) {
+	obs := &CountingObserver{}
+	tr := NewTracker().SetObserver(obs)
+	var c Counter
+	v := DefDyn(tr, &c, 0.0, 4.5)
+	v = Use(tr, &c, v)
+	Final(tr, &c, v)
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("clean dynamic run detected: %v", err)
+	}
+	if obs.Defs.Load() != 1 || obs.Uses.Load() != 1 {
+		t.Errorf("defs=%d uses=%d, want 1/1", obs.Defs.Load(), obs.Uses.Load())
+	}
+}
+
+func TestMustVerifyFiresObserver(t *testing.T) {
+	obs := &CountingObserver{}
+	tr := NewTracker().SetObserver(obs)
+	v := Def(tr, 1.5, 1)
+	_ = UseKnown(tr, CorruptBits(v, 7))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustVerify did not panic on mismatch")
+			}
+		}()
+		tr.MustVerify()
+	}()
+	if obs.Mismatches.Load() != 1 {
+		t.Errorf("mismatches = %d, want 1", obs.Mismatches.Load())
+	}
+}
+
+func TestTelemetryObserver(t *testing.T) {
+	sink := &telemetry.Collector{}
+	reg := telemetry.NewRegistry()
+	tr := NewTracker().SetObserver(NewTelemetryObserver(sink, reg))
+
+	v := Def(tr, 9.75, 1)
+	_ = UseKnown(tr, v)
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count(telemetry.EvVerifyOK) != 1 {
+		t.Errorf("verify.ok events = %d, want 1", sink.Count(telemetry.EvVerifyOK))
+	}
+
+	tr.Reset()
+	v = Def(tr, 9.75, 1)
+	_ = UseKnown(tr, CorruptBits(v, 11))
+	err := tr.Verify()
+	if err == nil {
+		t.Fatal("corrupted use not detected")
+	}
+	var mm *checksum.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("error %v is not a MismatchError", err)
+	}
+	bad := sink.Named(telemetry.EvVerifyMismatch)
+	if len(bad) != 1 {
+		t.Fatalf("verify.mismatch events = %d, want 1", len(bad))
+	}
+	if bad[0].Fields["which"] != mm.Which {
+		t.Errorf("mismatch which = %v, want %v", bad[0].Fields["which"], mm.Which)
+	}
+	if sink.Count(telemetry.EvDetection) != 1 {
+		t.Errorf("detection events = %d, want 1", sink.Count(telemetry.EvDetection))
+	}
+
+	var okCount, badCount uint64
+	for _, ms := range reg.Snapshot().Metrics {
+		if ms.Name == "defuse_rt_verifications_total" {
+			switch ms.Labels["result"] {
+			case "ok":
+				okCount = uint64(ms.Value)
+			case "mismatch":
+				badCount = uint64(ms.Value)
+			}
+		}
+	}
+	if okCount != 1 || badCount != 1 {
+		t.Errorf("rt verification counters ok=%d mismatch=%d, want 1/1", okCount, badCount)
+	}
+}
+
+// --- benchmark guard: nil observer must stay within noise of bare tracking ---
+
+func trackerLoop(tr *Tracker, n int) {
+	v := 1.5
+	for i := 0; i < n; i++ {
+		v = Def(tr, v, 1)
+		_ = UseKnown(tr, v)
+	}
+}
+
+// defNoObs/useNoObs are Def/UseKnown with the observer branch deleted — the
+// baseline that isolates exactly the cost of the nil check. They must stay
+// structurally identical to the real functions (same generic shape, same
+// return) or the comparison measures compiler artifacts instead.
+func defNoObs[T Word](t *Tracker, v T, n int64) T {
+	t.pair.AddDef(Bits(v), n)
+	return v
+}
+
+func useNoObs[T Word](t *Tracker, v T) T {
+	t.pair.AddUse(Bits(v))
+	return v
+}
+
+func bareLoop(tr *Tracker, n int) {
+	v := 1.5
+	for i := 0; i < n; i++ {
+		v = defNoObs(tr, v, 1)
+		_ = useNoObs(tr, v)
+	}
+}
+
+func BenchmarkTrackerNilObserver(b *testing.B) {
+	tr := NewTracker()
+	b.ReportAllocs()
+	trackerLoop(tr, b.N)
+}
+
+func BenchmarkTrackerCountingObserver(b *testing.B) {
+	tr := NewTracker().SetObserver(&CountingObserver{})
+	b.ReportAllocs()
+	trackerLoop(tr, b.N)
+}
+
+// TestNilObserverOverheadWithinNoise compares the nil-observer tracker path
+// against the identical loop with the observer branch compiled out. The
+// design budget is <2% (a single untaken branch per op); the assertion
+// threshold is deliberately lenient (1.5x) so CI timer jitter cannot fail
+// the build, with the measured ratio logged for inspection. Run the
+// benchmarks above for precise numbers.
+func TestNilObserverOverheadWithinNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	measure := func(f func(n int)) float64 {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) { f(b.N) })
+			ns := float64(r.NsPerOp())
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	tr := NewTracker()
+	withNil := measure(func(n int) { trackerLoop(tr, n) })
+	bare := measure(func(n int) { bareLoop(tr, n) })
+	ratio := withNil / bare
+	t.Logf("nil-observer %.2f ns/op, no-hook baseline %.2f ns/op, ratio %.3f", withNil, bare, ratio)
+	if ratio > 1.5 {
+		t.Errorf("nil-observer overhead ratio %.3f exceeds 1.5x guard", ratio)
+	}
+}
+
+// TestObserverZeroAllocs pins the allocation-free claim for the nil-observer
+// hot path.
+func TestObserverZeroAllocs(t *testing.T) {
+	tr := NewTracker()
+	allocs := testing.AllocsPerRun(100, func() {
+		v := Def(tr, 1.25, 1)
+		_ = UseKnown(tr, v)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-observer tracker ops allocate %.1f per run, want 0", allocs)
+	}
+}

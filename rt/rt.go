@@ -53,6 +53,11 @@ type Counter struct {
 // activation.
 type Tracker struct {
 	pair *checksum.Pair
+	// obs, when non-nil, observes every def/use/verify. The hot path is a
+	// single nil check, so the uninstrumented case stays allocation-free
+	// and within noise of the unobserved tracker (see the benchmark guard
+	// in observer_test.go).
+	obs Observer
 }
 
 // NewTracker returns a tracker using the paper's modulo-addition operator.
@@ -67,7 +72,11 @@ func NewTrackerWith(k checksum.Kind) *Tracker {
 // value is folded into the def-checksum n times (Algorithm 3, known path).
 // It returns v so the call can wrap an assignment's right-hand side.
 func Def[T Word](t *Tracker, v T, n int64) T {
-	t.pair.AddDef(Bits(v), n)
+	bits := Bits(v)
+	t.pair.AddDef(bits, n)
+	if t.obs != nil {
+		t.obs.ObserveDef(bits, n)
+	}
 	return v
 }
 
@@ -83,6 +92,9 @@ func DefDyn[T Word](t *Tracker, c *Counter, prev, v T) T {
 	t.pair.AddEDef(Bits(v))
 	c.n = 0
 	c.defined = true
+	if t.obs != nil {
+		t.obs.ObserveDef(Bits(v), -1)
+	}
 	return v
 }
 
@@ -90,14 +102,22 @@ func DefDyn[T Word](t *Tracker, c *Counter, prev, v T) T {
 // folded into the use-checksum and the counter incremented. It returns v so
 // reads can be wrapped in place.
 func Use[T Word](t *Tracker, c *Counter, v T) T {
-	t.pair.AddUse(Bits(v))
+	bits := Bits(v)
+	t.pair.AddUse(bits)
 	c.n++
+	if t.obs != nil {
+		t.obs.ObserveUse(bits)
+	}
 	return v
 }
 
 // UseKnown records a use of a statically counted value (no counter needed).
 func UseKnown[T Word](t *Tracker, v T) T {
-	t.pair.AddUse(Bits(v))
+	bits := Bits(v)
+	t.pair.AddUse(bits)
+	if t.obs != nil {
+		t.obs.ObserveUse(bits)
+	}
 	return v
 }
 
@@ -115,13 +135,19 @@ func Final[T Word](t *Tracker, c *Counter, v T) {
 
 // Verify compares the def/use and e_def/e_use checksums; a non-nil error is
 // a detected memory corruption (*checksum.MismatchError).
-func (t *Tracker) Verify() error { return t.pair.Verify() }
+func (t *Tracker) Verify() error {
+	err := t.pair.Verify()
+	if t.obs != nil {
+		t.obs.ObserveVerify(err)
+	}
+	return err
+}
 
 // MustVerify panics with the mismatch if a memory error was detected. The
 // goinstr instrumenter inserts it in a deferred epilogue so that silent data
 // corruption becomes a loud failure.
 func (t *Tracker) MustVerify() {
-	if err := t.pair.Verify(); err != nil {
+	if err := t.Verify(); err != nil {
 		panic(err)
 	}
 }

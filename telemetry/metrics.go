@@ -1,0 +1,303 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (a Prometheus label pair).
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 gauge.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (lock-free CAS loop).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket latency histogram with atomic bucket counts.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// DefBuckets returns the default latency bounds in seconds, covering
+// microsecond-scale analysis phases through multi-second experiment runs.
+func DefBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 30}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name    string
+	labels  []Label
+	kind    string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named instruments. Registration takes a mutex; the returned
+// instruments are lock-free, so hot paths should capture them once.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	kinds   map[string]string // family name -> kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}, kinds: map[string]string{}}
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// key renders the unique instrument key (family name plus sorted labels).
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// register finds or creates an instrument, enforcing name validity and
+// per-family kind consistency. Misuse is a programmer error and panics.
+func (r *Registry) register(name, kind string, labels []Label, bounds []float64) *metric {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Key))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.kinds[name]; ok && k != kind {
+		panic(fmt.Sprintf("telemetry: metric %q already registered as %s, requested %s", name, k, kind))
+	}
+	r.kinds[name] = kind
+	id := key(name, labels)
+	if m, ok := r.metrics[id]; ok {
+		return m
+	}
+	m := &metric{name: name, kind: kind, labels: sortedLabels(labels)}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = newHistogram(bounds)
+	}
+	r.metrics[id] = m
+	return m
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Counter finds or registers a counter. A nil registry returns a detached
+// but functional counter, so wiring code needs no guards.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.register(name, kindCounter, labels, nil).counter
+}
+
+// Gauge finds or registers a gauge (nil-registry safe, as Counter).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.register(name, kindGauge, labels, nil).gauge
+}
+
+// Histogram finds or registers a fixed-bucket histogram with the given
+// ascending upper bounds (nil-registry safe, as Counter). Bounds are fixed
+// at first registration; later calls reuse the existing instrument.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return newHistogram(bounds)
+	}
+	return r.register(name, kindHistogram, labels, bounds).hist
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	// LE is the bucket's inclusive upper bound rendered Prometheus-style
+	// ("0.001", "+Inf").
+	LE string `json:"le"`
+	// Count is the cumulative observation count for values <= LE.
+	Count uint64 `json:"count"`
+}
+
+// MetricSnapshot is a point-in-time reading of one instrument.
+type MetricSnapshot struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// Snapshot is a consistent-enough point-in-time export of a registry.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot reads every instrument. Ordering is deterministic (name, then
+// label set). A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.metrics))
+	for id := range r.metrics {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ms := make([]*metric, len(ids))
+	for i, id := range ids {
+		ms[i] = r.metrics[id]
+	}
+	r.mu.Unlock()
+
+	var snap Snapshot
+	for _, m := range ms {
+		s := MetricSnapshot{Name: m.name, Kind: m.kind}
+		if len(m.labels) > 0 {
+			s.Labels = map[string]string{}
+			for _, l := range m.labels {
+				s.Labels[l.Key] = l.Value
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.counter.Value())
+		case kindGauge:
+			s.Value = m.gauge.Value()
+		case kindHistogram:
+			s.Count = m.hist.Count()
+			s.Sum = m.hist.Sum()
+			cum := uint64(0)
+			for i := range m.hist.buckets {
+				cum += m.hist.buckets[i].Load()
+				le := "+Inf"
+				if i < len(m.hist.bounds) {
+					le = formatFloat(m.hist.bounds[i])
+				}
+				s.Buckets = append(s.Buckets, BucketSnapshot{LE: le, Count: cum})
+			}
+		}
+		snap.Metrics = append(snap.Metrics, s)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteMetricsFile writes the registry to path, choosing the format by
+// extension: ".json" writes the JSON snapshot, anything else the Prometheus
+// text exposition format.
+func (r *Registry) WriteMetricsFile(path string) error {
+	var buf strings.Builder
+	var err error
+	if strings.HasSuffix(path, ".json") {
+		err = r.WriteJSON(&buf)
+	} else {
+		err = r.WritePrometheus(&buf)
+	}
+	if err != nil {
+		return err
+	}
+	return writeFile(path, buf.String())
+}

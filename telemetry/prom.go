@@ -1,0 +1,372 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4): a writer for registry snapshots, a minimal parser, and a linter
+// used by tests and the -metrics flag to guarantee that everything the
+// registry exports is scrapeable.
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// renderLabels renders {k="v",...} with an optional extra label appended.
+func renderLabels(labels map[string]string, extraKey, extraVal string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, k, escapeLabelValue(labels[k])))
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, extraKey, escapeLabelValue(extraVal)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus writes the snapshot in the text exposition format, one
+// "# TYPE" header per metric family followed by its samples.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	typed := map[string]bool{}
+	for _, m := range s.Metrics {
+		if !typed[m.Name] {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Kind)
+			typed[m.Name] = true
+		}
+		switch m.Kind {
+		case kindCounter, kindGauge:
+			fmt.Fprintf(bw, "%s%s %s\n", m.Name, renderLabels(m.Labels, "", ""), formatFloat(m.Value))
+		case kindHistogram:
+			for _, b := range m.Buckets {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", m.Name, renderLabels(m.Labels, "le", b.LE), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", m.Name, renderLabels(m.Labels, "", ""), formatFloat(m.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.Name, renderLabels(m.Labels, "", ""), m.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePrometheus exports the current registry state (see Snapshot).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// Sample is one parsed exposition-format sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Type    string
+	Samples []Sample
+}
+
+// ParsePrometheus parses text in the exposition format, returning families
+// keyed by name. Histogram _bucket/_sum/_count samples are attached to
+// their base family.
+func ParsePrometheus(r io.Reader) (map[string]*Family, error) {
+	families := map[string]*Family{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+					}
+					name, typ := fields[2], fields[3]
+					if !metricNameRe.MatchString(name) {
+						return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+					}
+					switch typ {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+					}
+					if f, ok := families[name]; ok && f.Type != "" {
+						return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+					}
+					f := familyFor(families, name)
+					f.Type = typ
+				}
+			}
+			continue
+		}
+		samp, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyFor(families, baseName(samp.Name, families))
+		fam.Samples = append(fam.Samples, samp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// familyFor finds or creates a family record.
+func familyFor(families map[string]*Family, name string) *Family {
+	f, ok := families[name]
+	if !ok {
+		f = &Family{Name: name}
+		families[name] = f
+	}
+	return f
+}
+
+// baseName strips histogram sample suffixes when the base family is typed
+// as a histogram (or summary).
+func baseName(sample string, families map[string]*Family) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base == sample {
+			continue
+		}
+		if f, ok := families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return base
+		}
+	}
+	return sample
+}
+
+// parseSample parses `name{k="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !metricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may follow the value; we only emit plain samples but
+	// accept the general form.
+	if j := strings.IndexAny(valStr, " \t"); j >= 0 {
+		valStr = valStr[:j]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst.
+func parseLabels(s string, dst map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %q value not quoted", name)
+		}
+		s = s[1:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(s[i])
+				default:
+					return fmt.Errorf("bad escape \\%c in label %q", s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[i+1:]
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated value for label %q", name)
+		}
+		if _, dup := dst[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		dst[name] = b.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// Lint parses exposition-format text and enforces the structural rules the
+// format requires of scrapeable output: every sample belongs to a typed
+// family, histogram families carry coherent _bucket/_sum/_count series, and
+// bucket counts are cumulative with a closing +Inf bucket.
+func Lint(r io.Reader) error {
+	families, err := ParsePrometheus(r)
+	if err != nil {
+		return err
+	}
+	for name, f := range families {
+		if f.Type == "" {
+			return fmt.Errorf("lint: family %q has samples but no TYPE line", name)
+		}
+		if f.Type != "histogram" {
+			continue
+		}
+		if err := lintHistogram(f); err != nil {
+			return fmt.Errorf("lint: family %q: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks one histogram family's series coherence per label set.
+func lintHistogram(f *Family) error {
+	type series struct {
+		buckets []Sample
+		sum     *Sample
+		count   *Sample
+	}
+	groups := map[string]*series{}
+	groupKey := func(labels map[string]string) string {
+		var parts []string
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		g := groups[groupKey(s.Labels)]
+		if g == nil {
+			g = &series{}
+			groups[groupKey(s.Labels)] = g
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("bucket sample missing le label")
+			}
+			g.buckets = append(g.buckets, s)
+		case strings.HasSuffix(s.Name, "_sum"):
+			g.sum = &f.Samples[i]
+		case strings.HasSuffix(s.Name, "_count"):
+			g.count = &f.Samples[i]
+		default:
+			return fmt.Errorf("unexpected sample %q in histogram family", s.Name)
+		}
+	}
+	for key, g := range groups {
+		if len(g.buckets) == 0 || g.sum == nil || g.count == nil {
+			return fmt.Errorf("series {%s} incomplete (buckets/sum/count required)", key)
+		}
+		sort.Slice(g.buckets, func(i, j int) bool {
+			li, _ := parseValue(g.buckets[i].Labels["le"])
+			lj, _ := parseValue(g.buckets[j].Labels["le"])
+			return li < lj
+		})
+		last := g.buckets[len(g.buckets)-1]
+		le, err := parseValue(last.Labels["le"])
+		if err != nil || !math.IsInf(le, 1) {
+			return fmt.Errorf("series {%s} missing +Inf bucket", key)
+		}
+		prev := -1.0
+		for _, b := range g.buckets {
+			if b.Value < prev {
+				return fmt.Errorf("series {%s} bucket counts not cumulative", key)
+			}
+			prev = b.Value
+		}
+		if last.Value != g.count.Value {
+			return fmt.Errorf("series {%s} +Inf bucket %v != count %v", key, last.Value, g.count.Value)
+		}
+	}
+	return nil
+}
+
+// writeFile atomically-enough writes content to path.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

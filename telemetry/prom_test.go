@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// fullRegistry builds a registry exercising every instrument kind.
+func fullRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("defuse_events_total", Label{"event", "fault.injected"}).Add(42)
+	r.Counter("defuse_events_total", Label{"event", "detection"}).Add(41)
+	r.Gauge("defuse_interp_ops", Label{"op", "loads"}).Set(123456)
+	h := r.Histogram("defuse_phase_seconds", DefBuckets(),
+		Label{"component", "instrument"}, Label{"phase", "usecount"})
+	h.Observe(0.002)
+	h.Observe(0.7)
+	return r
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := fullRegistry()
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	families, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exported text does not parse: %v\n%s", err, text)
+	}
+	ev := families["defuse_events_total"]
+	if ev == nil || ev.Type != "counter" || len(ev.Samples) != 2 {
+		t.Fatalf("counter family = %+v", ev)
+	}
+	var total float64
+	for _, s := range ev.Samples {
+		total += s.Value
+	}
+	if total != 83 {
+		t.Errorf("counter values round-tripped to %v, want 83", total)
+	}
+	ops := families["defuse_interp_ops"]
+	if ops == nil || ops.Type != "gauge" || ops.Samples[0].Value != 123456 {
+		t.Fatalf("gauge family = %+v", ops)
+	}
+	ph := families["defuse_phase_seconds"]
+	if ph == nil || ph.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", ph)
+	}
+	// buckets + sum + count
+	if len(ph.Samples) != len(DefBuckets())+1+2 {
+		t.Errorf("histogram samples = %d", len(ph.Samples))
+	}
+}
+
+func TestLintAcceptsExport(t *testing.T) {
+	var buf strings.Builder
+	if err := fullRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("lint rejected our own export: %v\n%s", err, buf.String())
+	}
+}
+
+func TestLintRejectsBadText(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "defuse_x_total 1\n",
+		"bad metric name":     "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":           "# TYPE defuse_x counter\ndefuse_x one\n",
+		"unterminated labels": "# TYPE defuse_x counter\ndefuse_x{a=\"b 1\n",
+		"histogram no +Inf": "# TYPE defuse_h histogram\n" +
+			"defuse_h_bucket{le=\"1\"} 1\ndefuse_h_sum 1\ndefuse_h_count 1\n",
+		"histogram not cumulative": "# TYPE defuse_h histogram\n" +
+			"defuse_h_bucket{le=\"1\"} 5\ndefuse_h_bucket{le=\"+Inf\"} 3\n" +
+			"defuse_h_sum 1\ndefuse_h_count 3\n",
+		"histogram inf != count": "# TYPE defuse_h histogram\n" +
+			"defuse_h_bucket{le=\"1\"} 1\ndefuse_h_bucket{le=\"+Inf\"} 3\n" +
+			"defuse_h_sum 1\ndefuse_h_count 4\n",
+	}
+	for name, text := range cases {
+		if err := Lint(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseLabelEscapes(t *testing.T) {
+	text := "# TYPE defuse_x counter\n" +
+		"defuse_x{msg=\"a\\\"b\\\\c\\nd\"} 2\n"
+	families, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := families["defuse_x"].Samples[0].Labels["msg"]
+	if got != "a\"b\\c\nd" {
+		t.Errorf("label value = %q", got)
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("defuse_esc_total", Label{"msg", `quote " slash \ nl` + "\n"}).Inc()
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families, err := ParsePrometheus(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	got := families["defuse_esc_total"].Samples[0].Labels["msg"]
+	if got != `quote " slash \ nl`+"\n" {
+		t.Errorf("escaped label round-tripped to %q", got)
+	}
+}

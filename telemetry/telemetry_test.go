@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitNilSinkIsSafe(t *testing.T) {
+	Emit(nil, EvDetection, map[string]any{"x": 1}) // must not panic
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := &Collector{}
+	Emit(c, EvFaultInjected, map[string]any{"word": 3, "bit": 7})
+	Emit(c, EvFaultInjected, nil)
+	Emit(c, EvDetection, nil)
+	if got := c.Count(EvFaultInjected); got != 2 {
+		t.Errorf("fault.injected count = %d, want 2", got)
+	}
+	if got := c.Count(EvDetection); got != 1 {
+		t.Errorf("detection count = %d, want 1", got)
+	}
+	ev := c.Named(EvFaultInjected)[0]
+	if ev.Fields["word"] != 3 || ev.Fields["bit"] != 7 {
+		t.Errorf("fields = %v", ev.Fields)
+	}
+	if ev.Time.IsZero() {
+		t.Error("event not timestamped")
+	}
+}
+
+func TestJSONLSinkWritesParseableLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	Emit(s, EvVerifyOK, map[string]any{"def": "0x1"})
+	Emit(s, EvVerifyMismatch, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var names []string
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		names = append(names, e.Name)
+	}
+	if len(names) != 2 || names[0] != EvVerifyOK || names[1] != EvVerifyMismatch {
+		t.Errorf("events = %v", names)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	m := Multi(nil, a, nil, b)
+	Emit(m, EvDetection, nil)
+	if a.Count(EvDetection) != 1 || b.Count(EvDetection) != 1 {
+		t.Error("multi sink did not fan out")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils should be nil")
+	}
+	if Multi(a) != Sink(a) {
+		t.Error("Multi of one sink should return it directly")
+	}
+}
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("defuse_test_total", Label{"kind", "a"})
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	// Same name+labels returns the same instrument.
+	if r.Counter("defuse_test_total", Label{"kind", "a"}) != c {
+		t.Error("re-registration returned a new counter")
+	}
+	g := r.Gauge("defuse_test_gauge")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if g.Value() != 2.0 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x_seconds", DefBuckets()).Observe(0.1)
+	if len(r.Snapshot().Metrics) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind conflict")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("defuse_conflict")
+	r.Gauge("defuse_conflict")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("defuse_lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot().Metrics[0]
+	wantCum := []uint64{1, 2, 3, 4}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %s cumulative = %d, want %d", b.LE, b.Count, wantCum[i])
+		}
+	}
+	if snap.Buckets[len(snap.Buckets)-1].LE != "+Inf" {
+		t.Error("missing +Inf bucket")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("defuse_conc_total")
+	h := r.Histogram("defuse_conc_seconds", DefBuckets())
+	g := r.Gauge("defuse_conc_gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("hist count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("defuse_json_total").Add(7)
+	r.Histogram("defuse_json_seconds", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if len(snap.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(snap.Metrics))
+	}
+}
+
+func TestTimePhase(t *testing.T) {
+	c := &Collector{}
+	r := NewRegistry()
+	ran := false
+	d := TimePhase(c, r, "compile", "parse", func() { ran = true })
+	if !ran || d < 0 {
+		t.Error("TimePhase did not run f")
+	}
+	evs := c.Named(EvCompilePhase)
+	if len(evs) != 1 || evs[0].Fields["phase"] != "parse" || evs[0].Fields["component"] != "compile" {
+		t.Errorf("events = %v", evs)
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `defuse_phase_seconds_count{component="compile",phase="parse"} 1`) {
+		t.Errorf("prometheus output missing phase count:\n%s", buf.String())
+	}
+	// Nil sink and registry must also work.
+	TimePhase(nil, nil, "compile", "parse", func() {})
+}
