@@ -34,7 +34,10 @@ func BenchmarkTable1Coverage(b *testing.B) {
 			name := fmt.Sprintf("flips=%d/dual=%v", flips, dual)
 			b.Run(name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					r := faults.Table1Cell(100, flips, faults.Random, dual, 100, int64(i))
+					r, err := faults.Table1Cell(100, flips, faults.Random, dual, 100, int64(i))
+					if err != nil {
+						b.Fatal(err)
+					}
 					if r.Trials != 100 {
 						b.Fatal("bad trial count")
 					}

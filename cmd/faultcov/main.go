@@ -7,35 +7,83 @@
 //
 //	faultcov [-trials 100000] [-sizes 100,10000,1000000] [-flips 2,3,4,5,6] \
 //	         [-patterns zero,one,random] [-schemes single,dual] [-seed 1] \
+//	         [-epochs 0] [-endonly] [-recover] [-workers 0] [-timeout 0] \
+//	         [-resume checkpoint.json] [-json out.json] \
 //	         [-trace events.jsonl] [-metrics out]
 //
 // The paper uses 100,000 trials; -trials 10000 gives the same shape in
-// seconds rather than minutes. -trace streams one fault.injected event per
-// trial per cell (with the flipped word/bit coordinates) plus a detection or
-// escaped verify.ok outcome; select a single cell (one size, one flip count,
-// one pattern, one scheme) to get exactly -trials events.
+// seconds rather than minutes. Trials run on a worker pool (-workers, default
+// GOMAXPROCS) with deterministic per-trial seeding, so results are identical
+// for any worker count. -resume names a checkpoint file: an interrupted
+// campaign (Ctrl-C) records its finished work there and a re-run with the
+// same configuration picks up where it stopped, producing the same final
+// numbers as an uninterrupted run.
+//
+// -epochs E switches from the paper's single-shot array experiment to the
+// epoch-scoped one: the array is a live working set advanced for E epochs
+// under the def/use tracker, verification runs at every epoch boundary
+// (-endonly restricts it to the last, the paper's program-end placement), and
+// -recover (default true) runs each trial under the checkpoint/rollback
+// supervisor, reporting detection latency and recovery success rate. Epoch
+// mode uses the single-checksum scheme.
+//
+// -trace streams one fault.injected event per trial per cell (with the
+// flipped word/bit coordinates) plus verification outcomes; select a single
+// cell (one size, one flip count, one pattern, one scheme) to get exactly
+// -trials injection events.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"defuse/internal/checksum"
 	"defuse/internal/faults"
 	"defuse/telemetry"
 )
 
+type options struct {
+	trials   int
+	sizes    string
+	flips    string
+	patterns string
+	schemes  string
+	seed     int64
+	op       string
+	epochs   int
+	endOnly  bool
+	recover  bool
+	workers  int
+	timeout  time.Duration
+	resume   string
+	jsonOut  string
+}
+
 func main() {
-	trials := flag.Int("trials", 100000, "injection trials per cell (paper: 100000)")
-	sizes := flag.String("sizes", "100,10000,1000000", "array sizes in 64-bit words")
-	flips := flag.String("flips", "2,3,4,5,6", "bit-flip counts")
-	patterns := flag.String("patterns", "zero,one,random", "data patterns: zero, one, random")
-	schemes := flag.String("schemes", "single,dual", "checksum schemes: single, dual")
-	seed := flag.Int64("seed", 1, "random seed")
-	op := flag.String("op", "modadd", "checksum operator: modadd, xor, onescomp")
+	var o options
+	flag.IntVar(&o.trials, "trials", 100000, "injection trials per cell (paper: 100000)")
+	flag.StringVar(&o.sizes, "sizes", "100,10000,1000000", "array sizes in 64-bit words")
+	flag.StringVar(&o.flips, "flips", "2,3,4,5,6", "bit-flip counts")
+	flag.StringVar(&o.patterns, "patterns", "zero,one,random", "data patterns: zero, one, random")
+	flag.StringVar(&o.schemes, "schemes", "single,dual", "checksum schemes: single, dual (ignored with -epochs)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed; each trial derives its own sub-seed")
+	flag.StringVar(&o.op, "op", "modadd", "checksum operator: modadd, xor, onescomp")
+	flag.IntVar(&o.epochs, "epochs", 0, "run the epoch-scoped experiment with this many epochs per trial (0 = classic Table 1)")
+	flag.BoolVar(&o.endOnly, "endonly", false, "with -epochs: verify only at the final boundary (the paper's program-end placement)")
+	flag.BoolVar(&o.recover, "recover", true, "with -epochs: run trials under the checkpoint/rollback recovery supervisor")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "per-trial timeout (0 = none)")
+	flag.StringVar(&o.resume, "resume", "", "checkpoint file: record finished chunks and resume an interrupted campaign from it")
+	flag.StringVar(&o.jsonOut, "json", "", `write the campaign result as JSON to this file ("-" for stdout)`)
 	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
 	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
 	flag.Parse()
@@ -44,7 +92,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	err = run(*trials, *sizes, *flips, *patterns, *schemes, *seed, *op, sink, reg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err = run(ctx, o, sink, reg)
+	stop()
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
@@ -53,52 +103,118 @@ func main() {
 	}
 }
 
-func run(trials int, sizes, flips, patterns, schemes string, seed int64, op string,
-	sink telemetry.Sink, reg *telemetry.Registry) error {
-	kind, err := parseKind(op)
+func run(ctx context.Context, o options, sink telemetry.Sink, reg *telemetry.Registry) error {
+	kind, err := parseKind(o.op)
 	if err != nil {
 		return err
 	}
-	sizeList, err := parseInts(sizes)
+	sizeList, err := parseInts(o.sizes)
 	if err != nil {
 		return err
 	}
-	flipList, err := parseInts(flips)
+	flipList, err := parseInts(o.flips)
 	if err != nil {
 		return err
 	}
-	patternList, err := parsePatterns(patterns)
+	patternList, err := parsePatterns(o.patterns)
 	if err != nil {
 		return err
 	}
-	dualList, err := parseSchemes(schemes)
+	dualList, err := parseSchemes(o.schemes)
 	if err != nil {
 		return err
+	}
+	if o.epochs > 0 {
+		// Epoch mode measures the single def/use checksum pair; the dual
+		// rotated scheme belongs to the array-sum experiment.
+		dualList = []bool{false}
 	}
 
-	fmt.Printf("Table 1: percentage of undetected errors with %s checksums (%d trials)\n\n", kind, trials)
+	var cells []faults.CoverageConfig
+	for _, k := range flipList {
+		for _, n := range sizeList {
+			for _, dual := range dualList {
+				for _, p := range patternList {
+					cells = append(cells, faults.CoverageConfig{
+						Kind: kind, Words: n, BitFlips: k, Pattern: p,
+						Dual: dual, Trials: o.trials, Seed: o.seed,
+						Epochs: o.epochs, EndOnlyVerify: o.endOnly,
+						Recover: o.epochs > 0 && o.recover,
+						Trace:   sink, Metrics: reg,
+					})
+				}
+			}
+		}
+	}
+
+	camp := &faults.Campaign{
+		Cells:          cells,
+		Workers:        o.workers,
+		TrialTimeout:   o.timeout,
+		CheckpointPath: o.resume,
+	}
+	res, runErr := camp.Run(ctx)
+	if res != nil {
+		if err := render(o, res, sizeList, flipList, patternList, dualList); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if errors.Is(runErr, context.Canceled) && o.resume != "" {
+		fmt.Fprintf(os.Stderr, "faultcov: interrupted; finished chunks saved to %s, re-run to resume\n", o.resume)
+	}
+	return runErr
+}
+
+func render(o options, res *faults.CampaignResult, sizes, flips []int,
+	patterns []faults.Pattern, duals []bool) error {
+	if o.jsonOut != "" {
+		raw, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if o.jsonOut == "-" {
+			_, err = os.Stdout.Write(raw)
+			return err
+		}
+		return os.WriteFile(o.jsonOut, raw, 0o644)
+	}
+	if o.epochs > 0 {
+		fmt.Printf("epoch-scoped fault coverage: %d epochs, %d trials per cell\n\n", o.epochs, o.trials)
+		for _, r := range res.Results {
+			fmt.Println(r.String())
+		}
+		if !res.Completed {
+			fmt.Println("(campaign incomplete: partial tallies above)")
+		}
+		return nil
+	}
+
+	// Classic mode: the Table 1 grid. Results arrive indexed in the same
+	// flips->sizes->schemes->patterns nesting order the cells were built in.
+	fmt.Printf("Table 1: percentage of undetected errors with %s checksums (%d trials)\n\n", o.op, o.trials)
 	fmt.Printf("%-10s %-9s", "#bit-flips", "N")
-	for _, dual := range dualList {
-		for _, p := range patternList {
+	for _, dual := range duals {
+		for _, p := range patterns {
 			fmt.Printf(" | %-11s", cellName(p, dual))
 		}
 	}
 	fmt.Println()
-	for _, k := range flipList {
-		for _, n := range sizeList {
+	i := 0
+	for _, k := range flips {
+		for _, n := range sizes {
 			fmt.Printf("%-10d %-9d", k, n)
-			for _, dual := range dualList {
-				for _, p := range patternList {
-					r := faults.RunCoverage(faults.CoverageConfig{
-						Kind: kind, Words: n, BitFlips: k, Pattern: p,
-						Dual: dual, Trials: trials, Seed: seed,
-						Trace: sink, Metrics: reg,
-					})
-					fmt.Printf(" | %-11s", fmt.Sprintf("%.3f%%", r.UndetectedPercent()))
+			for range duals {
+				for range patterns {
+					fmt.Printf(" | %-11s", fmt.Sprintf("%.3f%%", res.Results[i].UndetectedPercent()))
+					i++
 				}
 			}
 			fmt.Println()
 		}
+	}
+	if !res.Completed {
+		fmt.Println("(campaign incomplete: partial tallies above)")
 	}
 	return nil
 }

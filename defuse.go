@@ -119,7 +119,10 @@ type CoverageResult = faults.CoverageResult
 
 // FaultCoverage runs one cell of the paper's Table 1: initialize words 64-bit
 // values, flip bits, and count undetected errors under one or two checksums.
-func FaultCoverage(cfg CoverageConfig) CoverageResult {
+// With cfg.Epochs > 0 the cell runs the epoch-scoped experiment, measuring
+// detection latency and (with cfg.Recover) rollback-recovery success.
+// It returns an error for invalid configurations.
+func FaultCoverage(cfg CoverageConfig) (CoverageResult, error) {
 	return faults.RunCoverage(cfg)
 }
 

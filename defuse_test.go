@@ -91,9 +91,12 @@ func TestParsePrintRoundTrip(t *testing.T) {
 }
 
 func TestFaultCoverageFacade(t *testing.T) {
-	r := FaultCoverage(CoverageConfig{
+	r, err := FaultCoverage(CoverageConfig{
 		Kind: 0, Words: 64, BitFlips: 1, Pattern: faults.Random, Trials: 500, Seed: 9,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Undetected != 0 {
 		t.Errorf("single-bit errors must always be caught, %d escaped", r.Undetected)
 	}

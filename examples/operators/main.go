@@ -26,10 +26,13 @@ func main() {
 	for _, k := range []checksum.Kind{checksum.ModAdd, checksum.XOR, checksum.OnesComp} {
 		var cells []string
 		for _, flips := range []int{2, 3} {
-			r := defuse.FaultCoverage(defuse.CoverageConfig{
+			r, err := defuse.FaultCoverage(defuse.CoverageConfig{
 				Kind: k, Words: words, BitFlips: flips,
 				Pattern: faults.Random, Trials: trials, Seed: 1,
 			})
+			if err != nil {
+				panic(err)
+			}
 			cells = append(cells, fmt.Sprintf("%.3f%%", r.UndetectedPercent()))
 		}
 		fmt.Printf("%-22s %-12s %-12s\n", k.String()+" (1 checksum)", cells[0], cells[1])
@@ -38,10 +41,13 @@ func main() {
 	// by an address-derived amount, so aligned cancellations un-align.
 	var cells []string
 	for _, flips := range []int{2, 3} {
-		r := defuse.FaultCoverage(defuse.CoverageConfig{
+		r, err := defuse.FaultCoverage(defuse.CoverageConfig{
 			Kind: checksum.ModAdd, Words: words, BitFlips: flips,
 			Pattern: faults.Random, Trials: trials, Seed: 1, Dual: true,
 		})
+		if err != nil {
+			panic(err)
+		}
 		cells = append(cells, fmt.Sprintf("%.3f%%", r.UndetectedPercent()))
 	}
 	fmt.Printf("%-22s %-12s %-12s\n", "modadd (2 checksums)", cells[0], cells[1])

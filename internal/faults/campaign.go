@@ -1,0 +1,525 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"defuse/internal/checksum"
+	"defuse/telemetry"
+)
+
+// This file is the hardened campaign driver: a worker pool runs injection
+// trials in fixed-size chunks, every trial derives its own deterministic
+// sub-seed, the whole campaign is context-cancellable with per-trial
+// timeouts, and completed chunks are checkpointed to a JSON file so a killed
+// run resumes where it left off. Because every tally is a sum over
+// independently seeded trials, the final CoverageResult is byte-identical
+// regardless of worker count, chunk completion order, or interruptions.
+
+// DefaultChunkSize is the number of trials per checkpointable work unit.
+const DefaultChunkSize = 256
+
+// CampaignSchema identifies the campaign result JSON document.
+const CampaignSchema = "defuse/faultcov/v2"
+
+// checkpointSchema identifies the resume checkpoint JSON document.
+const checkpointSchema = "defuse/faultcov-checkpoint/v1"
+
+// Campaign runs a set of coverage cells on a worker pool.
+type Campaign struct {
+	Cells []CoverageConfig
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// TrialTimeout bounds each trial's supervised execution. A trial that
+	// exceeds it aborts the campaign with an error (after checkpointing),
+	// keeping results deterministic rather than skewing tallies.
+	TrialTimeout time.Duration
+	// CheckpointPath, when non-empty, is the JSON file completed chunks are
+	// recorded in. An existing compatible checkpoint is resumed; a
+	// checkpoint written by a different campaign configuration is rejected.
+	CheckpointPath string
+	// ChunkSize overrides DefaultChunkSize (the checkpoint granularity).
+	ChunkSize int
+	// Trace, when non-nil, receives campaign lifecycle events in addition
+	// to whatever the per-cell sinks stream.
+	Trace telemetry.Sink
+}
+
+// CampaignResult aggregates the campaign's cells.
+type CampaignResult struct {
+	Schema string `json:"schema"`
+	// Completed is false when the campaign was interrupted; the checkpoint
+	// file then holds the finished chunks.
+	Completed bool `json:"completed"`
+	// ResumedChunks counts chunks restored from the checkpoint file rather
+	// than re-run.
+	ResumedChunks int `json:"resumed_chunks,omitempty"`
+	// Cells are JSON-friendly summaries, one per configured cell.
+	Cells []CellReport `json:"cells"`
+	// Results are the raw per-cell results, index-aligned with Cells.
+	Results []CoverageResult `json:"-"`
+}
+
+// CellReport is the flat JSON summary of one cell's outcome.
+type CellReport struct {
+	Operator             string  `json:"operator"`
+	Words                int     `json:"words"`
+	BitFlips             int     `json:"bit_flips"`
+	Pattern              string  `json:"pattern"`
+	Scheme               string  `json:"scheme"`
+	Trials               int     `json:"trials"`
+	Seed                 int64   `json:"seed"`
+	Epochs               int     `json:"epochs,omitempty"`
+	EndOnlyVerify        bool    `json:"end_only_verify,omitempty"`
+	Recover              bool    `json:"recover,omitempty"`
+	Undetected           int     `json:"undetected"`
+	UndetectedPercent    float64 `json:"undetected_percent"`
+	Detected             int     `json:"detected"`
+	MeanDetectionLatency float64 `json:"mean_detection_latency_epochs"`
+	MaxDetectionLatency  int     `json:"max_detection_latency_epochs"`
+	Recovered            int     `json:"recovered"`
+	RecoverySuccessRate  float64 `json:"recovery_success_rate"`
+	Tainted              int     `json:"tainted"`
+	Retries              int64   `json:"retries"`
+	Restarts             int64   `json:"restarts"`
+}
+
+// Report renders the result as its JSON summary row.
+func (r CoverageResult) Report() CellReport {
+	return CellReport{
+		Operator:             r.Kind.String(),
+		Words:                r.Words,
+		BitFlips:             r.BitFlips,
+		Pattern:              r.Pattern.String(),
+		Scheme:               r.scheme(),
+		Trials:               r.Trials,
+		Seed:                 r.Seed,
+		Epochs:               r.Epochs,
+		EndOnlyVerify:        r.EndOnlyVerify,
+		Recover:              r.Recover,
+		Undetected:           r.Undetected,
+		UndetectedPercent:    r.UndetectedPercent(),
+		Detected:             r.Detected,
+		MeanDetectionLatency: r.MeanDetectionLatency(),
+		MaxDetectionLatency:  r.LatencyMax,
+		Recovered:            r.Recovered,
+		RecoverySuccessRate:  r.RecoveryRate(),
+		Tainted:              r.Tainted,
+		Retries:              r.Retries,
+		Restarts:             r.Restarts,
+	}
+}
+
+// trialSeed derives trial t's deterministic sub-seed from the cell seed with
+// a splitmix64 step, so trials are independent of execution order and of one
+// another's random streams.
+func trialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + uint64(trial+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// trialTally is one trial's outcome.
+type trialTally struct {
+	undetected bool
+	detected   bool
+	latency    int
+	recovered  bool
+	tainted    bool
+	retries    int
+	restarts   int
+}
+
+// chunkTally is the checkpointable aggregate of one chunk of trials.
+type chunkTally struct {
+	Start      int   `json:"start"`
+	Count      int   `json:"count"`
+	Undetected int   `json:"undetected"`
+	Detected   int   `json:"detected"`
+	LatencySum int64 `json:"latency_sum,omitempty"`
+	LatencyMax int   `json:"latency_max,omitempty"`
+	Recovered  int   `json:"recovered,omitempty"`
+	Tainted    int   `json:"tainted,omitempty"`
+	Retries    int64 `json:"retries,omitempty"`
+	Restarts   int64 `json:"restarts,omitempty"`
+}
+
+func (t *chunkTally) add(o trialTally) {
+	if o.undetected {
+		t.Undetected++
+	}
+	if o.detected {
+		t.Detected++
+		t.LatencySum += int64(o.latency)
+		if o.latency > t.LatencyMax {
+			t.LatencyMax = o.latency
+		}
+	}
+	if o.recovered {
+		t.Recovered++
+	}
+	if o.tainted {
+		t.Tainted++
+	}
+	t.Retries += int64(o.retries)
+	t.Restarts += int64(o.restarts)
+}
+
+type cellCheckpoint struct {
+	Cell   int          `json:"cell"`
+	Chunks []chunkTally `json:"chunks"`
+}
+
+type checkpointFile struct {
+	Schema string           `json:"schema"`
+	Key    uint64           `json:"key"`
+	Cells  []cellCheckpoint `json:"cells"`
+}
+
+// fingerprint hashes the semantic campaign configuration so a checkpoint
+// written by a different campaign cannot be resumed by accident.
+func (c *Campaign) fingerprint(chunkSize int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "chunk=%d;", chunkSize)
+	for _, cfg := range c.Cells {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%v|%d|%d|%d|%v|%v|%d;",
+			cfg.Kind, cfg.Words, cfg.BitFlips, cfg.Pattern, cfg.Dual,
+			cfg.Trials, cfg.Seed, cfg.Epochs, cfg.EndOnlyVerify, cfg.Recover,
+			cfg.MaxRetries)
+	}
+	return h.Sum64()
+}
+
+type chunkJob struct{ cell, start, count int }
+
+type chunkDone struct {
+	cell  int
+	tally chunkTally
+	err   error
+}
+
+// Run executes the campaign. On context cancellation it checkpoints the
+// finished chunks (when CheckpointPath is set) and returns the context error
+// alongside the partial result; re-running the same campaign resumes from
+// the checkpoint and produces the same final result as an uninterrupted run.
+func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
+	if len(c.Cells) == 0 {
+		return nil, fmt.Errorf("faults: campaign has no cells")
+	}
+	for i, cfg := range c.Cells {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("cell %d: %w", i, err)
+		}
+	}
+	chunkSize := c.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	key := c.fingerprint(chunkSize)
+
+	// done maps (cell, chunk start) to its finished tally.
+	done := map[[2]int]chunkTally{}
+	resumed := 0
+	if c.CheckpointPath != "" {
+		n, err := loadCheckpoint(c.CheckpointPath, key, done)
+		if err != nil {
+			return nil, err
+		}
+		resumed = n
+	}
+
+	var jobs []chunkJob
+	total := 0
+	for ci, cfg := range c.Cells {
+		for start := 0; start < cfg.Trials; start += chunkSize {
+			total++
+			count := chunkSize
+			if start+count > cfg.Trials {
+				count = cfg.Trials - start
+			}
+			if _, ok := done[[2]int{ci, start}]; ok {
+				continue
+			}
+			jobs = append(jobs, chunkJob{cell: ci, start: start, count: count})
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobCh := make(chan chunkJob)
+	resCh := make(chan chunkDone)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []uint64 // reused classic-mode data buffer
+			for job := range jobCh {
+				tally, err := c.runChunk(runCtx, job, &buf)
+				resCh <- chunkDone{cell: job.cell, tally: tally, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	var firstErr error
+	for d := range resCh {
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = d.err
+				cancel()
+			}
+			continue
+		}
+		done[[2]int{d.cell, d.tally.Start}] = d.tally
+		if c.CheckpointPath != "" {
+			if err := c.writeCheckpoint(key, done); err != nil && firstErr == nil {
+				firstErr = err
+				cancel()
+			}
+		}
+	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+		}
+	}
+
+	res := &CampaignResult{
+		Schema:        CampaignSchema,
+		Completed:     len(done) == total && firstErr == nil,
+		ResumedChunks: resumed,
+	}
+	for ci, cfg := range c.Cells {
+		r := CoverageResult{CoverageConfig: cfg}
+		for start := 0; start < cfg.Trials; start += chunkSize {
+			t, ok := done[[2]int{ci, start}]
+			if !ok {
+				continue
+			}
+			r.Undetected += t.Undetected
+			r.Detected += t.Detected
+			r.LatencySum += t.LatencySum
+			if t.LatencyMax > r.LatencyMax {
+				r.LatencyMax = t.LatencyMax
+			}
+			r.Recovered += t.Recovered
+			r.Tainted += t.Tainted
+			r.Retries += t.Retries
+			r.Restarts += t.Restarts
+		}
+		res.Results = append(res.Results, r)
+		res.Cells = append(res.Cells, r.Report())
+	}
+	return res, firstErr
+}
+
+// runChunk executes one chunk's trials sequentially on a worker.
+func (c *Campaign) runChunk(ctx context.Context, job chunkJob, buf *[]uint64) (chunkTally, error) {
+	cfg := c.Cells[job.cell]
+	tally := chunkTally{Start: job.start, Count: job.count}
+	if cfg.Epochs > 0 {
+		for i := 0; i < job.count; i++ {
+			if err := ctx.Err(); err != nil {
+				return tally, err
+			}
+			trial := job.start + i
+			tctx, tcancel := ctx, context.CancelFunc(func() {})
+			if c.TrialTimeout > 0 {
+				tctx, tcancel = context.WithTimeout(ctx, c.TrialTimeout)
+			}
+			out, err := runEpochTrial(tctx, cfg, trial)
+			tcancel()
+			if err != nil {
+				return tally, fmt.Errorf("faults: epoch trial %d: %w", trial, err)
+			}
+			tally.add(out)
+		}
+		return tally, nil
+	}
+
+	if len(*buf) < cfg.Words {
+		*buf = make([]uint64, cfg.Words)
+	}
+	r := &classicRunner{cfg: cfg, data: (*buf)[:cfg.Words]}
+	for i := 0; i < job.count; i++ {
+		if err := ctx.Err(); err != nil {
+			return tally, err
+		}
+		tally.add(r.trial(job.start + i))
+	}
+	return tally, nil
+}
+
+// classicRunner executes the paper's single-shot Table 1 trials against a
+// worker-local buffer.
+type classicRunner struct {
+	cfg          CoverageConfig
+	data         []uint64
+	baseReady    bool
+	base1, base2 uint64
+}
+
+func (r *classicRunner) trial(trial int) trialTally {
+	cfg := r.cfg
+	in := NewInjector(trialSeed(cfg.Seed, trial))
+	if cfg.Pattern == Random {
+		in.Fill(r.data, Random)
+		r.base1, r.base2 = initialSums(cfg, r.data)
+	} else if !r.baseReady {
+		// Constant patterns carry identical data in every trial: fill and
+		// compute the base sums once per chunk (flips are undone below).
+		in.Fill(r.data, cfg.Pattern)
+		r.base1, r.base2 = initialSums(cfg, r.data)
+		r.baseReady = true
+	}
+	flips := in.FlipBits(r.data, cfg.BitFlips)
+	var s1, s2 uint64
+	if cfg.Dual {
+		s1, s2 = checksum.DualSum(cfg.Kind, r.data)
+	} else {
+		s1 = checksum.Sum(cfg.Kind, r.data)
+	}
+	undetected := s1 == r.base1 && (!cfg.Dual || s2 == r.base2)
+	cellMetrics(cfg, undetected)
+	if cfg.Trace != nil {
+		coords := make([]map[string]any, len(flips))
+		for i, f := range flips {
+			coords[i] = map[string]any{"word": f.Word, "bit": f.Bit}
+		}
+		telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, map[string]any{
+			"trial": trial, "flips": coords, "scheme": cfg.scheme(),
+			"words": cfg.Words, "pattern": cfg.Pattern.String(),
+		})
+		if undetected {
+			// The checksums matched despite the error: the injected
+			// fault escaped (verify passed, wrongly).
+			telemetry.Emit(cfg.Trace, telemetry.EvVerifyOK, map[string]any{
+				"trial": trial, "escaped": true,
+			})
+		} else {
+			telemetry.Emit(cfg.Trace, telemetry.EvDetection, map[string]any{
+				"trial": trial,
+			})
+		}
+	}
+	// Undo the flips so constant-pattern trials can reuse the base sums.
+	for _, f := range flips {
+		r.data[f.Word] ^= 1 << uint(f.Bit)
+	}
+	return trialTally{undetected: undetected, detected: !undetected}
+}
+
+// cellLabels renders the metric labels identifying one cell.
+func cellLabels(cfg CoverageConfig) []telemetry.Label {
+	labels := []telemetry.Label{
+		{Key: "flips", Value: strconv.Itoa(cfg.BitFlips)},
+		{Key: "words", Value: strconv.Itoa(cfg.Words)},
+		{Key: "pattern", Value: cfg.Pattern.String()},
+		{Key: "scheme", Value: cfg.scheme()},
+	}
+	if cfg.Epochs > 0 {
+		labels = append(labels, telemetry.Label{Key: "epochs", Value: strconv.Itoa(cfg.Epochs)})
+	}
+	return labels
+}
+
+// cellMetrics records one trial in the cell's trial/undetected counters.
+func cellMetrics(cfg CoverageConfig, undetected bool) {
+	labels := cellLabels(cfg)
+	cfg.Metrics.Counter("defuse_faultcov_trials_total", labels...).Inc()
+	if undetected {
+		cfg.Metrics.Counter("defuse_faultcov_undetected_total", labels...).Inc()
+	}
+}
+
+// loadCheckpoint merges a checkpoint file into done, returning the number of
+// chunks restored. A missing file is not an error; a key mismatch is.
+func loadCheckpoint(path string, key uint64, done map[[2]int]chunkTally) (int, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return 0, fmt.Errorf("faults: corrupt checkpoint %s: %w", path, err)
+	}
+	if cp.Schema != checkpointSchema {
+		return 0, fmt.Errorf("faults: checkpoint %s has schema %q, want %q", path, cp.Schema, checkpointSchema)
+	}
+	if cp.Key != key {
+		return 0, fmt.Errorf("faults: checkpoint %s belongs to a different campaign configuration", path)
+	}
+	n := 0
+	for _, cell := range cp.Cells {
+		for _, ch := range cell.Chunks {
+			done[[2]int{cell.Cell, ch.Start}] = ch
+			n++
+		}
+	}
+	return n, nil
+}
+
+// writeCheckpoint atomically persists the finished chunks.
+func (c *Campaign) writeCheckpoint(key uint64, done map[[2]int]chunkTally) error {
+	cp := checkpointFile{Schema: checkpointSchema, Key: key}
+	byCell := map[int][]chunkTally{}
+	for k, t := range done {
+		byCell[k[0]] = append(byCell[k[0]], t)
+	}
+	cells := make([]int, 0, len(byCell))
+	for ci := range byCell {
+		cells = append(cells, ci)
+	}
+	sort.Ints(cells)
+	for _, ci := range cells {
+		chunks := byCell[ci]
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i].Start < chunks[j].Start })
+		cp.Cells = append(cp.Cells, cellCheckpoint{Cell: ci, Chunks: chunks})
+	}
+	raw, err := json.MarshalIndent(cp, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := c.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, c.CheckpointPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,8 +1,8 @@
 package faults
 
 import (
+	"context"
 	"fmt"
-	"strconv"
 
 	"defuse/internal/checksum"
 	"defuse/telemetry"
@@ -12,8 +12,14 @@ import (
 // initialize an array of 64-bit integers, compute its checksum(s), inject a
 // k-bit error, recompute, and count the trials in which the checksums still
 // match (the error escaped detection).
+//
+// With Epochs > 0 the experiment additionally measures what the paper's
+// program-end verification cannot: detection latency (epochs between
+// injection and detection) and — with Recover — the success rate of
+// checkpoint/rollback recovery (see epochtrial.go).
 
-// CoverageConfig describes one cell of Table 1.
+// CoverageConfig describes one cell of Table 1, optionally extended with
+// epoch-scoped verification and recovery.
 type CoverageConfig struct {
 	Kind     checksum.Kind // checksum operator (the paper uses ModAdd)
 	Words    int           // array size in 64-bit words (10^2, 10^4, 10^6)
@@ -21,21 +27,93 @@ type CoverageConfig struct {
 	Pattern  Pattern       // data initialization
 	Dual     bool          // use the two-checksum (rotated) scheme
 	Trials   int           // number of injection trials (paper: 100,000)
-	Seed     int64         // RNG seed
+	Seed     int64         // RNG seed; each trial derives its own sub-seed
+
+	// Epochs, when positive, switches the trial to an epoch-structured run:
+	// the data is a live working set advanced once per epoch under the
+	// def/use tracker discipline, the fault is injected inside a random
+	// epoch, and verification runs at every epoch boundary.
+	Epochs int
+	// EndOnlyVerify restricts verification to the final epoch boundary
+	// (the paper's program-end placement), for measuring the latency the
+	// epoch scheme removes.
+	EndOnlyVerify bool
+	// Recover enables the checkpoint/rollback supervisor: a detected epoch
+	// is rolled back and re-executed with bounded retries before escalating
+	// to restart and finally degradation.
+	Recover bool
+	// MaxRetries bounds rollback re-executions per epoch (default 2).
+	MaxRetries int
 
 	// Trace, when non-nil, receives one fault.injected event per trial
 	// (with the flipped word/bit coordinates) and a detection or verify.ok
-	// event for its outcome.
-	Trace telemetry.Sink
+	// event for its outcome; epoch trials add epoch.verify and recovery.*.
+	Trace telemetry.Sink `json:"-"`
 	// Metrics, when non-nil, receives per-cell trial and undetected
-	// counters labeled by flips/words/pattern/scheme.
-	Metrics *telemetry.Registry
+	// counters labeled by flips/words/pattern/scheme, and in epoch mode a
+	// detection-latency histogram and recovery counters.
+	Metrics *telemetry.Registry `json:"-"`
 }
 
-// CoverageResult reports the outcome of a coverage experiment.
+// Validate reports configuration errors a run would otherwise surface as
+// divisions by zero or panics deep in a campaign.
+func (cfg CoverageConfig) Validate() error {
+	if cfg.Trials <= 0 {
+		return fmt.Errorf("faults: Trials must be positive, got %d", cfg.Trials)
+	}
+	if cfg.Words <= 0 {
+		return fmt.Errorf("faults: Words must be positive, got %d", cfg.Words)
+	}
+	if cfg.BitFlips <= 0 {
+		return fmt.Errorf("faults: BitFlips must be positive, got %d", cfg.BitFlips)
+	}
+	if cfg.BitFlips > 64*cfg.Words {
+		return fmt.Errorf("faults: cannot flip %d bits in %d words", cfg.BitFlips, cfg.Words)
+	}
+	if cfg.Epochs < 0 {
+		return fmt.Errorf("faults: Epochs must be non-negative, got %d", cfg.Epochs)
+	}
+	if cfg.Epochs == 0 && (cfg.EndOnlyVerify || cfg.Recover) {
+		return fmt.Errorf("faults: EndOnlyVerify/Recover require Epochs > 0")
+	}
+	if cfg.Epochs > 0 && cfg.Dual {
+		return fmt.Errorf("faults: the dual rotated-checksum scheme applies to the array-sum experiment, not epoch mode")
+	}
+	return nil
+}
+
+// scheme returns the metrics label for the checksum scheme.
+func (cfg CoverageConfig) scheme() string {
+	if cfg.Dual {
+		return "dual"
+	}
+	return "single"
+}
+
+// CoverageResult reports the outcome of a coverage experiment. All tallies
+// are exact sums over per-trial outcomes, so a result is byte-identical for
+// a given config regardless of worker count or campaign interruption.
 type CoverageResult struct {
 	CoverageConfig
-	Undetected int // trials whose checksum(s) matched despite the error
+	// Undetected counts trials whose corruption escaped every verification.
+	Undetected int
+	// Detected counts trials whose corruption was flagged by verification.
+	Detected int
+	// LatencySum accumulates, over detected trials, the number of epochs
+	// between injection and detection (0 = caught at the injection epoch's
+	// own boundary). Always 0 for the classic single-shot experiment.
+	LatencySum int64
+	// LatencyMax is the worst detection latency observed, in epochs.
+	LatencyMax int
+	// Recovered counts detected trials whose rollback re-execution restored
+	// a correct, fully verified final state.
+	Recovered int
+	// Tainted counts trials that exhausted retries and restarts and
+	// completed in degraded (report-and-continue) mode.
+	Tainted int
+	// Retries and Restarts count recovery attempts across all trials.
+	Retries  int64
+	Restarts int64
 }
 
 // UndetectedPercent returns the percentage of undetected errors, the quantity
@@ -47,94 +125,53 @@ func (r CoverageResult) UndetectedPercent() float64 {
 	return 100 * float64(r.Undetected) / float64(r.Trials)
 }
 
+// MeanDetectionLatency returns the mean epochs between injection and
+// detection over detected trials.
+func (r CoverageResult) MeanDetectionLatency() float64 {
+	if r.Detected == 0 {
+		return 0
+	}
+	return float64(r.LatencySum) / float64(r.Detected)
+}
+
+// RecoveryRate returns the fraction of detected corruptions that were fully
+// recovered.
+func (r CoverageResult) RecoveryRate() float64 {
+	if r.Detected == 0 {
+		return 0
+	}
+	return float64(r.Recovered) / float64(r.Detected)
+}
+
 func (r CoverageResult) String() string {
 	scheme := "one checksum"
 	if r.Dual {
 		scheme = "two checksums"
 	}
-	return fmt.Sprintf("%d flips, N=%d, %v, %s: %.3f%% undetected",
+	s := fmt.Sprintf("%d flips, N=%d, %v, %s: %.3f%% undetected",
 		r.BitFlips, r.Words, r.Pattern, scheme, r.UndetectedPercent())
+	if r.Epochs > 0 {
+		s += fmt.Sprintf(", %d epochs: mean latency %.2f, recovery %.1f%%",
+			r.Epochs, r.MeanDetectionLatency(), 100*r.RecoveryRate())
+	}
+	return s
 }
 
-// RunCoverage executes the experiment described by cfg.
-//
-// Following the paper's methodology, each trial re-initializes the data,
-// computes the initial checksum(s), flips cfg.BitFlips uniformly chosen
-// distinct bits, recomputes, and compares. For AllZero/AllOne patterns the
-// data is identical across trials, so it is initialized once; for Random it
-// is refilled per trial.
-func RunCoverage(cfg CoverageConfig) CoverageResult {
-	if cfg.Trials <= 0 {
-		panic("faults: RunCoverage needs a positive trial count")
-	}
-	if cfg.Words <= 0 {
-		panic("faults: RunCoverage needs a positive word count")
-	}
-	in := NewInjector(cfg.Seed)
-	data := make([]uint64, cfg.Words)
-	res := CoverageResult{CoverageConfig: cfg}
+// RunCoverage executes the experiment described by cfg with default campaign
+// settings (one worker pool over trials, no checkpointing). It returns an
+// error for invalid configurations instead of dividing by zero later.
+func RunCoverage(cfg CoverageConfig) (CoverageResult, error) {
+	return RunCoverageContext(context.Background(), cfg)
+}
 
-	scheme := "single"
-	if cfg.Dual {
-		scheme = "dual"
+// RunCoverageContext is RunCoverage under a caller-controlled context.
+func RunCoverageContext(ctx context.Context, cfg CoverageConfig) (CoverageResult, error) {
+	camp := &Campaign{Cells: []CoverageConfig{cfg}}
+	res, err := camp.Run(ctx)
+	if err != nil {
+		return CoverageResult{CoverageConfig: cfg}, err
 	}
-	cellLabels := []telemetry.Label{
-		{Key: "flips", Value: strconv.Itoa(cfg.BitFlips)},
-		{Key: "words", Value: strconv.Itoa(cfg.Words)},
-		{Key: "pattern", Value: cfg.Pattern.String()},
-		{Key: "scheme", Value: scheme},
-	}
-	trialsCtr := cfg.Metrics.Counter("defuse_faultcov_trials_total", cellLabels...)
-	undetCtr := cfg.Metrics.Counter("defuse_faultcov_undetected_total", cellLabels...)
-
-	in.Fill(data, cfg.Pattern)
-	base1, base2 := initialSums(cfg, data)
-
-	for trial := 0; trial < cfg.Trials; trial++ {
-		if cfg.Pattern == Random {
-			in.Fill(data, cfg.Pattern)
-			base1, base2 = initialSums(cfg, data)
-		}
-		flips := in.FlipBits(data, cfg.BitFlips)
-		var s1, s2 uint64
-		if cfg.Dual {
-			s1, s2 = checksum.DualSum(cfg.Kind, data)
-		} else {
-			s1 = checksum.Sum(cfg.Kind, data)
-		}
-		undetected := s1 == base1 && (!cfg.Dual || s2 == base2)
-		if undetected {
-			res.Undetected++
-			undetCtr.Inc()
-		}
-		trialsCtr.Inc()
-		if cfg.Trace != nil {
-			coords := make([]map[string]any, len(flips))
-			for i, f := range flips {
-				coords[i] = map[string]any{"word": f.Word, "bit": f.Bit}
-			}
-			telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, map[string]any{
-				"trial": trial, "flips": coords, "scheme": scheme,
-				"words": cfg.Words, "pattern": cfg.Pattern.String(),
-			})
-			if undetected {
-				// The checksums matched despite the error: the injected
-				// fault escaped (verify passed, wrongly).
-				telemetry.Emit(cfg.Trace, telemetry.EvVerifyOK, map[string]any{
-					"trial": trial, "escaped": true,
-				})
-			} else {
-				telemetry.Emit(cfg.Trace, telemetry.EvDetection, map[string]any{
-					"trial": trial,
-				})
-			}
-		}
-		// Undo the flips so constant-pattern runs can reuse the base sums.
-		for _, f := range flips {
-			data[f.Word] ^= 1 << uint(f.Bit)
-		}
-	}
-	return res
+	return res.Results[0], nil
 }
 
 func initialSums(cfg CoverageConfig, data []uint64) (uint64, uint64) {
@@ -146,7 +183,7 @@ func initialSums(cfg CoverageConfig, data []uint64) (uint64, uint64) {
 
 // Table1Cell runs the paper's Table 1 cell for the given parameters with the
 // paper's operator (integer modulo addition).
-func Table1Cell(words, bitFlips int, p Pattern, dual bool, trials int, seed int64) CoverageResult {
+func Table1Cell(words, bitFlips int, p Pattern, dual bool, trials int, seed int64) (CoverageResult, error) {
 	return RunCoverage(CoverageConfig{
 		Kind:     checksum.ModAdd,
 		Words:    words,

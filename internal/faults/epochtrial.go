@@ -1,0 +1,184 @@
+package faults
+
+import (
+	"context"
+
+	"defuse/internal/memsim"
+	"defuse/internal/recovery"
+	"defuse/rt"
+	"defuse/telemetry"
+)
+
+// This file runs one epoch-structured injection trial. Unlike the classic
+// Table 1 experiment (one checksum over a dead array), the epoch trial keeps
+// the array live: every epoch loads each word, advances it through a
+// bijective update, and stores it back under the rt def/use discipline. At
+// every epoch boundary the trial finalizes all live variables so the
+// checksums are quiescent, verifies them, and re-registers the words for the
+// next epoch — the paper's post-dominator verification placement applied per
+// iteration block. A fault injected inside epoch k therefore either aliases
+// (escapes, as in Table 1) or is detected at epoch k's own boundary:
+// detection latency zero. With EndOnlyVerify the same trial verifies only at
+// the final boundary, measuring the latency the epoch scheme removes, and
+// with Recover the trial runs under the checkpoint/rollback supervisor and
+// reports whether the corrupted run was steered back to the correct final
+// state.
+
+// update advances one word per epoch. It is a bijective (odd-multiplier) LCG
+// step, so any corruption of a word propagates to a wrong final state rather
+// than being coincidentally reconverged.
+func update(v uint64) uint64 { return v*2862933555777941757 + 3037000493 }
+
+// epochTrialSnap checkpoints everything an epoch mutates: the simulated
+// memory, the tracker's sealed epoch state, and the shadow use counters. The
+// injection plan is deliberately outside the snapshot — a transient fault
+// does not recur when the epoch re-executes.
+type epochTrialSnap struct {
+	mem      []uint64
+	state    rt.EpochState
+	counters []rt.Counter
+}
+
+// runEpochTrial executes one supervised epoch trial and tallies its outcome.
+func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTally, error) {
+	words, epochs := cfg.Words, cfg.Epochs
+	in := NewInjector(trialSeed(cfg.Seed, trial))
+
+	init := make([]uint64, words)
+	in.Fill(init, cfg.Pattern)
+	injEpoch := in.Intn(epochs)
+	injWord := in.Intn(words)
+	flips := in.PickBits(words, cfg.BitFlips)
+
+	mem := memsim.New(words)
+	tr := rt.NewTrackerWith(cfg.Kind)
+	counters := make([]rt.Counter, words)
+	for i := 0; i < words; i++ {
+		mem.Poke(i, init[i])
+		rt.DefDyn(tr, &counters[i], uint64(0), init[i])
+	}
+	injected := false
+
+	run := func(k int) error {
+		for i := 0; i < words; i++ {
+			if !injected && k == injEpoch && i == injWord {
+				for _, f := range flips {
+					mem.FlipBit(f.Word, f.Bit)
+				}
+				injected = true
+				if cfg.Trace != nil {
+					coords := make([]map[string]any, len(flips))
+					for fi, f := range flips {
+						coords[fi] = map[string]any{"word": f.Word, "bit": f.Bit}
+					}
+					telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, map[string]any{
+						"trial": trial, "epoch": k, "flips": coords,
+						"scheme": "epoch", "words": words,
+					})
+				}
+			}
+			v := rt.Use(tr, &counters[i], mem.Load(i))
+			next := update(v)
+			mem.Store(i, next)
+			rt.DefDyn(tr, &counters[i], v, next)
+		}
+		return nil
+	}
+
+	verify := func(k int) error {
+		last := k == epochs-1
+		if cfg.EndOnlyVerify && !last {
+			return nil
+		}
+		// Finalize every live variable so the boundary is checksum-quiescent,
+		// verify, then re-register the survivors for the next epoch.
+		for i := 0; i < words; i++ {
+			rt.Final(tr, &counters[i], mem.Peek(i))
+		}
+		_, err := tr.EndEpoch()
+		if !last && err == nil {
+			for i := 0; i < words; i++ {
+				rt.DefDyn(tr, &counters[i], uint64(0), mem.Peek(i))
+			}
+		}
+		return err
+	}
+
+	pol := recovery.Policy{}
+	if cfg.Recover {
+		retries := cfg.MaxRetries
+		if retries <= 0 {
+			retries = 2
+		}
+		// No backoff pause inside the simulation: a retry re-executes
+		// immediately so campaigns stay fast and deterministic in wall time.
+		pol = recovery.Policy{MaxRetries: retries, MaxRestarts: 1}
+	}
+
+	out, err := recovery.Supervise(ctx, recovery.Config{
+		Epochs: epochs,
+		Run:    run,
+		Verify: verify,
+		Checkpoint: func() any {
+			return epochTrialSnap{
+				mem:      mem.Snapshot(),
+				state:    tr.BeginEpoch(),
+				counters: append([]rt.Counter(nil), counters...),
+			}
+		},
+		Restore: func(snap any) {
+			s := snap.(epochTrialSnap)
+			mem.Restore(s.mem)
+			if rerr := tr.Rollback(s.state); rerr != nil {
+				panic(rerr) // unreachable: every snapshot above is sealed
+			}
+			copy(counters, s.counters)
+		},
+		Policy:  pol,
+		Trace:   cfg.Trace,
+		Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		return trialTally{}, err
+	}
+
+	tally := trialTally{
+		undetected: !out.Detected,
+		detected:   out.Detected,
+		tainted:    out.Tainted,
+		retries:    out.Retries,
+		restarts:   out.Restarts,
+	}
+	if out.Detected {
+		tally.latency = out.FirstDetection - injEpoch
+	}
+	if out.Recovered && finalStateCorrect(mem, init, epochs) {
+		tally.recovered = true
+	}
+
+	cellMetrics(cfg, tally.undetected)
+	labels := cellLabels(cfg)
+	if tally.detected {
+		cfg.Metrics.Histogram("defuse_detection_latency_epochs",
+			telemetry.EpochBuckets(), labels...).Observe(float64(tally.latency))
+	}
+	if tally.recovered {
+		cfg.Metrics.Counter("defuse_recovery_recovered_total", labels...).Inc()
+	}
+	return tally, nil
+}
+
+// finalStateCorrect reports whether the memory holds exactly the state a
+// fault-free run would have produced: every word advanced epochs times from
+// its initial value.
+func finalStateCorrect(mem *memsim.Memory, init []uint64, epochs int) bool {
+	for i, v := range init {
+		for e := 0; e < epochs; e++ {
+			v = update(v)
+		}
+		if mem.Peek(i) != v {
+			return false
+		}
+	}
+	return true
+}

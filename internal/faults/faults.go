@@ -76,11 +76,11 @@ type BitFlip struct {
 	Bit  int // bit position within the 64-bit word, 0 = LSB
 }
 
-// FlipBits flips exactly k distinct bits chosen uniformly at random over all
-// 64*len(data) bit positions and returns the flips applied. It panics if k
-// exceeds the number of available bits.
-func (in *Injector) FlipBits(data []uint64, k int) []BitFlip {
-	total := 64 * len(data)
+// PickBits chooses exactly k distinct bit positions uniformly at random over
+// all 64*words available positions, without touching any data. It panics if
+// k exceeds the number of available bits.
+func (in *Injector) PickBits(words, k int) []BitFlip {
+	total := 64 * words
 	if k > total {
 		panic(fmt.Sprintf("faults: cannot flip %d bits in %d available", k, total))
 	}
@@ -92,9 +92,18 @@ func (in *Injector) FlipBits(data []uint64, k int) []BitFlip {
 			continue
 		}
 		seen[pos] = true
-		f := BitFlip{Word: pos / 64, Bit: pos % 64}
+		flips = append(flips, BitFlip{Word: pos / 64, Bit: pos % 64})
+	}
+	return flips
+}
+
+// FlipBits flips exactly k distinct bits chosen uniformly at random over all
+// 64*len(data) bit positions and returns the flips applied. It panics if k
+// exceeds the number of available bits.
+func (in *Injector) FlipBits(data []uint64, k int) []BitFlip {
+	flips := in.PickBits(len(data), k)
+	for _, f := range flips {
 		data[f.Word] ^= 1 << uint(f.Bit)
-		flips = append(flips, f)
 	}
 	return flips
 }

@@ -141,12 +141,22 @@ func TestInjectorDeterminism(t *testing.T) {
 	}
 }
 
+// mustCell runs a Table 1 cell, failing the test on configuration errors.
+func mustCell(tb testing.TB, words, flips int, p Pattern, dual bool, trials int, seed int64) CoverageResult {
+	tb.Helper()
+	r, err := Table1Cell(words, flips, p, dual, trials, seed)
+	if err != nil {
+		tb.Fatalf("Table1Cell: %v", err)
+	}
+	return r
+}
+
 func TestCoverageSingleBitAlwaysDetected(t *testing.T) {
 	// 1-bit errors are always caught (paper Section 6.1); the experiment for
 	// k=1 must therefore report zero undetected for every pattern and scheme.
 	for _, p := range []Pattern{AllZero, AllOne, Random} {
 		for _, dual := range []bool{false, true} {
-			r := Table1Cell(128, 1, p, dual, 2000, 11)
+			r := mustCell(t, 128, 1, p, dual, 2000, 11)
 			if r.Undetected != 0 {
 				t.Errorf("pattern=%v dual=%v: %d single-bit errors escaped", p, dual, r.Undetected)
 			}
@@ -159,8 +169,8 @@ func TestCoverageTwoBitConstantPatternShape(t *testing.T) {
 	// the rare carry-aligned case; the rate must be well under 1% and the
 	// dual scheme must do at least as well.
 	for _, p := range []Pattern{AllZero, AllOne} {
-		single := Table1Cell(100, 2, p, false, 20000, 12)
-		dual := Table1Cell(100, 2, p, true, 20000, 12)
+		single := mustCell(t, 100, 2, p, false, 20000, 12)
+		dual := mustCell(t, 100, 2, p, true, 20000, 12)
 		if pct := single.UndetectedPercent(); pct > 1.0 {
 			t.Errorf("%v single: %.3f%% undetected, want < 1%%", p, pct)
 		}
@@ -173,8 +183,8 @@ func TestCoverageTwoBitConstantPatternShape(t *testing.T) {
 func TestCoverageRandomWorstForSingleChecksum(t *testing.T) {
 	// Table 1: random data has the highest 2-bit escape rate under one
 	// checksum (~0.76%), far above the constant patterns (~0.014-0.025%).
-	rand2 := Table1Cell(100, 2, Random, false, 30000, 13)
-	zero2 := Table1Cell(100, 2, AllZero, false, 30000, 13)
+	rand2 := mustCell(t, 100, 2, Random, false, 30000, 13)
+	zero2 := mustCell(t, 100, 2, AllZero, false, 30000, 13)
 	if rand2.Undetected <= zero2.Undetected {
 		t.Errorf("random (%d) should escape more than all-zero (%d)", rand2.Undetected, zero2.Undetected)
 	}
@@ -187,11 +197,11 @@ func TestCoverageRandomWorstForSingleChecksum(t *testing.T) {
 func TestCoverageDualCatchesNearlyAll(t *testing.T) {
 	// Table 1 "Two checksums": 3+ bit flips are fully detected; 2-bit random
 	// escapes drop to ~0.02%.
-	r3 := Table1Cell(100, 3, Random, true, 20000, 14)
+	r3 := mustCell(t, 100, 3, Random, true, 20000, 14)
 	if r3.Undetected != 0 {
 		t.Errorf("3-bit flips with two checksums: %d escaped", r3.Undetected)
 	}
-	r2 := Table1Cell(100, 2, Random, true, 50000, 14)
+	r2 := mustCell(t, 100, 2, Random, true, 50000, 14)
 	if pct := r2.UndetectedPercent(); pct > 0.2 {
 		t.Errorf("2-bit random with two checksums: %.3f%% undetected, want ~0.02%%", pct)
 	}
@@ -199,16 +209,16 @@ func TestCoverageDualCatchesNearlyAll(t *testing.T) {
 
 func TestCoverageEscapeRateDropsWithMoreFlips(t *testing.T) {
 	// The escape percentage approaches zero as flips increase (Section 6.1).
-	two := Table1Cell(100, 2, Random, false, 20000, 15).Undetected
-	four := Table1Cell(100, 4, Random, false, 20000, 15).Undetected
-	six := Table1Cell(100, 6, Random, false, 20000, 15).Undetected
+	two := mustCell(t, 100, 2, Random, false, 20000, 15).Undetected
+	four := mustCell(t, 100, 4, Random, false, 20000, 15).Undetected
+	six := mustCell(t, 100, 6, Random, false, 20000, 15).Undetected
 	if !(two >= four && four >= six) {
 		t.Errorf("escape counts should be non-increasing in flips: 2→%d 4→%d 6→%d", two, four, six)
 	}
 }
 
 func TestCoverageResultString(t *testing.T) {
-	r := Table1Cell(100, 2, Random, true, 100, 16)
+	r := mustCell(t, 100, 2, Random, true, 100, 16)
 	if r.String() == "" {
 		t.Error("empty result string")
 	}
@@ -217,19 +227,22 @@ func TestCoverageResultString(t *testing.T) {
 	}
 }
 
-func TestRunCoveragePanics(t *testing.T) {
+func TestRunCoverageRejectsInvalidConfig(t *testing.T) {
+	// Satellite: degenerate configurations surface as errors, not as panics
+	// or NaN percentages deep inside a campaign.
 	for _, cfg := range []CoverageConfig{
 		{Kind: checksum.ModAdd, Words: 0, BitFlips: 2, Trials: 1},
 		{Kind: checksum.ModAdd, Words: 10, BitFlips: 2, Trials: 0},
+		{Kind: checksum.ModAdd, Words: 10, BitFlips: 0, Trials: 1},
+		{Kind: checksum.ModAdd, Words: 1, BitFlips: 65, Trials: 1},
+		{Kind: checksum.ModAdd, Words: 10, BitFlips: 2, Trials: 1, Epochs: -1},
+		{Kind: checksum.ModAdd, Words: 10, BitFlips: 2, Trials: 1, Recover: true},
+		{Kind: checksum.ModAdd, Words: 10, BitFlips: 2, Trials: 1, EndOnlyVerify: true},
+		{Kind: checksum.ModAdd, Words: 10, BitFlips: 2, Trials: 1, Epochs: 4, Dual: true},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("config %+v: expected panic", cfg)
-				}
-			}()
-			RunCoverage(cfg)
-		}()
+		if _, err := RunCoverage(cfg); err == nil {
+			t.Errorf("config %+v: expected error", cfg)
+		}
 	}
 }
 
@@ -237,8 +250,14 @@ func TestCoverageXOROperatorWeakerThanModAdd(t *testing.T) {
 	// Section 5 cites Maxino: integer addition has superior fault coverage to
 	// XOR. Aligned 2-bit flips of opposite polarity always cancel under XOR
 	// on random data, so its escape rate should exceed modadd's.
-	xor := RunCoverage(CoverageConfig{Kind: checksum.XOR, Words: 100, BitFlips: 2, Pattern: Random, Trials: 30000, Seed: 17})
-	add := RunCoverage(CoverageConfig{Kind: checksum.ModAdd, Words: 100, BitFlips: 2, Pattern: Random, Trials: 30000, Seed: 17})
+	xor, err := RunCoverage(CoverageConfig{Kind: checksum.XOR, Words: 100, BitFlips: 2, Pattern: Random, Trials: 30000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, err := RunCoverage(CoverageConfig{Kind: checksum.ModAdd, Words: 100, BitFlips: 2, Pattern: Random, Trials: 30000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if xor.Undetected <= add.Undetected {
 		t.Errorf("xor (%d) should escape more than modadd (%d)", xor.Undetected, add.Undetected)
 	}
@@ -246,7 +265,7 @@ func TestCoverageXOROperatorWeakerThanModAdd(t *testing.T) {
 
 func BenchmarkCoverage2BitRandom(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := Table1Cell(100, 2, Random, false, 100, int64(i))
+		r := mustCell(b, 100, 2, Random, false, 100, int64(i))
 		sink = r.Undetected
 	}
 }

@@ -26,7 +26,7 @@ func TestCoverageTraceEventCounts(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			sink := &telemetry.Collector{}
 			reg := telemetry.NewRegistry()
-			res := RunCoverage(CoverageConfig{
+			res, err := RunCoverage(CoverageConfig{
 				Kind:     checksum.ModAdd,
 				Words:    100,
 				BitFlips: tc.flips,
@@ -37,6 +37,9 @@ func TestCoverageTraceEventCounts(t *testing.T) {
 				Trace:    sink,
 				Metrics:  reg,
 			})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if got := sink.Count(telemetry.EvFaultInjected); got != tc.trials {
 				t.Fatalf("fault.injected events = %d, want %d (one per trial)", got, tc.trials)
 			}

@@ -1,0 +1,133 @@
+package interp
+
+import (
+	"context"
+	"testing"
+
+	"defuse/internal/recovery"
+)
+
+// epochTestSrc has a prologue, an instrumented outer loop, and an epilogue,
+// exercising all three parts of an epoch plan. Each iteration is
+// checksum-complete, so every iteration-block boundary is quiescent.
+const epochTestSrc = `
+program t(n)
+float A[n], first, last;
+first = 123.0;
+for i = 0 to n - 1 {
+  A[i] = i * 3.0;
+  add_to_chksm(def_cs, A[i], 1);
+  add_to_chksm(use_cs, A[i], 1);
+  A[i] = A[i] + 1.0;
+}
+last = 456.0;
+`
+
+func planFor(t *testing.T, src string, n int64, epochs int) (*Machine, *EpochPlan) {
+	t.Helper()
+	m := mustMachine(t, src, map[string]int64{"n": n})
+	p, err := m.PlanEpochs(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+// runAll executes every epoch of the plan in order.
+func runAll(t *testing.T, p *EpochPlan) {
+	t.Helper()
+	for k := 0; k < p.Epochs(); k++ {
+		if err := p.RunEpoch(k); err != nil {
+			t.Fatalf("epoch %d: %v", k, err)
+		}
+	}
+}
+
+func TestRunEpochsEquivalentToRun(t *testing.T) {
+	// Running epochs 0..n-1 must be indistinguishable from Run, for epoch
+	// counts that divide the trip count, that don't, and that exceed it.
+	const n = 10
+	ref := mustMachine(t, epochTestSrc, map[string]int64{"n": n})
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	refA, _ := ref.SnapshotFloats("A")
+
+	for _, epochs := range []int{1, 2, 3, 10, 16} {
+		m, p := planFor(t, epochTestSrc, n, epochs)
+		runAll(t, p)
+		gotA, _ := m.SnapshotFloats("A")
+		for i := range refA {
+			if gotA[i] != refA[i] {
+				t.Errorf("epochs=%d: A[%d] = %v, want %v", epochs, i, gotA[i], refA[i])
+			}
+		}
+		for name, want := range map[string]float64{"first": 123.0, "last": 456.0} {
+			if got, _ := m.Float(name); got != want {
+				t.Errorf("epochs=%d: %s = %v, want %v (pre/post must run)", epochs, name, got, want)
+			}
+		}
+		if *m.Pair() != *ref.Pair() {
+			t.Errorf("epochs=%d: checksum pair diverged from plain Run", epochs)
+		}
+		if err := m.Pair().Verify(); err != nil {
+			t.Errorf("epochs=%d: %v", epochs, err)
+		}
+	}
+}
+
+func TestPlanEpochsNoTopLevelLoop(t *testing.T) {
+	m := mustMachine(t, `
+program t()
+float x;
+x = 7.0;
+`, nil)
+	p, err := m.PlanEpochs(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Epochs() != 1 {
+		t.Fatalf("loopless program should collapse to 1 epoch, got %d", p.Epochs())
+	}
+	runAll(t, p)
+	if x, _ := m.Float("x"); x != 7.0 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestPlanEpochsErrors(t *testing.T) {
+	m := mustMachine(t, epochTestSrc, map[string]int64{"n": 4})
+	if _, err := m.PlanEpochs(0); err == nil {
+		t.Error("PlanEpochs(0) should fail")
+	}
+	p, err := m.PlanEpochs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunEpoch(-1); err == nil {
+		t.Error("RunEpoch(-1) should fail")
+	}
+	if err := p.RunEpoch(2); err == nil {
+		t.Error("RunEpoch(out of range) should fail")
+	}
+	if err := p.RunEpoch(1); err == nil {
+		t.Error("RunEpoch(1) before epoch 0 evaluated the loop bounds should fail")
+	}
+}
+
+func TestEpochSuperviseCleanRun(t *testing.T) {
+	m, p := planFor(t, epochTestSrc, 12, 4)
+	out, err := p.Supervise(context.Background(), recovery.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Detected || out.Tainted || out.Retries != 0 {
+		t.Errorf("clean supervised run outcome = %+v", out)
+	}
+	if err := m.Pair().Verify(); err != nil {
+		t.Error(err)
+	}
+	if got, _ := m.Float("A", 11); got != 11*3.0+1.0 {
+		t.Errorf("A[11] = %v", got)
+	}
+}

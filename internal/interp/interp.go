@@ -246,13 +246,17 @@ func (v value) truthy() bool {
 // Run executes the program body. It returns a *DetectionError if a checksum
 // assertion fired, a *RuntimeError for execution faults, or nil.
 func (m *Machine) Run() error {
-	max := m.MaxSteps
-	if max == 0 {
-		max = 500_000_000
-	}
-	err := m.execStmts(m.prog.Body, max)
+	err := m.execStmts(m.prog.Body, m.stepBudget())
 	m.publishMetrics()
 	return err
+}
+
+// stepBudget returns the effective statement limit.
+func (m *Machine) stepBudget() uint64 {
+	if m.MaxSteps == 0 {
+		return 500_000_000
+	}
+	return m.MaxSteps
 }
 
 // publishMetrics exports the cumulative dynamic operation counts as gauges

@@ -74,6 +74,23 @@ func (m *Memory) FlipBit(addr, bit int) {
 	}
 }
 
+// Snapshot returns a copy of the memory contents, for epoch checkpointing.
+// Access counters and hooks are not part of the snapshot: a restore rewinds
+// the protected data, not the accounting of work already performed.
+func (m *Memory) Snapshot() []uint64 {
+	return append([]uint64(nil), m.words...)
+}
+
+// Restore overwrites the memory contents with a snapshot taken earlier. The
+// snapshot must be no larger than the current memory (allocations made since
+// the snapshot keep their contents).
+func (m *Memory) Restore(snap []uint64) {
+	if len(snap) > len(m.words) {
+		panic(fmt.Sprintf("memsim: restore of %d words into %d", len(snap), len(m.words)))
+	}
+	copy(m.words, snap)
+}
+
 // SetLoadHook installs (or clears, with nil) the load observation hook.
 func (m *Memory) SetLoadHook(h func(addr int, raw uint64) uint64) { m.loadHook = h }
 

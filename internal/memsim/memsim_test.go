@@ -115,3 +115,40 @@ func TestAllocatorNegativePanics(t *testing.T) {
 	}()
 	NewAllocator(New(0)).Alloc(-1)
 }
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New(8)
+	for i := 0; i < 8; i++ {
+		m.Store(i, uint64(i)*11)
+	}
+	snap := m.Snapshot()
+	storesAt := m.Stores()
+
+	// Mutate (including a fault) and roll back.
+	m.Store(3, 999)
+	m.FlipBit(5, 7)
+	m.Restore(snap)
+	for i := 0; i < 8; i++ {
+		if got := m.Peek(i); got != uint64(i)*11 {
+			t.Errorf("word %d = %d after restore, want %d", i, got, uint64(i)*11)
+		}
+	}
+	if m.Stores() != storesAt+1 {
+		t.Errorf("Restore must not rewind access counters: stores = %d", m.Stores())
+	}
+
+	// The snapshot is a copy: later writes must not leak into it.
+	m.Store(0, 12345)
+	if snap[0] != 0 {
+		t.Error("snapshot aliases live memory")
+	}
+}
+
+func TestRestoreOversizedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Restore(make([]uint64, 3))
+}

@@ -1,0 +1,202 @@
+// Package recovery turns the checksum detector into a dependable system: a
+// supervisor runs an epoch-structured computation, checkpoints its protected
+// state at every epoch boundary, and on a detected checksum mismatch rolls
+// the state back and re-executes just that epoch. Retries are bounded with
+// exponential backoff; when they are exhausted the supervisor escalates to a
+// full-run restart, and when restarts are exhausted too it degrades
+// gracefully — the run continues and completes, but its result is marked
+// tainted. This bounds the detection-to-recovery window that the paper's
+// program-end verification leaves open (see DESIGN.md).
+package recovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"defuse/internal/checksum"
+	"defuse/telemetry"
+)
+
+// Policy bounds the supervisor's recovery effort. The zero value performs no
+// retries and no restarts: the first unrecovered detection degrades the run.
+type Policy struct {
+	// MaxRetries is the number of rollback re-executions allowed per epoch
+	// attempt before escalating.
+	MaxRetries int
+	// MaxRestarts is the number of full-run restarts allowed (across the
+	// whole run) before degrading.
+	MaxRestarts int
+	// Backoff is the pause before the first retry of an epoch; successive
+	// retries multiply it by BackoffFactor. Zero means retry immediately.
+	Backoff time.Duration
+	// BackoffFactor scales Backoff on each successive retry of the same
+	// epoch. Values below 1 (including 0) mean 2.
+	BackoffFactor float64
+	// Sleep, when non-nil, replaces time.Sleep for backoff pauses (test
+	// injection point).
+	Sleep func(time.Duration)
+}
+
+// DefaultPolicy returns the production defaults: three retries per epoch,
+// one full restart, 1ms initial backoff doubling per retry.
+func DefaultPolicy() Policy {
+	return Policy{MaxRetries: 3, MaxRestarts: 1, Backoff: time.Millisecond, BackoffFactor: 2}
+}
+
+// Config describes one supervised epoch-structured run.
+type Config struct {
+	// Epochs is the number of epochs the run is divided into (>= 1).
+	Epochs int
+	// Run executes epoch k against the current (possibly restored) state.
+	Run func(k int) error
+	// Verify checks integrity at the boundary closing epoch k; nil error
+	// means the epoch is clean. A nil Verify trusts Run's own error.
+	Verify func(k int) error
+	// Checkpoint captures everything Run mutates; Restore reinstates a
+	// snapshot it returned. Both are required.
+	Checkpoint func() any
+	Restore    func(snap any)
+	// IsDetection classifies an error as a detected memory corruption
+	// (retryable) rather than a terminal execution failure. Nil defaults to
+	// matching *checksum.MismatchError anywhere in the error chain.
+	IsDetection func(error) bool
+
+	Policy  Policy
+	Trace   telemetry.Sink
+	Metrics *telemetry.Registry
+}
+
+// Outcome summarizes a supervised run.
+type Outcome struct {
+	// Epochs is the configured epoch count.
+	Epochs int
+	// Detected reports whether any epoch verification ever failed.
+	Detected bool
+	// FirstDetection is the epoch index of the first failed verification,
+	// or -1 when the run was clean.
+	FirstDetection int
+	// Retries counts rollback re-executions across the whole run.
+	Retries int
+	// Restarts counts full-run restarts.
+	Restarts int
+	// Recovered reports that corruption was detected and the run still
+	// completed with every epoch verified.
+	Recovered bool
+	// Tainted reports graceful degradation: the run completed and its
+	// result was reported, but at least one epoch could not be verified.
+	Tainted bool
+}
+
+// Supervise executes cfg.Epochs epochs under checkpoint/rollback recovery.
+// It returns a non-nil error only for terminal failures: an invalid config,
+// a context cancellation, or a Run error that IsDetection rejects. Detected
+// corruptions are handled by the policy and reported in the Outcome.
+func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
+	o := Outcome{Epochs: cfg.Epochs, FirstDetection: -1}
+	if cfg.Epochs < 1 {
+		return o, fmt.Errorf("recovery: need at least 1 epoch, got %d", cfg.Epochs)
+	}
+	if cfg.Run == nil || cfg.Checkpoint == nil || cfg.Restore == nil {
+		return o, errors.New("recovery: Config needs Run, Checkpoint, and Restore")
+	}
+	isDetection := cfg.IsDetection
+	if isDetection == nil {
+		isDetection = func(err error) bool {
+			var mm *checksum.MismatchError
+			return errors.As(err, &mm)
+		}
+	}
+	sleep := cfg.Policy.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	factor := cfg.Policy.BackoffFactor
+	if factor < 1 {
+		factor = 2
+	}
+	verifications := func(result string) *telemetry.Counter {
+		return cfg.Metrics.Counter("defuse_epoch_verifications_total",
+			telemetry.Label{Key: "result", Value: result})
+	}
+	backoffHist := cfg.Metrics.Histogram("defuse_recovery_backoff_seconds", telemetry.DefBuckets())
+
+	initial := cfg.Checkpoint()
+	for {
+		restart := false
+		for k := 0; k < cfg.Epochs && !restart; k++ {
+			if err := ctx.Err(); err != nil {
+				return o, err
+			}
+			snap := cfg.Checkpoint()
+			retries := 0
+			backoff := cfg.Policy.Backoff
+			for {
+				err := cfg.Run(k)
+				if err == nil && cfg.Verify != nil {
+					err = cfg.Verify(k)
+				}
+				telemetry.Emit(cfg.Trace, telemetry.EvEpochVerify, map[string]any{
+					"epoch": k, "attempt": retries, "ok": err == nil,
+				})
+				if err == nil {
+					verifications("ok").Inc()
+					break
+				}
+				verifications("mismatch").Inc()
+				if !isDetection(err) {
+					return o, err
+				}
+				if !o.Detected {
+					o.Detected = true
+					o.FirstDetection = k
+				}
+				if o.Tainted {
+					// Already degraded: report-and-continue, no more
+					// recovery effort.
+					break
+				}
+				if cerr := ctx.Err(); cerr != nil {
+					return o, cerr
+				}
+				if retries < cfg.Policy.MaxRetries {
+					retries++
+					o.Retries++
+					telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRetry, map[string]any{
+						"epoch": k, "attempt": retries, "backoff_seconds": backoff.Seconds(),
+					})
+					cfg.Metrics.Counter("defuse_recovery_retries_total").Inc()
+					backoffHist.Observe(backoff.Seconds())
+					if backoff > 0 {
+						sleep(backoff)
+					}
+					backoff = time.Duration(float64(backoff) * factor)
+					cfg.Restore(snap)
+					continue
+				}
+				if o.Restarts < cfg.Policy.MaxRestarts {
+					o.Restarts++
+					telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRestart, map[string]any{
+						"epoch": k, "restart": o.Restarts,
+					})
+					cfg.Metrics.Counter("defuse_recovery_restarts_total").Inc()
+					cfg.Restore(initial)
+					restart = true
+					break
+				}
+				o.Tainted = true
+				telemetry.Emit(cfg.Trace, telemetry.EvRecoveryDegraded, map[string]any{
+					"epoch": k,
+				})
+				cfg.Metrics.Counter("defuse_recovery_degraded_total").Inc()
+				break
+			}
+		}
+		if !restart {
+			break
+		}
+	}
+	o.Recovered = o.Detected && !o.Tainted
+	return o, nil
+}

@@ -1,0 +1,317 @@
+package recovery
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"defuse/internal/checksum"
+	"defuse/telemetry"
+)
+
+// simState is a minimal supervised computation: each epoch appends its index
+// to the trace and increments a value. Faults are modeled by the tests as
+// verification failures with controlled persistence.
+type simState struct {
+	value int
+	runs  []int // every epoch execution, including re-executions
+}
+
+func mismatch() error {
+	return &checksum.MismatchError{Which: "def/use", Expected: 1, Observed: 2}
+}
+
+// harness builds a Config over a simState whose Verify is supplied by the
+// test. Checkpoint/Restore copy the value (runs is accounting, not state).
+func harness(s *simState, epochs int, verify func(k int) error) Config {
+	return Config{
+		Epochs: epochs,
+		Run: func(k int) error {
+			s.runs = append(s.runs, k)
+			s.value++
+			return nil
+		},
+		Verify:     verify,
+		Checkpoint: func() any { return s.value },
+		Restore:    func(snap any) { s.value = snap.(int) },
+	}
+}
+
+func TestSuperviseCleanRun(t *testing.T) {
+	s := &simState{}
+	o, err := Supervise(context.Background(), harness(s, 5, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Detected || o.Tainted || o.Recovered {
+		t.Errorf("clean run outcome = %+v", o)
+	}
+	if o.FirstDetection != -1 {
+		t.Errorf("FirstDetection = %d, want -1", o.FirstDetection)
+	}
+	if s.value != 5 || len(s.runs) != 5 {
+		t.Errorf("value = %d, runs = %v", s.value, s.runs)
+	}
+	for i, k := range s.runs {
+		if k != i {
+			t.Fatalf("epochs ran out of order: %v", s.runs)
+		}
+	}
+}
+
+func TestSuperviseTransientFaultRollsBackAndRecovers(t *testing.T) {
+	// The fault corrupts epoch 2's first execution only: the retry re-executes
+	// from the epoch-entry checkpoint and succeeds, so the run recovers with
+	// exactly one retry, no restart, and the correct final state.
+	s := &simState{}
+	faulted := false
+	cfg := harness(s, 5, func(k int) error {
+		if k == 2 && !faulted {
+			faulted = true
+			return mismatch()
+		}
+		return nil
+	})
+	cfg.Policy = Policy{MaxRetries: 3, MaxRestarts: 1}
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Detected || o.FirstDetection != 2 {
+		t.Errorf("Detected=%v FirstDetection=%d, want detection at epoch 2", o.Detected, o.FirstDetection)
+	}
+	if o.Retries != 1 || o.Restarts != 0 {
+		t.Errorf("Retries=%d Restarts=%d, want 1/0", o.Retries, o.Restarts)
+	}
+	if !o.Recovered || o.Tainted {
+		t.Errorf("Recovered=%v Tainted=%v", o.Recovered, o.Tainted)
+	}
+	if s.value != 5 {
+		t.Errorf("final value = %d, want 5 (rollback must undo the faulted epoch)", s.value)
+	}
+	want := []int{0, 1, 2, 2, 3, 4} // epoch 2 executed twice
+	if len(s.runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", s.runs, want)
+	}
+	for i := range want {
+		if s.runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", s.runs, want)
+		}
+	}
+}
+
+func TestSupervisePersistentCorruptionEscalatesToRestart(t *testing.T) {
+	// A corruption that is already inside the epoch-entry checkpoint cannot be
+	// repaired by rollback: every retry restores the corrupt snapshot and
+	// fails again. The supervisor must escalate to a full restart, after which
+	// the (transient, non-recurring) fault is gone and the run completes.
+	s := &simState{}
+	poisoned := true // baked in before epoch 1's checkpoint on the first pass
+	cfg := harness(s, 4, func(k int) error {
+		if k == 1 && poisoned {
+			return mismatch()
+		}
+		return nil
+	})
+	cfg.Policy = Policy{MaxRetries: 2, MaxRestarts: 1}
+	// Restarting clears the poison: the initial checkpoint predates it.
+	restore := cfg.Restore
+	initial := s.value
+	cfg.Restore = func(snap any) {
+		restore(snap)
+		if snap.(int) == initial {
+			poisoned = false
+		}
+	}
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Detected || o.FirstDetection != 1 {
+		t.Errorf("FirstDetection = %d, want 1", o.FirstDetection)
+	}
+	if o.Retries != 2 || o.Restarts != 1 {
+		t.Errorf("Retries=%d Restarts=%d, want 2/1 (retries exhausted, then restart)", o.Retries, o.Restarts)
+	}
+	if !o.Recovered || o.Tainted {
+		t.Errorf("Recovered=%v Tainted=%v, want recovery via restart", o.Recovered, o.Tainted)
+	}
+	if s.value != 4 {
+		t.Errorf("final value = %d, want 4", s.value)
+	}
+}
+
+func TestSuperviseDegradesGracefullyWhenExhausted(t *testing.T) {
+	// Verification at epoch 1 never passes. With retries and restarts
+	// exhausted the supervisor must degrade: mark the run tainted, stop
+	// spending recovery effort, and still complete every epoch.
+	s := &simState{}
+	cfg := harness(s, 4, func(k int) error {
+		if k == 1 {
+			return mismatch()
+		}
+		return nil
+	})
+	cfg.Policy = Policy{MaxRetries: 1, MaxRestarts: 1}
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Tainted || o.Recovered {
+		t.Errorf("Tainted=%v Recovered=%v, want degraded completion", o.Tainted, o.Recovered)
+	}
+	if o.Retries != 2 || o.Restarts != 1 {
+		// 1 retry on the first pass, restart, 1 retry on the second pass.
+		t.Errorf("Retries=%d Restarts=%d, want 2/1", o.Retries, o.Restarts)
+	}
+	if s.value != 4 {
+		t.Errorf("final value = %d, want 4 (degraded run still completes)", s.value)
+	}
+}
+
+func TestSuperviseZeroPolicyDegradesImmediately(t *testing.T) {
+	s := &simState{}
+	faulted := false
+	cfg := harness(s, 3, func(k int) error {
+		if k == 0 && !faulted {
+			faulted = true
+			return mismatch()
+		}
+		return nil
+	})
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Tainted || o.Retries != 0 || o.Restarts != 0 {
+		t.Errorf("zero policy outcome = %+v, want immediate degradation", o)
+	}
+}
+
+func TestSuperviseBackoffSequence(t *testing.T) {
+	var pauses []time.Duration
+	s := &simState{}
+	attempts := 0
+	cfg := harness(s, 1, func(k int) error {
+		attempts++
+		if attempts <= 3 {
+			return mismatch()
+		}
+		return nil
+	})
+	cfg.Policy = Policy{
+		MaxRetries:    3,
+		Backoff:       10 * time.Millisecond,
+		BackoffFactor: 2,
+		Sleep:         func(d time.Duration) { pauses = append(pauses, d) },
+	}
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Recovered {
+		t.Errorf("outcome = %+v", o)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(pauses) != len(want) {
+		t.Fatalf("pauses = %v, want %v", pauses, want)
+	}
+	for i := range want {
+		if pauses[i] != want[i] {
+			t.Fatalf("pauses = %v, want exponential %v", pauses, want)
+		}
+	}
+}
+
+func TestSuperviseTelemetry(t *testing.T) {
+	sink := &telemetry.Collector{}
+	reg := telemetry.NewRegistry()
+	s := &simState{}
+	faulted := false
+	cfg := harness(s, 3, func(k int) error {
+		if k == 1 && !faulted {
+			faulted = true
+			return mismatch()
+		}
+		return nil
+	})
+	cfg.Policy = Policy{MaxRetries: 1}
+	cfg.Trace = sink
+	cfg.Metrics = reg
+	if _, err := Supervise(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// 3 epochs + 1 re-execution = 4 boundary verifications, 1 retry.
+	if got := sink.Count(telemetry.EvEpochVerify); got != 4 {
+		t.Errorf("epoch.verify events = %d, want 4", got)
+	}
+	if got := sink.Count(telemetry.EvRecoveryRetry); got != 1 {
+		t.Errorf("recovery.retry events = %d, want 1", got)
+	}
+	var ok, bad, retries float64
+	for _, ms := range reg.Snapshot().Metrics {
+		switch {
+		case ms.Name == "defuse_epoch_verifications_total" && ms.Labels["result"] == "ok":
+			ok = ms.Value
+		case ms.Name == "defuse_epoch_verifications_total" && ms.Labels["result"] == "mismatch":
+			bad = ms.Value
+		case ms.Name == "defuse_recovery_retries_total":
+			retries = ms.Value
+		}
+	}
+	if ok != 3 || bad != 1 || retries != 1 {
+		t.Errorf("metrics ok=%v mismatch=%v retries=%v, want 3/1/1", ok, bad, retries)
+	}
+}
+
+func TestSuperviseConfigErrors(t *testing.T) {
+	s := &simState{}
+	if _, err := Supervise(context.Background(), harness(s, 0, nil)); err == nil {
+		t.Error("Epochs=0 should fail")
+	}
+	bad := harness(s, 1, nil)
+	bad.Run = nil
+	if _, err := Supervise(context.Background(), bad); err == nil {
+		t.Error("missing Run should fail")
+	}
+	bad = harness(s, 1, nil)
+	bad.Checkpoint = nil
+	if _, err := Supervise(context.Background(), bad); err == nil {
+		t.Error("missing Checkpoint should fail")
+	}
+}
+
+func TestSuperviseContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &simState{}
+	_, err := Supervise(ctx, harness(s, 3, nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if len(s.runs) != 0 {
+		t.Errorf("cancelled supervisor still ran epochs: %v", s.runs)
+	}
+}
+
+func TestSuperviseTerminalErrorAborts(t *testing.T) {
+	// A Run/Verify error that is not a checksum mismatch is a terminal
+	// execution failure, not a detection: no retries, error surfaces.
+	s := &simState{}
+	boom := errors.New("disk on fire")
+	cfg := harness(s, 3, func(k int) error {
+		if k == 1 {
+			return boom
+		}
+		return nil
+	})
+	cfg.Policy = Policy{MaxRetries: 3}
+	o, err := Supervise(context.Background(), cfg)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the terminal error", err)
+	}
+	if o.Detected || o.Retries != 0 {
+		t.Errorf("terminal error misclassified as detection: %+v", o)
+	}
+}

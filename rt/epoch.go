@@ -1,0 +1,86 @@
+package rt
+
+import "fmt"
+
+// This file implements epoch-scoped verification. The paper places the
+// def == use comparison at a post-dominator of all defs and uses (program
+// end), so a fault injected early is detected arbitrarily late. Epochs bound
+// that detection window: the instrumented program brackets an iteration block
+// with BeginEpoch/EndEpoch, finalizing its live tracked variables at the
+// boundary so the checksums are quiescent there, and EndEpoch verifies them.
+// A detected mismatch can then be repaired by rolling the protected state
+// back to the sealed snapshot taken at the epoch's entry and re-executing
+// only that epoch (see internal/recovery).
+
+// EpochState is a sealed snapshot of a Tracker at an epoch boundary: the
+// four checksum accumulators plus the cumulative dynamic def/use operation
+// counters. It is immutable once returned; Rollback accepts only sealed
+// snapshots, so a zero EpochState cannot silently wipe a tracker.
+type EpochState struct {
+	// Index is the epoch this snapshot belongs to: for BeginEpoch the epoch
+	// being entered, for EndEpoch the epoch just closed.
+	Index int
+	// Def, Use, EDef, EUse are the checksum accumulators at snapshot time.
+	Def, Use, EDef, EUse uint64
+	// Defs and Uses are the cumulative dynamic def/use operation counts.
+	Defs, Uses uint64
+
+	sealed bool
+}
+
+// Sealed reports whether the snapshot was produced by BeginEpoch/EndEpoch.
+func (s EpochState) Sealed() bool { return s.sealed }
+
+// snapshot captures the tracker's current state as a sealed EpochState.
+func (t *Tracker) snapshot() EpochState {
+	return EpochState{
+		Index: t.epoch,
+		Def:   t.pair.Def, Use: t.pair.Use,
+		EDef: t.pair.EDef, EUse: t.pair.EUse,
+		Defs: t.defs, Uses: t.uses,
+		sealed: true,
+	}
+}
+
+// Epoch returns the index of the epoch currently being accumulated. It
+// starts at 0 and advances on every successful EndEpoch.
+func (t *Tracker) Epoch() int { return t.epoch }
+
+// OpCounts returns the cumulative dynamic def and use operation counts.
+func (t *Tracker) OpCounts() (defs, uses uint64) { return t.defs, t.uses }
+
+// BeginEpoch seals and returns a snapshot of the tracker at the entry of the
+// current epoch. A recovery supervisor pairs it with a checkpoint of the
+// protected memory: on an EndEpoch mismatch, Rollback plus a memory restore
+// rewinds exactly one epoch for re-execution.
+func (t *Tracker) BeginEpoch() EpochState { return t.snapshot() }
+
+// EndEpoch verifies the checksums at an epoch boundary and seals the closing
+// snapshot. The caller must have finalized (Final) every live dynamically
+// counted variable first so the accumulators are quiescent — that finalize-
+// at-the-boundary discipline is what preserves the paper's detection
+// guarantee at epoch granularity. On a clean verification the epoch index
+// advances; on a mismatch it does not, so a rolled-back re-execution closes
+// the same epoch.
+func (t *Tracker) EndEpoch() (EpochState, error) {
+	err := t.Verify()
+	s := t.snapshot()
+	if err == nil {
+		t.epoch++
+	}
+	return s, err
+}
+
+// Rollback restores the tracker to a sealed snapshot (checksums, dynamic
+// operation counters, and epoch index), undoing every def/use recorded since
+// it was taken. It rejects unsealed snapshots.
+func (t *Tracker) Rollback(s EpochState) error {
+	if !s.sealed {
+		return fmt.Errorf("rt: Rollback of an unsealed EpochState")
+	}
+	t.pair.Def, t.pair.Use = s.Def, s.Use
+	t.pair.EDef, t.pair.EUse = s.EDef, s.EUse
+	t.defs, t.uses = s.Defs, s.Uses
+	t.epoch = s.Index
+	return nil
+}

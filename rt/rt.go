@@ -58,6 +58,12 @@ type Tracker struct {
 	// and within noise of the unobserved tracker (see the benchmark guard
 	// in observer_test.go).
 	obs Observer
+	// defs/uses count dynamic def and use operations; epoch is the current
+	// epoch index (see epoch.go). Plain increments, kept on the hot path
+	// because epoch snapshots need them and they stay within the benchmark
+	// guard's noise budget.
+	defs, uses uint64
+	epoch      int
 }
 
 // NewTracker returns a tracker using the paper's modulo-addition operator.
@@ -74,6 +80,7 @@ func NewTrackerWith(k checksum.Kind) *Tracker {
 func Def[T Word](t *Tracker, v T, n int64) T {
 	bits := Bits(v)
 	t.pair.AddDef(bits, n)
+	t.defs++
 	if t.obs != nil {
 		t.obs.ObserveDef(bits, n)
 	}
@@ -90,6 +97,7 @@ func DefDyn[T Word](t *Tracker, c *Counter, prev, v T) T {
 		t.pair.Adjust(Bits(prev), c.n)
 	}
 	t.pair.AddEDef(Bits(v))
+	t.defs++
 	c.n = 0
 	c.defined = true
 	if t.obs != nil {
@@ -104,6 +112,7 @@ func DefDyn[T Word](t *Tracker, c *Counter, prev, v T) T {
 func Use[T Word](t *Tracker, c *Counter, v T) T {
 	bits := Bits(v)
 	t.pair.AddUse(bits)
+	t.uses++
 	c.n++
 	if t.obs != nil {
 		t.obs.ObserveUse(bits)
@@ -115,6 +124,7 @@ func Use[T Word](t *Tracker, c *Counter, v T) T {
 func UseKnown[T Word](t *Tracker, v T) T {
 	bits := Bits(v)
 	t.pair.AddUse(bits)
+	t.uses++
 	if t.obs != nil {
 		t.obs.ObserveUse(bits)
 	}
@@ -152,8 +162,12 @@ func (t *Tracker) MustVerify() {
 	}
 }
 
-// Reset clears all checksums for reuse.
-func (t *Tracker) Reset() { t.pair.Reset() }
+// Reset clears all checksums, dynamic operation counters, and the epoch
+// index for reuse.
+func (t *Tracker) Reset() {
+	t.pair.Reset()
+	t.defs, t.uses, t.epoch = 0, 0, 0
+}
 
 // Checksums exposes the four accumulators (def, use, e_def, e_use) for
 // inspection and testing.

@@ -63,6 +63,13 @@ func DefBuckets() []float64 {
 	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 30}
 }
 
+// EpochBuckets returns bounds for detection-latency histograms measured in
+// epochs between injection and detection (0 = caught at the injection
+// epoch's own boundary).
+func EpochBuckets() []float64 {
+	return []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)

@@ -47,6 +47,18 @@ const (
 	EvVerifyOK = "verify.ok"
 	// EvVerifyMismatch reports a verification whose checksums differed.
 	EvVerifyMismatch = "verify.mismatch"
+	// EvEpochVerify reports one epoch-boundary verification
+	// (fields: epoch, attempt, ok).
+	EvEpochVerify = "epoch.verify"
+	// EvRecoveryRetry reports a rollback re-execution of a failed epoch
+	// (fields: epoch, attempt, backoff_seconds).
+	EvRecoveryRetry = "recovery.retry"
+	// EvRecoveryRestart reports an escalation to a full-run restart
+	// (fields: epoch, restart).
+	EvRecoveryRestart = "recovery.restart"
+	// EvRecoveryDegraded reports graceful degradation: retries and restarts
+	// are exhausted and the run continues marked tainted (fields: epoch).
+	EvRecoveryDegraded = "recovery.degraded"
 )
 
 // Event is one structured telemetry record.
