@@ -8,6 +8,7 @@
 //	faultcov [-trials 100000] [-sizes 100,10000,1000000] [-flips 2,3,4,5,6] \
 //	         [-patterns zero,one,random] [-schemes single,dual] [-seed 1] \
 //	         [-epochs 0] [-endonly] [-recover] [-workers 0] [-timeout 0] \
+//	         [-target data] [-detector unhardened] [-gate] \
 //	         [-resume checkpoint.json] [-json out.json] \
 //	         [-trace events.jsonl] [-metrics out]
 //
@@ -26,6 +27,20 @@
 // -recover (default true) runs each trial under the checkpoint/rollback
 // supervisor, reporting detection latency and recovery success rate. Epoch
 // mode uses the single-checksum scheme.
+//
+// -target aims the injected fault (epoch mode): at the protected data
+// (default), or at the detector itself — "accumulator" and "counter" strike
+// the checksum state, "checkpoint" corrupts a parked recovery snapshot, and
+// "masking" pairs a data flip with the compensating accumulator flips that
+// hide it. -detector selects "unhardened" (the paper's register-residency
+// assumption taken on faith) and/or "hardened" (shadow-copy scrubs plus
+// digest-verified checkpoint restores) variants of each cell, so the
+// false-negative/false-positive cost of the assumption is measured directly.
+//
+// -gate turns the run into a CI check: after the campaign completes, exit
+// non-zero if any cell recorded undetected corruption, a false negative or
+// false positive, a degraded (tainted) trial, or a detected corruption that
+// recovery failed to repair.
 //
 // -trace streams one fault.injected event per trial per cell (with the
 // flipped word/bit coordinates) plus verification outcomes; select a single
@@ -66,6 +81,9 @@ type options struct {
 	timeout  time.Duration
 	resume   string
 	jsonOut  string
+	targets  string
+	detector string
+	gate     bool
 }
 
 func main() {
@@ -80,6 +98,9 @@ func main() {
 	flag.IntVar(&o.epochs, "epochs", 0, "run the epoch-scoped experiment with this many epochs per trial (0 = classic Table 1)")
 	flag.BoolVar(&o.endOnly, "endonly", false, "with -epochs: verify only at the final boundary (the paper's program-end placement)")
 	flag.BoolVar(&o.recover, "recover", true, "with -epochs: run trials under the checkpoint/rollback recovery supervisor")
+	flag.StringVar(&o.targets, "target", "data", "fault targets (comma list): data, accumulator, counter, checkpoint, masking (non-data need -epochs)")
+	flag.StringVar(&o.detector, "detector", "unhardened", "detector variants (comma list): unhardened, hardened")
+	flag.BoolVar(&o.gate, "gate", false, "exit non-zero on undetected corruption, false verdicts, degraded trials, or failed recovery")
 	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-trial timeout (0 = none)")
 	flag.StringVar(&o.resume, "resume", "", "checkpoint file: record finished chunks and resume an interrupted campaign from it")
@@ -124,6 +145,14 @@ func run(ctx context.Context, o options, sink telemetry.Sink, reg *telemetry.Reg
 	if err != nil {
 		return err
 	}
+	targetList, err := parseTargets(o.targets)
+	if err != nil {
+		return err
+	}
+	hardenedList, err := parseDetectors(o.detector)
+	if err != nil {
+		return err
+	}
 	if o.epochs > 0 {
 		// Epoch mode measures the single def/use checksum pair; the dual
 		// rotated scheme belongs to the array-sum experiment.
@@ -135,13 +164,18 @@ func run(ctx context.Context, o options, sink telemetry.Sink, reg *telemetry.Reg
 		for _, n := range sizeList {
 			for _, dual := range dualList {
 				for _, p := range patternList {
-					cells = append(cells, faults.CoverageConfig{
-						Kind: kind, Words: n, BitFlips: k, Pattern: p,
-						Dual: dual, Trials: o.trials, Seed: o.seed,
-						Epochs: o.epochs, EndOnlyVerify: o.endOnly,
-						Recover: o.epochs > 0 && o.recover,
-						Trace:   sink, Metrics: reg,
-					})
+					for _, tgt := range targetList {
+						for _, hardened := range hardenedList {
+							cells = append(cells, faults.CoverageConfig{
+								Kind: kind, Words: n, BitFlips: k, Pattern: p,
+								Dual: dual, Trials: o.trials, Seed: o.seed,
+								Epochs: o.epochs, EndOnlyVerify: o.endOnly,
+								Recover: o.epochs > 0 && o.recover,
+								Target:  tgt, Hardened: hardened,
+								Trace: sink, Metrics: reg,
+							})
+						}
+					}
 				}
 			}
 		}
@@ -161,6 +195,9 @@ func run(ctx context.Context, o options, sink telemetry.Sink, reg *telemetry.Reg
 	}
 	if errors.Is(runErr, context.Canceled) && o.resume != "" {
 		fmt.Fprintf(os.Stderr, "faultcov: interrupted; finished chunks saved to %s, re-run to resume\n", o.resume)
+	}
+	if o.gate && runErr == nil && res != nil {
+		runErr = res.Gate()
 	}
 	return runErr
 }
@@ -266,6 +303,33 @@ func parseSchemes(s string) ([]bool, error) {
 			out = append(out, true)
 		default:
 			return nil, fmt.Errorf("unknown scheme %q (want single or dual)", p)
+		}
+	}
+	return out, nil
+}
+
+func parseTargets(s string) ([]faults.Target, error) {
+	var out []faults.Target
+	for _, p := range strings.Split(s, ",") {
+		t, err := faults.ParseTarget(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func parseDetectors(s string) ([]bool, error) {
+	var out []bool
+	for _, p := range strings.Split(s, ",") {
+		switch strings.TrimSpace(p) {
+		case "unhardened":
+			out = append(out, false)
+		case "hardened":
+			out = append(out, true)
+		default:
+			return nil, fmt.Errorf("unknown detector variant %q (want unhardened or hardened)", p)
 		}
 	}
 	return out, nil

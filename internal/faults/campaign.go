@@ -80,6 +80,8 @@ type CellReport struct {
 	Epochs               int     `json:"epochs,omitempty"`
 	EndOnlyVerify        bool    `json:"end_only_verify,omitempty"`
 	Recover              bool    `json:"recover,omitempty"`
+	Target               string  `json:"target,omitempty"`
+	Hardened             bool    `json:"hardened,omitempty"`
 	Undetected           int     `json:"undetected"`
 	UndetectedPercent    float64 `json:"undetected_percent"`
 	Detected             int     `json:"detected"`
@@ -90,11 +92,16 @@ type CellReport struct {
 	Tainted              int     `json:"tainted"`
 	Retries              int64   `json:"retries"`
 	Restarts             int64   `json:"restarts"`
+	Rebuilds             int64   `json:"rebuilds,omitempty"`
+	DetectorFaults       int64   `json:"detector_faults,omitempty"`
+	CheckpointFaults     int64   `json:"checkpoint_faults,omitempty"`
+	FalseNegatives       int     `json:"false_negatives,omitempty"`
+	FalsePositives       int     `json:"false_positives,omitempty"`
 }
 
 // Report renders the result as its JSON summary row.
 func (r CoverageResult) Report() CellReport {
-	return CellReport{
+	rep := CellReport{
 		Operator:             r.Kind.String(),
 		Words:                r.Words,
 		BitFlips:             r.BitFlips,
@@ -115,7 +122,46 @@ func (r CoverageResult) Report() CellReport {
 		Tainted:              r.Tainted,
 		Retries:              r.Retries,
 		Restarts:             r.Restarts,
+		Rebuilds:             r.Rebuilds,
+		DetectorFaults:       r.DetectorFaults,
+		CheckpointFaults:     r.CheckpointFaults,
+		FalseNegatives:       r.FalseNegatives,
+		FalsePositives:       r.FalsePositives,
 	}
+	if r.Target != TargetData {
+		rep.Target = r.Target.String()
+		rep.Hardened = r.Hardened
+	}
+	return rep
+}
+
+// Gate inspects a finished campaign with a CI gate's eyes: it returns a
+// non-nil error if the campaign is incomplete, recorded any undetected
+// corruption, any false negative or false positive, any trial that degraded
+// (tainted), or — in recovery-enabled cells — any detected corruption that
+// was not steered back to a verified correct state. cmd/faultcov's -gate
+// flag exits non-zero on this error so CI can block regressions.
+func (r *CampaignResult) Gate() error {
+	if !r.Completed {
+		return fmt.Errorf("faults: gate: campaign incomplete")
+	}
+	for i, res := range r.Results {
+		cell := fmt.Sprintf("cell %d (%s)", i, res.String())
+		switch {
+		case res.Undetected > 0:
+			return fmt.Errorf("faults: gate: %s: %d undetected corruptions", cell, res.Undetected)
+		case res.FalseNegatives > 0:
+			return fmt.Errorf("faults: gate: %s: %d false negatives", cell, res.FalseNegatives)
+		case res.FalsePositives > 0:
+			return fmt.Errorf("faults: gate: %s: %d false positives", cell, res.FalsePositives)
+		case res.Tainted > 0:
+			return fmt.Errorf("faults: gate: %s: %d tainted (degraded) trials", cell, res.Tainted)
+		case res.Recover && res.Recovered < res.Detected:
+			return fmt.Errorf("faults: gate: %s: %d of %d detected corruptions not recovered",
+				cell, res.Detected-res.Recovered, res.Detected)
+		}
+	}
+	return nil
 }
 
 // trialSeed derives trial t's deterministic sub-seed from the cell seed with
@@ -133,27 +179,37 @@ func trialSeed(seed int64, trial int) int64 {
 
 // trialTally is one trial's outcome.
 type trialTally struct {
-	undetected bool
-	detected   bool
-	latency    int
-	recovered  bool
-	tainted    bool
-	retries    int
-	restarts   int
+	undetected       bool
+	detected         bool
+	latency          int
+	recovered        bool
+	tainted          bool
+	retries          int
+	restarts         int
+	rebuilds         int
+	detectorFaults   int
+	checkpointFaults int
+	falseNegative    bool
+	falsePositive    bool
 }
 
 // chunkTally is the checkpointable aggregate of one chunk of trials.
 type chunkTally struct {
-	Start      int   `json:"start"`
-	Count      int   `json:"count"`
-	Undetected int   `json:"undetected"`
-	Detected   int   `json:"detected"`
-	LatencySum int64 `json:"latency_sum,omitempty"`
-	LatencyMax int   `json:"latency_max,omitempty"`
-	Recovered  int   `json:"recovered,omitempty"`
-	Tainted    int   `json:"tainted,omitempty"`
-	Retries    int64 `json:"retries,omitempty"`
-	Restarts   int64 `json:"restarts,omitempty"`
+	Start            int   `json:"start"`
+	Count            int   `json:"count"`
+	Undetected       int   `json:"undetected"`
+	Detected         int   `json:"detected"`
+	LatencySum       int64 `json:"latency_sum,omitempty"`
+	LatencyMax       int   `json:"latency_max,omitempty"`
+	Recovered        int   `json:"recovered,omitempty"`
+	Tainted          int   `json:"tainted,omitempty"`
+	Retries          int64 `json:"retries,omitempty"`
+	Restarts         int64 `json:"restarts,omitempty"`
+	Rebuilds         int64 `json:"rebuilds,omitempty"`
+	DetectorFaults   int64 `json:"detector_faults,omitempty"`
+	CheckpointFaults int64 `json:"checkpoint_faults,omitempty"`
+	FalseNegatives   int   `json:"false_negatives,omitempty"`
+	FalsePositives   int   `json:"false_positives,omitempty"`
 }
 
 func (t *chunkTally) add(o trialTally) {
@@ -175,6 +231,15 @@ func (t *chunkTally) add(o trialTally) {
 	}
 	t.Retries += int64(o.retries)
 	t.Restarts += int64(o.restarts)
+	t.Rebuilds += int64(o.rebuilds)
+	t.DetectorFaults += int64(o.detectorFaults)
+	t.CheckpointFaults += int64(o.checkpointFaults)
+	if o.falseNegative {
+		t.FalseNegatives++
+	}
+	if o.falsePositive {
+		t.FalsePositives++
+	}
 }
 
 type cellCheckpoint struct {
@@ -194,10 +259,10 @@ func (c *Campaign) fingerprint(chunkSize int) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "chunk=%d;", chunkSize)
 	for _, cfg := range c.Cells {
-		fmt.Fprintf(h, "%d|%d|%d|%d|%v|%d|%d|%d|%v|%v|%d;",
+		fmt.Fprintf(h, "%d|%d|%d|%d|%v|%d|%d|%d|%v|%v|%d|%d|%v;",
 			cfg.Kind, cfg.Words, cfg.BitFlips, cfg.Pattern, cfg.Dual,
 			cfg.Trials, cfg.Seed, cfg.Epochs, cfg.EndOnlyVerify, cfg.Recover,
-			cfg.MaxRetries)
+			cfg.MaxRetries, cfg.Target, cfg.Hardened)
 	}
 	return h.Sum64()
 }
@@ -336,6 +401,11 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			r.Tainted += t.Tainted
 			r.Retries += t.Retries
 			r.Restarts += t.Restarts
+			r.Rebuilds += t.Rebuilds
+			r.DetectorFaults += t.DetectorFaults
+			r.CheckpointFaults += t.CheckpointFaults
+			r.FalseNegatives += t.FalseNegatives
+			r.FalsePositives += t.FalsePositives
 		}
 		res.Results = append(res.Results, r)
 		res.Cells = append(res.Cells, r.Report())
@@ -449,6 +519,15 @@ func cellLabels(cfg CoverageConfig) []telemetry.Label {
 	}
 	if cfg.Epochs > 0 {
 		labels = append(labels, telemetry.Label{Key: "epochs", Value: strconv.Itoa(cfg.Epochs)})
+	}
+	if cfg.Target != TargetData {
+		detector := "unhardened"
+		if cfg.Hardened {
+			detector = "hardened"
+		}
+		labels = append(labels,
+			telemetry.Label{Key: "target", Value: cfg.Target.String()},
+			telemetry.Label{Key: "detector", Value: detector})
 	}
 	return labels
 }

@@ -18,6 +18,61 @@ import (
 // injection and detection) and — with Recover — the success rate of
 // checkpoint/rollback recovery (see epochtrial.go).
 
+// Target selects what an epoch trial's injected fault strikes. The paper's
+// experiment (TargetData) corrupts the protected array; the detector-targeted
+// variants aim the same transient-fault model at the detection machinery
+// itself — accumulators, shadow use counters, parked checkpoints, or a
+// compensating accumulator flip that masks a real data fault — to measure the
+// false-negative/false-positive rates the hardened detector removes.
+type Target int
+
+const (
+	// TargetData flips bits in the protected array (the paper's experiment).
+	TargetData Target = iota
+	// TargetAccumulator flips one bit of the primary copy of a randomly
+	// chosen checksum accumulator. Unhardened, the next verification reports
+	// a phantom data fault (false positive) and triggers a needless rollback.
+	TargetAccumulator
+	// TargetCounter flips one bit of a shadow use counter's primary state
+	// (count or defined flag).
+	TargetCounter
+	// TargetCheckpoint flips a data bit to force a rollback AND flips one bit
+	// of the parked epoch checkpoint it will restore from, modeling a fault
+	// striking recovery state while it waits to be needed.
+	TargetCheckpoint
+	// TargetMasking flips one data bit, then — when the accumulator values
+	// permit — applies the compensating single-bit flips to the use and e_use
+	// accumulators that make verification pass despite the wrong data: the
+	// adversarial false-negative scenario.
+	TargetMasking
+)
+
+var targetNames = map[Target]string{
+	TargetData:        "data",
+	TargetAccumulator: "accumulator",
+	TargetCounter:     "counter",
+	TargetCheckpoint:  "checkpoint",
+	TargetMasking:     "masking",
+}
+
+// String returns the lower-case name of the target.
+func (t Target) String() string {
+	if s, ok := targetNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("faults.Target(%d)", int(t))
+}
+
+// ParseTarget resolves a target name as used by cmd/faultcov -target.
+func ParseTarget(s string) (Target, error) {
+	for t, name := range targetNames {
+		if name == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown target %q (data, accumulator, counter, checkpoint, masking)", s)
+}
+
 // CoverageConfig describes one cell of Table 1, optionally extended with
 // epoch-scoped verification and recovery.
 type CoverageConfig struct {
@@ -44,6 +99,16 @@ type CoverageConfig struct {
 	Recover bool
 	// MaxRetries bounds rollback re-executions per epoch (default 2).
 	MaxRetries int
+	// Target aims the injected fault (epoch mode only): at the protected
+	// data (default) or at the detector itself. See the Target constants.
+	Target Target
+	// Hardened enables the detector's self-checks in epoch trials: a
+	// ScrubDetector pass at every verifying boundary and integrity-digest
+	// verification of every checkpoint restore. Unhardened trials use the
+	// unchecked restore paths and never scrub, measuring what the paper's
+	// register-residency assumption silently costs when the accumulators are
+	// ordinary memory.
+	Hardened bool
 
 	// Trace, when non-nil, receives one fault.injected event per trial
 	// (with the flipped word/bit coordinates) and a detection or verify.ok
@@ -78,6 +143,23 @@ func (cfg CoverageConfig) Validate() error {
 	}
 	if cfg.Epochs > 0 && cfg.Dual {
 		return fmt.Errorf("faults: the dual rotated-checksum scheme applies to the array-sum experiment, not epoch mode")
+	}
+	if cfg.Epochs == 0 && cfg.Target != TargetData {
+		return fmt.Errorf("faults: target %v requires Epochs > 0 (detector-targeted injection is an epoch-trial experiment)", cfg.Target)
+	}
+	if cfg.Epochs == 0 && cfg.Hardened {
+		return fmt.Errorf("faults: Hardened requires Epochs > 0")
+	}
+	if cfg.Target == TargetCheckpoint && !cfg.Recover {
+		return fmt.Errorf("faults: target checkpoint requires Recover (an unused checkpoint can never be observed corrupt)")
+	}
+	if cfg.Target == TargetMasking {
+		if cfg.BitFlips != 1 {
+			return fmt.Errorf("faults: target masking requires BitFlips == 1 (the compensating flip is single-bit), got %d", cfg.BitFlips)
+		}
+		if cfg.Kind != checksum.ModAdd && cfg.Kind != checksum.XOR {
+			return fmt.Errorf("faults: target masking supports modadd and xor, not %v", cfg.Kind)
+		}
 	}
 	return nil
 }
@@ -114,6 +196,18 @@ type CoverageResult struct {
 	// Retries and Restarts count recovery attempts across all trials.
 	Retries  int64
 	Restarts int64
+	// FalseNegatives counts trials that completed undetected with a wrong
+	// final state: the corruption escaped every check AND mattered.
+	FalseNegatives int
+	// FalsePositives counts trials in which recovery acted on a data-fault
+	// verdict although no data fault was injected — a fault in the detector
+	// itself was misread as corruption of the protected data.
+	FalsePositives int
+	// DetectorFaults, CheckpointFaults, and Rebuilds aggregate the
+	// supervisor's per-mode classification counts across all trials.
+	DetectorFaults   int64
+	CheckpointFaults int64
+	Rebuilds         int64
 }
 
 // UndetectedPercent returns the percentage of undetected errors, the quantity
@@ -153,6 +247,15 @@ func (r CoverageResult) String() string {
 	if r.Epochs > 0 {
 		s += fmt.Sprintf(", %d epochs: mean latency %.2f, recovery %.1f%%",
 			r.Epochs, r.MeanDetectionLatency(), 100*r.RecoveryRate())
+	}
+	if r.Target != TargetData {
+		detector := "unhardened"
+		if r.Hardened {
+			detector = "hardened"
+		}
+		s += fmt.Sprintf(", target=%v %s: FN=%d FP=%d detector=%d checkpoint=%d rebuilds=%d",
+			r.Target, detector, r.FalseNegatives, r.FalsePositives,
+			r.DetectorFaults, r.CheckpointFaults, r.Rebuilds)
 	}
 	return s
 }

@@ -2,7 +2,9 @@ package faults
 
 import (
 	"context"
+	"math/bits"
 
+	"defuse/internal/checksum"
 	"defuse/internal/memsim"
 	"defuse/internal/recovery"
 	"defuse/rt"
@@ -23,6 +25,11 @@ import (
 // with Recover the trial runs under the checkpoint/rollback supervisor and
 // reports whether the corrupted run was steered back to the correct final
 // state.
+//
+// With a non-data Target the same fault model is aimed at the detector
+// itself (see the Target constants in coverage.go), and Hardened selects
+// whether the trial runs the detector's self-checks — boundary scrubs and
+// digest-verified checkpoint restores — or the unchecked baseline.
 
 // update advances one word per epoch. It is a bijective (odd-multiplier) LCG
 // step, so any corruption of a word propagates to a wrong final state rather
@@ -34,7 +41,7 @@ func update(v uint64) uint64 { return v*2862933555777941757 + 3037000493 }
 // injection plan is deliberately outside the snapshot — a transient fault
 // does not recur when the epoch re-executes.
 type epochTrialSnap struct {
-	mem      []uint64
+	mem      memsim.Snapshot
 	state    rt.EpochState
 	counters []rt.Counter
 }
@@ -49,6 +56,14 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 	injEpoch := in.Intn(epochs)
 	injWord := in.Intn(words)
 	flips := in.PickBits(words, cfg.BitFlips)
+	// Detector-target coordinates, drawn unconditionally (after the draws
+	// above) so every target's random stream is stable and the data-target
+	// stream is unchanged from earlier campaign versions.
+	accSel := checksum.Acc(in.Intn(4))
+	accBit := uint(in.Intn(64))
+	ctrBit := uint(in.Intn(64))
+	ckPos := in.Intn(words + 4)
+	ckBit := in.Intn(64)
 
 	mem := memsim.New(words)
 	tr := rt.NewTrackerWith(cfg.Kind)
@@ -58,24 +73,51 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 		rt.DefDyn(tr, &counters[i], uint64(0), init[i])
 	}
 	injected := false
+	// dataInjected records whether the trial corrupts the protected array at
+	// all; detector-only targets must not count detections as data faults.
+	dataInjected := cfg.Target == TargetData || cfg.Target == TargetMasking || cfg.Target == TargetCheckpoint
+	maskTried, masked := false, false
+	sawInitial, ckDone := false, false
+
+	inject := func(k int) {
+		switch cfg.Target {
+		case TargetAccumulator:
+			tr.CorruptAccumulator(accSel, accBit)
+		case TargetCounter:
+			rt.CorruptCounter(&counters[injWord], ctrBit)
+		default: // data, masking, checkpoint: corrupt the protected array
+			for _, f := range flips {
+				mem.FlipBit(f.Word, f.Bit)
+			}
+		}
+		if cfg.Trace != nil {
+			fields := map[string]any{
+				"trial": trial, "epoch": k, "scheme": "epoch",
+				"words": words, "target": cfg.Target.String(),
+			}
+			switch cfg.Target {
+			case TargetAccumulator:
+				fields["acc"] = accSel.String()
+				fields["bit"] = accBit
+			case TargetCounter:
+				fields["word"] = injWord
+				fields["bit"] = ctrBit
+			default:
+				coords := make([]map[string]any, len(flips))
+				for fi, f := range flips {
+					coords[fi] = map[string]any{"word": f.Word, "bit": f.Bit}
+				}
+				fields["flips"] = coords
+			}
+			telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, fields)
+		}
+	}
 
 	run := func(k int) error {
 		for i := 0; i < words; i++ {
 			if !injected && k == injEpoch && i == injWord {
-				for _, f := range flips {
-					mem.FlipBit(f.Word, f.Bit)
-				}
+				inject(k)
 				injected = true
-				if cfg.Trace != nil {
-					coords := make([]map[string]any, len(flips))
-					for fi, f := range flips {
-						coords[fi] = map[string]any{"word": f.Word, "bit": f.Bit}
-					}
-					telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, map[string]any{
-						"trial": trial, "epoch": k, "flips": coords,
-						"scheme": "epoch", "words": words,
-					})
-				}
 			}
 			v := rt.Use(tr, &counters[i], mem.Load(i))
 			next := update(v)
@@ -94,6 +136,30 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 		// verify, then re-register the survivors for the next epoch.
 		for i := 0; i < words; i++ {
 			rt.Final(tr, &counters[i], mem.Peek(i))
+		}
+		if cfg.Target == TargetMasking && injected && !maskTried {
+			// The adversarial second half of the masking fault: compensating
+			// single-bit flips of the use and e_use accumulators that cancel
+			// the data flip's imbalance, making verification pass on wrong
+			// data. Only possible when the accumulator bit values line up
+			// (always for XOR, about one trial in four for ModAdd).
+			maskTried = true
+			masked = tryMask(tr, cfg.Kind)
+		}
+		if cfg.Hardened {
+			if serr := tr.ScrubDetector(); serr != nil {
+				telemetry.Emit(cfg.Trace, telemetry.EvScrubFail, map[string]any{
+					"trial": trial, "epoch": k, "error": serr.Error(),
+				})
+				cfg.Metrics.Counter("defuse_scrub_total",
+					telemetry.Label{Key: "result", Value: "fail"}).Inc()
+				return serr
+			}
+			telemetry.Emit(cfg.Trace, telemetry.EvScrubPass, map[string]any{
+				"trial": trial, "epoch": k,
+			})
+			cfg.Metrics.Counter("defuse_scrub_total",
+				telemetry.Label{Key: "result", Value: "pass"}).Inc()
 		}
 		_, err := tr.EndEpoch()
 		if !last && err == nil {
@@ -120,19 +186,47 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 		Run:    run,
 		Verify: verify,
 		Checkpoint: func() any {
-			return epochTrialSnap{
+			snap := epochTrialSnap{
 				mem:      mem.Snapshot(),
 				state:    tr.BeginEpoch(),
 				counters: append([]rt.Counter(nil), counters...),
 			}
+			if cfg.Target == TargetCheckpoint {
+				// The supervisor's very first Checkpoint call captures the
+				// initial (whole-run) state; the fault targets the per-epoch
+				// checkpoint parked for epoch injEpoch, once.
+				if !sawInitial {
+					sawInitial = true
+				} else if !ckDone && tr.Epoch() == injEpoch {
+					ckDone = true
+					if ckPos < words {
+						snap.mem.FlipBit(ckPos, ckBit)
+					} else {
+						flipEpochStateField(&snap.state, ckPos-words, uint(ckBit))
+					}
+				}
+			}
+			return snap
 		},
-		Restore: func(snap any) {
+		Restore: func(snap any) error {
 			s := snap.(epochTrialSnap)
-			mem.Restore(s.mem)
-			if rerr := tr.Rollback(s.state); rerr != nil {
-				panic(rerr) // unreachable: every snapshot above is sealed
+			if cfg.Hardened {
+				if rerr := mem.Restore(s.mem); rerr != nil {
+					return rerr
+				}
+				if rerr := tr.Rollback(s.state); rerr != nil {
+					return rerr
+				}
+			} else {
+				if rerr := mem.RestoreUnchecked(s.mem); rerr != nil {
+					return rerr
+				}
+				if rerr := tr.RollbackUnchecked(s.state); rerr != nil {
+					return rerr
+				}
 			}
 			copy(counters, s.counters)
+			return nil
 		},
 		Policy:  pol,
 		Trace:   cfg.Trace,
@@ -143,18 +237,28 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 	}
 
 	tally := trialTally{
-		undetected: !out.Detected,
-		detected:   out.Detected,
-		tainted:    out.Tainted,
-		retries:    out.Retries,
-		restarts:   out.Restarts,
+		undetected:       !out.Detected,
+		detected:         out.Detected,
+		tainted:          out.Tainted,
+		retries:          out.Retries,
+		restarts:         out.Restarts,
+		rebuilds:         out.Rebuilds,
+		detectorFaults:   out.DetectorFaults,
+		checkpointFaults: out.CheckpointFaults,
 	}
 	if out.Detected {
 		tally.latency = out.FirstDetection - injEpoch
 	}
-	if out.Recovered && finalStateCorrect(mem, init, epochs) {
+	finalOK := finalStateCorrect(mem, init, epochs)
+	if out.Recovered && finalOK {
 		tally.recovered = true
 	}
+	// A false negative is a trial that finished with every check green and a
+	// wrong final state; a false positive is recovery machinery acting on a
+	// data-fault verdict when the protected data was never touched.
+	tally.falseNegative = !out.Detected && !finalOK
+	tally.falsePositive = !dataInjected && out.DataFaults > 0
+	_ = masked // the mask either held (false negative) or was caught; tallies above cover both
 
 	cellMetrics(cfg, tally.undetected)
 	labels := cellLabels(cfg)
@@ -166,6 +270,67 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 		cfg.Metrics.Counter("defuse_recovery_recovered_total", labels...).Inc()
 	}
 	return tally, nil
+}
+
+// tryMask attempts the compensating accumulator corruption that hides a
+// single-bit data fault: after the boundary finalize, a 1-bit data flip
+// leaves use = def + d and e_use = e_def + d with d = ±2^b. Flipping bit b of
+// both the use and e_use primaries subtracts d exactly when the current bit
+// values have the right sense — always for XOR, and with the right bit
+// polarity (about 1/4 of trials) for modular addition. It returns whether the
+// mask was applied.
+func tryMask(tr *rt.Tracker, kind checksum.Kind) bool {
+	def, use, edef, euse := tr.Checksums()
+	switch kind {
+	case checksum.XOR:
+		m := use ^ def
+		if m != 0 && m == euse^edef && bits.OnesCount64(m) == 1 {
+			b := uint(bits.TrailingZeros64(m))
+			tr.CorruptAccumulator(checksum.AccUse, b)
+			tr.CorruptAccumulator(checksum.AccEUse, b)
+			return true
+		}
+	case checksum.ModAdd:
+		d := use - def
+		if d == 0 || d != euse-edef {
+			return false
+		}
+		if bits.OnesCount64(d) == 1 {
+			// Need to subtract 2^b: only a set bit flips downward.
+			b := uint(bits.TrailingZeros64(d))
+			if use&(1<<b) != 0 && euse&(1<<b) != 0 {
+				tr.CorruptAccumulator(checksum.AccUse, b)
+				tr.CorruptAccumulator(checksum.AccEUse, b)
+				return true
+			}
+		} else if bits.OnesCount64(-d) == 1 {
+			// Need to add 2^b: only a clear bit flips upward.
+			b := uint(bits.TrailingZeros64(-d))
+			if use&(1<<b) == 0 && euse&(1<<b) == 0 {
+				tr.CorruptAccumulator(checksum.AccUse, b)
+				tr.CorruptAccumulator(checksum.AccEUse, b)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// flipEpochStateField flips one bit of a parked EpochState's accumulator
+// fields without resealing its digest — the checkpoint-fault footprint on the
+// tracker side. sel picks the accumulator (0..3).
+func flipEpochStateField(s *rt.EpochState, sel int, bit uint) {
+	mask := uint64(1) << (bit & 63)
+	switch sel & 3 {
+	case 0:
+		s.Def ^= mask
+	case 1:
+		s.Use ^= mask
+	case 2:
+		s.EDef ^= mask
+	default:
+		s.EUse ^= mask
+	}
 }
 
 // finalStateCorrect reports whether the memory holds exactly the state a

@@ -6,6 +6,7 @@ import (
 
 	"defuse/internal/checksum"
 	"defuse/internal/lang"
+	"defuse/internal/memsim"
 	"defuse/internal/recovery"
 )
 
@@ -115,10 +116,11 @@ func (p *EpochPlan) RunEpoch(k int) error {
 }
 
 // epochSnap is the supervisor checkpoint of everything an epoch mutates:
-// the simulated memory, the checksum accumulators, and the plan's cached
-// loop bounds (so a full restart re-evaluates them in epoch 0).
+// the simulated memory (as a digest-sealed snapshot), the checksum
+// accumulators, and the plan's cached loop bounds (so a full restart
+// re-evaluates them in epoch 0).
 type epochSnap struct {
-	mem        []uint64
+	mem        memsim.Snapshot
 	pair       checksum.Pair
 	lo, hi     int64
 	haveBounds bool
@@ -137,6 +139,12 @@ func (p *EpochPlan) Supervise(ctx context.Context, pol recovery.Policy) (recover
 		Epochs: p.n,
 		Run:    p.RunEpoch,
 		Verify: func(int) error {
+			// Scrub first: a diverged accumulator copy means the def/use
+			// comparison below cannot be trusted, and the supervisor must
+			// treat the failure as a detector fault, not a data fault.
+			if err := p.m.pair.Scrub(); err != nil {
+				return err
+			}
 			err := p.m.pair.Verify()
 			p.m.emitVerify(err)
 			return err
@@ -148,11 +156,14 @@ func (p *EpochPlan) Supervise(ctx context.Context, pol recovery.Policy) (recover
 				lo:   p.lo, hi: p.hi, haveBounds: p.haveBounds,
 			}
 		},
-		Restore: func(snap any) {
+		Restore: func(snap any) error {
 			s := snap.(epochSnap)
-			p.m.mem.Restore(s.mem)
+			if err := p.m.mem.Restore(s.mem); err != nil {
+				return err
+			}
 			*p.m.pair = s.pair
 			p.lo, p.hi, p.haveBounds = s.lo, s.hi, s.haveBounds
+			return nil
 		},
 		Policy:  pol,
 		Trace:   p.m.trace,

@@ -464,17 +464,19 @@ func (m *Machine) execChecksum(x *lang.AddToChecksum) error {
 		return err
 	}
 	m.Counts.CsOps++
-	k := m.pair.Kind()
 	bits := val.bits()
+	// Fold through ScaleFold so the Pair's redundant shadow copies stay in
+	// step; writing the exported fields directly would strand the shadows
+	// and make every later Scrub report a phantom detector fault.
 	switch x.CS {
 	case lang.DefCS:
-		m.pair.Def = checksum.ScaleCombine(k, m.pair.Def, bits, cnt)
+		m.pair.ScaleFold(checksum.AccDef, bits, cnt)
 	case lang.UseCS:
-		m.pair.Use = checksum.ScaleCombine(k, m.pair.Use, bits, cnt)
+		m.pair.ScaleFold(checksum.AccUse, bits, cnt)
 	case lang.EDefCS:
-		m.pair.EDef = checksum.ScaleCombine(k, m.pair.EDef, bits, cnt)
+		m.pair.ScaleFold(checksum.AccEDef, bits, cnt)
 	case lang.EUseCS:
-		m.pair.EUse = checksum.ScaleCombine(k, m.pair.EUse, bits, cnt)
+		m.pair.ScaleFold(checksum.AccEUse, bits, cnt)
 	}
 	return nil
 }

@@ -5,7 +5,10 @@
 // memory, and fault-injection experiments corrupt words between operations.
 package memsim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Memory is a flat word-addressed memory with load/store accounting and an
 // optional load hook for modeling in-flight corruption.
@@ -74,21 +77,97 @@ func (m *Memory) FlipBit(addr, bit int) {
 	}
 }
 
-// Snapshot returns a copy of the memory contents, for epoch checkpointing.
-// Access counters and hooks are not part of the snapshot: a restore rewinds
-// the protected data, not the accounting of work already performed.
-func (m *Memory) Snapshot() []uint64 {
-	return append([]uint64(nil), m.words...)
+// ErrCheckpointCorrupt reports that a snapshot failed its integrity digest:
+// a fault struck the checkpoint copy while it was parked in memory. Restore
+// refuses such a snapshot; recovery must escalate (typically to a restart
+// from known-good initial state) rather than resurrect corrupted data.
+var ErrCheckpointCorrupt = errors.New("memsim: checkpoint integrity digest mismatch")
+
+// Snapshot is a sealed copy of the memory contents taken for epoch
+// checkpointing, covered by an integrity digest computed at capture time.
+// Checkpoints are themselves ordinary memory under the fault model of
+// Section 2.2 — nothing stops a bit flip from landing on a word that is
+// waiting to be restored — so Restore verifies the digest first.
+type Snapshot struct {
+	words  []uint64
+	digest uint64
+	sealed bool
 }
 
-// Restore overwrites the memory contents with a snapshot taken earlier. The
+// Len returns the number of words captured in the snapshot.
+func (s *Snapshot) Len() int { return len(s.words) }
+
+// Word returns the captured word at addr (experiment harness use).
+func (s *Snapshot) Word(addr int) uint64 { return s.words[addr] }
+
+// FlipBit flips one bit of the captured word at addr without updating the
+// digest — the footprint of a transient fault striking the parked checkpoint.
+// It exists for fault-injection campaigns that target the checkpoint itself.
+func (s *Snapshot) FlipBit(addr, bit int) {
+	if bit < 0 || bit > 63 {
+		panic(fmt.Sprintf("memsim: bit %d out of range", bit))
+	}
+	s.words[addr] ^= 1 << uint(bit)
+}
+
+// Verify reports whether the snapshot's contents still match the digest
+// computed when it was captured. A failure is ErrCheckpointCorrupt (wrapped).
+func (s *Snapshot) Verify() error {
+	if !s.sealed {
+		return errors.New("memsim: unsealed Snapshot")
+	}
+	if digestWords(s.words) != s.digest {
+		return ErrCheckpointCorrupt
+	}
+	return nil
+}
+
+// digestWords chains the words through the splitmix64 finalizer. Chaining
+// makes it order- and length-sensitive; a single flipped bit anywhere in the
+// snapshot changes the result.
+func digestWords(words []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) + uint64(len(words))
+	for _, w := range words {
+		h ^= w
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// Snapshot returns a sealed copy of the memory contents, for epoch
+// checkpointing. Access counters and hooks are not part of the snapshot: a
+// restore rewinds the protected data, not the accounting of work already
+// performed.
+func (m *Memory) Snapshot() Snapshot {
+	words := append([]uint64(nil), m.words...)
+	return Snapshot{words: words, digest: digestWords(words), sealed: true}
+}
+
+// Restore overwrites the memory contents with a snapshot taken earlier,
+// after verifying its integrity digest; a snapshot hit by a fault while
+// parked is refused with an error wrapping ErrCheckpointCorrupt. The
 // snapshot must be no larger than the current memory (allocations made since
 // the snapshot keep their contents).
-func (m *Memory) Restore(snap []uint64) {
-	if len(snap) > len(m.words) {
-		panic(fmt.Sprintf("memsim: restore of %d words into %d", len(snap), len(m.words)))
+func (m *Memory) Restore(snap Snapshot) error {
+	if err := snap.Verify(); err != nil {
+		return err
 	}
-	copy(m.words, snap)
+	return m.RestoreUnchecked(snap)
+}
+
+// RestoreUnchecked restores a snapshot without verifying its digest. It is
+// the unhardened baseline for fault-injection experiments that measure what
+// checkpoint verification buys; production callers should use Restore.
+func (m *Memory) RestoreUnchecked(snap Snapshot) error {
+	if len(snap.words) > len(m.words) {
+		return fmt.Errorf("memsim: restore of %d words into %d", len(snap.words), len(m.words))
+	}
+	copy(m.words, snap.words)
+	return nil
 }
 
 // SetLoadHook installs (or clears, with nil) the load observation hook.

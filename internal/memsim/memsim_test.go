@@ -1,6 +1,9 @@
 package memsim
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestLoadStore(t *testing.T) {
 	m := New(8)
@@ -127,7 +130,9 @@ func TestSnapshotRestore(t *testing.T) {
 	// Mutate (including a fault) and roll back.
 	m.Store(3, 999)
 	m.FlipBit(5, 7)
-	m.Restore(snap)
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 8; i++ {
 		if got := m.Peek(i); got != uint64(i)*11 {
 			t.Errorf("word %d = %d after restore, want %d", i, got, uint64(i)*11)
@@ -139,16 +144,85 @@ func TestSnapshotRestore(t *testing.T) {
 
 	// The snapshot is a copy: later writes must not leak into it.
 	m.Store(0, 12345)
-	if snap[0] != 0 {
+	if snap.Word(0) != 0 {
 		t.Error("snapshot aliases live memory")
 	}
 }
 
-func TestRestoreOversizedPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestRestoreOversizedFails(t *testing.T) {
+	big := New(3).Snapshot()
+	if err := New(2).Restore(big); err == nil {
+		t.Fatal("restore of an oversized snapshot must fail")
+	}
+}
+
+func TestRestoreRefusesCorruptSnapshot(t *testing.T) {
+	m := New(4)
+	for i := 0; i < 4; i++ {
+		m.Poke(i, uint64(i)+100)
+	}
+	snap := m.Snapshot()
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("fresh snapshot failed verification: %v", err)
+	}
+
+	// A fault lands on the parked checkpoint.
+	snap.FlipBit(2, 33)
+	if err := snap.Verify(); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("Verify = %v, want ErrCheckpointCorrupt", err)
+	}
+	m.Store(1, 7)
+	if err := m.Restore(snap); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("Restore = %v, want ErrCheckpointCorrupt", err)
+	}
+	if m.Peek(1) != 7 {
+		t.Error("refused restore must leave memory untouched")
+	}
+
+	// The unhardened baseline happily resurrects the corrupt data.
+	if err := m.RestoreUnchecked(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.Peek(2) != (102 ^ 1<<33) {
+		t.Errorf("word 2 = %#x after unchecked restore", m.Peek(2))
+	}
+}
+
+func TestRestoreRefusesUnsealedSnapshot(t *testing.T) {
+	var zero Snapshot
+	if err := New(2).Restore(zero); err == nil {
+		t.Fatal("zero-value Snapshot accepted")
+	}
+}
+
+// FuzzSnapshotDigest drives the checkpoint encode→corrupt→verify round trip:
+// a freshly captured snapshot always verifies and restores, and flipping any
+// single bit of any captured word is always refused as corrupt.
+func FuzzSnapshotDigest(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint8(0), uint8(0))
+	f.Add(uint64(0xdeadbeef), uint64(0xcafebabe), uint8(1), uint8(63))
+	f.Add(^uint64(0), uint64(0), uint8(7), uint8(31))
+	f.Fuzz(func(t *testing.T, w0, w1 uint64, addrSel, bit uint8) {
+		m := New(8)
+		m.Poke(0, w0)
+		m.Poke(1, w1)
+		for i := 2; i < 8; i++ {
+			m.Poke(i, w0^uint64(i)*0x9e3779b97f4a7c15)
 		}
-	}()
-	New(2).Restore(make([]uint64, 3))
+		snap := m.Snapshot()
+		if err := snap.Verify(); err != nil {
+			t.Fatalf("fresh snapshot: %v", err)
+		}
+		if err := m.Restore(snap); err != nil {
+			t.Fatalf("clean restore: %v", err)
+		}
+
+		snap.FlipBit(int(addrSel)%snap.Len(), int(bit)%64)
+		if err := snap.Verify(); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("single-bit corruption escaped the digest: %v", err)
+		}
+		if err := m.Restore(snap); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("corrupt snapshot restored: %v", err)
+		}
+	})
 }

@@ -7,6 +7,18 @@
 // gracefully — the run continues and completes, but its result is marked
 // tainted. This bounds the detection-to-recovery window that the paper's
 // program-end verification leaves open (see DESIGN.md).
+//
+// Failures are classified into three modes, each with its own response:
+//
+//   - data fault (*checksum.MismatchError): the protected data was corrupted;
+//     roll back to the epoch's entry checkpoint and re-execute with backoff.
+//   - detector fault (*rt.DetectorFaultError, *checksum.ScrubError): the
+//     detector's own state was struck, so its verdict is untrustworthy;
+//     rebuild the tracker state from the last sealed epoch (no backoff — the
+//     data is presumed fine) and re-run the epoch.
+//   - corrupt checkpoint (rt.ErrCheckpointCorrupt, memsim.ErrCheckpointCorrupt):
+//     the recovery state itself was hit; restoring it would install silently
+//     wrong data, so escalate straight to a full restart from initial state.
 package recovery
 
 import (
@@ -16,14 +28,71 @@ import (
 	"time"
 
 	"defuse/internal/checksum"
+	"defuse/internal/memsim"
+	"defuse/rt"
 	"defuse/telemetry"
 )
+
+// FaultClass is the supervisor's classification of a failed epoch attempt.
+type FaultClass int
+
+const (
+	// ClassNone marks an error that is not a detected fault at all — a
+	// terminal execution failure the supervisor must surface, not retry.
+	ClassNone FaultClass = iota
+	// ClassData marks corruption of the protected data: rollback + re-execute.
+	ClassData
+	// ClassDetector marks corruption of the detector's own state: rebuild it
+	// from the last sealed epoch and re-run without backoff.
+	ClassDetector
+	// ClassCheckpoint marks corruption of a parked checkpoint: escalate to a
+	// full restart; the rollback path itself cannot be trusted.
+	ClassCheckpoint
+)
+
+// String returns a short label for the class.
+func (c FaultClass) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassDetector:
+		return "detector"
+	case ClassCheckpoint:
+		return "checkpoint"
+	default:
+		return "none"
+	}
+}
+
+// DefaultClassify maps the runtime's error types onto the three failure
+// modes. Checkpoint sentinels are checked first: a corrupt-checkpoint error
+// wrapping a rollback failure must escalate even if other evidence is
+// present. Detector faults are checked before data faults because a struck
+// detector produces untrustworthy mismatch reports.
+func DefaultClassify(err error) FaultClass {
+	if err == nil {
+		return ClassNone
+	}
+	if errors.Is(err, rt.ErrCheckpointCorrupt) || errors.Is(err, memsim.ErrCheckpointCorrupt) {
+		return ClassCheckpoint
+	}
+	var df *rt.DetectorFaultError
+	var se *checksum.ScrubError
+	if errors.As(err, &df) || errors.As(err, &se) {
+		return ClassDetector
+	}
+	var mm *checksum.MismatchError
+	if errors.As(err, &mm) {
+		return ClassData
+	}
+	return ClassNone
+}
 
 // Policy bounds the supervisor's recovery effort. The zero value performs no
 // retries and no restarts: the first unrecovered detection degrades the run.
 type Policy struct {
-	// MaxRetries is the number of rollback re-executions allowed per epoch
-	// attempt before escalating.
+	// MaxRetries is the number of rollback re-executions (or detector
+	// rebuilds) allowed per epoch attempt before escalating.
 	MaxRetries int
 	// MaxRestarts is the number of full-run restarts allowed (across the
 	// whole run) before degrading.
@@ -55,13 +124,25 @@ type Config struct {
 	// means the epoch is clean. A nil Verify trusts Run's own error.
 	Verify func(k int) error
 	// Checkpoint captures everything Run mutates; Restore reinstates a
-	// snapshot it returned. Both are required.
+	// snapshot it returned, failing (typically with a corrupt-checkpoint
+	// error) when the snapshot cannot be trusted. Both are required.
 	Checkpoint func() any
-	Restore    func(snap any)
+	Restore    func(snap any) error
+	// RebuildDetector, when non-nil, reinstates the detector's state from a
+	// snapshot after a detector fault. Leave it nil unless the system can
+	// rebuild detector state consistently with the current data (epochs are
+	// re-executed afterwards, so data and detector must agree at the epoch's
+	// entry); nil falls back to the full Restore.
+	RebuildDetector func(snap any) error
 	// IsDetection classifies an error as a detected memory corruption
-	// (retryable) rather than a terminal execution failure. Nil defaults to
-	// matching *checksum.MismatchError anywhere in the error chain.
+	// (retryable data fault) rather than a terminal execution failure. It
+	// predates Classify and is honored for compatibility: when set and
+	// Classify is nil, a true result means ClassData and a false result
+	// ClassNone. Nil defers to Classify.
 	IsDetection func(error) bool
+	// Classify maps a failed attempt's error to a failure mode. Nil (with
+	// nil IsDetection) uses DefaultClassify.
+	Classify func(error) FaultClass
 
 	Policy  Policy
 	Trace   telemetry.Sink
@@ -81,6 +162,13 @@ type Outcome struct {
 	Retries int
 	// Restarts counts full-run restarts.
 	Restarts int
+	// Rebuilds counts detector-state rebuilds (detector-fault recoveries).
+	Rebuilds int
+	// DataFaults, DetectorFaults, and CheckpointFaults count failed attempts
+	// by classification across the whole run.
+	DataFaults       int
+	DetectorFaults   int
+	CheckpointFaults int
 	// Recovered reports that corruption was detected and the run still
 	// completed with every epoch verified.
 	Recovered bool
@@ -91,8 +179,8 @@ type Outcome struct {
 
 // Supervise executes cfg.Epochs epochs under checkpoint/rollback recovery.
 // It returns a non-nil error only for terminal failures: an invalid config,
-// a context cancellation, or a Run error that IsDetection rejects. Detected
-// corruptions are handled by the policy and reported in the Outcome.
+// a context cancellation, or a Run error classified as ClassNone. Detected
+// faults are handled per their class and reported in the Outcome.
 func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 	o := Outcome{Epochs: cfg.Epochs, FirstDetection: -1}
 	if cfg.Epochs < 1 {
@@ -101,12 +189,22 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 	if cfg.Run == nil || cfg.Checkpoint == nil || cfg.Restore == nil {
 		return o, errors.New("recovery: Config needs Run, Checkpoint, and Restore")
 	}
-	isDetection := cfg.IsDetection
-	if isDetection == nil {
-		isDetection = func(err error) bool {
-			var mm *checksum.MismatchError
-			return errors.As(err, &mm)
+	classify := cfg.Classify
+	if classify == nil {
+		if is := cfg.IsDetection; is != nil {
+			classify = func(err error) FaultClass {
+				if is(err) {
+					return ClassData
+				}
+				return ClassNone
+			}
+		} else {
+			classify = DefaultClassify
 		}
+	}
+	rebuild := cfg.RebuildDetector
+	if rebuild == nil {
+		rebuild = cfg.Restore
 	}
 	sleep := cfg.Policy.Sleep
 	if sleep == nil {
@@ -122,9 +220,57 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 	}
 	backoffHist := cfg.Metrics.Histogram("defuse_recovery_backoff_seconds", telemetry.DefBuckets())
 
+	// noteDetection records the first failed verification and per-class
+	// tallies for one failed attempt.
+	noteDetection := func(k int, class FaultClass, err error) {
+		if !o.Detected {
+			o.Detected = true
+			o.FirstDetection = k
+		}
+		switch class {
+		case ClassData:
+			o.DataFaults++
+		case ClassDetector:
+			o.DetectorFaults++
+			telemetry.Emit(cfg.Trace, telemetry.EvDetectorFault, map[string]any{
+				"epoch": k, "error": err.Error(),
+			})
+			cfg.Metrics.Counter("defuse_detector_faults_total").Inc()
+		case ClassCheckpoint:
+			o.CheckpointFaults++
+			telemetry.Emit(cfg.Trace, telemetry.EvCheckpointCorrupt, map[string]any{
+				"epoch": k, "error": err.Error(),
+			})
+			cfg.Metrics.Counter("defuse_checkpoint_corrupt_total").Inc()
+		}
+	}
+
 	initial := cfg.Checkpoint()
 	for {
 		restart := false
+		// escalateRestart restores the initial checkpoint for a full-run
+		// restart; if even that restore fails, recovery is out of options
+		// and the run degrades.
+		escalateRestart := func(k int) {
+			if o.Restarts < cfg.Policy.MaxRestarts {
+				o.Restarts++
+				telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRestart, map[string]any{
+					"epoch": k, "restart": o.Restarts,
+				})
+				cfg.Metrics.Counter("defuse_recovery_restarts_total").Inc()
+				if rerr := cfg.Restore(initial); rerr != nil {
+					noteDetection(k, classify(rerr), rerr)
+				} else {
+					restart = true
+					return
+				}
+			}
+			o.Tainted = true
+			telemetry.Emit(cfg.Trace, telemetry.EvRecoveryDegraded, map[string]any{
+				"epoch": k,
+			})
+			cfg.Metrics.Counter("defuse_recovery_degraded_total").Inc()
+		}
 		for k := 0; k < cfg.Epochs && !restart; k++ {
 			if err := ctx.Err(); err != nil {
 				return o, err
@@ -145,13 +291,11 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 					break
 				}
 				verifications("mismatch").Inc()
-				if !isDetection(err) {
+				class := classify(err)
+				if class == ClassNone {
 					return o, err
 				}
-				if !o.Detected {
-					o.Detected = true
-					o.FirstDetection = k
-				}
+				noteDetection(k, class, err)
 				if o.Tainted {
 					// Already degraded: report-and-continue, no more
 					// recovery effort.
@@ -160,36 +304,49 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 				if cerr := ctx.Err(); cerr != nil {
 					return o, cerr
 				}
+				if class == ClassCheckpoint {
+					// The rollback path itself is compromised; retrying
+					// through it would restore corrupt state.
+					escalateRestart(k)
+					break
+				}
 				if retries < cfg.Policy.MaxRetries {
 					retries++
 					o.Retries++
-					telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRetry, map[string]any{
-						"epoch": k, "attempt": retries, "backoff_seconds": backoff.Seconds(),
-					})
-					cfg.Metrics.Counter("defuse_recovery_retries_total").Inc()
-					backoffHist.Observe(backoff.Seconds())
-					if backoff > 0 {
-						sleep(backoff)
+					var rerr error
+					if class == ClassDetector {
+						// The detector was struck, not the data: rebuild its
+						// state from the epoch checkpoint and re-run
+						// immediately — no backoff, since nothing suggests
+						// the data path is under sustained disturbance.
+						o.Rebuilds++
+						telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRebuild, map[string]any{
+							"epoch": k, "attempt": retries,
+						})
+						cfg.Metrics.Counter("defuse_recovery_rebuilds_total").Inc()
+						rerr = rebuild(snap)
+					} else {
+						telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRetry, map[string]any{
+							"epoch": k, "attempt": retries, "backoff_seconds": backoff.Seconds(),
+						})
+						cfg.Metrics.Counter("defuse_recovery_retries_total").Inc()
+						backoffHist.Observe(backoff.Seconds())
+						if backoff > 0 {
+							sleep(backoff)
+						}
+						backoff = time.Duration(float64(backoff) * factor)
+						rerr = cfg.Restore(snap)
 					}
-					backoff = time.Duration(float64(backoff) * factor)
-					cfg.Restore(snap)
+					if rerr != nil {
+						// The epoch checkpoint cannot be reinstated —
+						// typically because it was itself corrupted.
+						noteDetection(k, classify(rerr), rerr)
+						escalateRestart(k)
+						break
+					}
 					continue
 				}
-				if o.Restarts < cfg.Policy.MaxRestarts {
-					o.Restarts++
-					telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRestart, map[string]any{
-						"epoch": k, "restart": o.Restarts,
-					})
-					cfg.Metrics.Counter("defuse_recovery_restarts_total").Inc()
-					cfg.Restore(initial)
-					restart = true
-					break
-				}
-				o.Tainted = true
-				telemetry.Emit(cfg.Trace, telemetry.EvRecoveryDegraded, map[string]any{
-					"epoch": k,
-				})
-				cfg.Metrics.Counter("defuse_recovery_degraded_total").Inc()
+				escalateRestart(k)
 				break
 			}
 		}

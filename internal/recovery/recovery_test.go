@@ -3,10 +3,13 @@ package recovery
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"defuse/internal/checksum"
+	"defuse/internal/memsim"
+	"defuse/rt"
 	"defuse/telemetry"
 )
 
@@ -34,7 +37,10 @@ func harness(s *simState, epochs int, verify func(k int) error) Config {
 		},
 		Verify:     verify,
 		Checkpoint: func() any { return s.value },
-		Restore:    func(snap any) { s.value = snap.(int) },
+		Restore: func(snap any) error {
+			s.value = snap.(int)
+			return nil
+		},
 	}
 }
 
@@ -118,11 +124,14 @@ func TestSupervisePersistentCorruptionEscalatesToRestart(t *testing.T) {
 	// Restarting clears the poison: the initial checkpoint predates it.
 	restore := cfg.Restore
 	initial := s.value
-	cfg.Restore = func(snap any) {
-		restore(snap)
+	cfg.Restore = func(snap any) error {
+		if err := restore(snap); err != nil {
+			return err
+		}
 		if snap.(int) == initial {
 			poisoned = false
 		}
+		return nil
 	}
 	o, err := Supervise(context.Background(), cfg)
 	if err != nil {
@@ -292,6 +301,200 @@ func TestSuperviseContextCancellation(t *testing.T) {
 	}
 	if len(s.runs) != 0 {
 		t.Errorf("cancelled supervisor still ran epochs: %v", s.runs)
+	}
+}
+
+func TestDefaultClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want FaultClass
+	}{
+		{"nil", nil, ClassNone},
+		{"plain error", errors.New("disk on fire"), ClassNone},
+		{"mismatch", mismatch(), ClassData},
+		{"wrapped mismatch", fmt.Errorf("epoch 3: %w", mismatch()), ClassData},
+		{"scrub", &checksum.ScrubError{Acc: checksum.AccUse, Primary: 1, Shadow: 2}, ClassDetector},
+		{"detector fault", &rt.DetectorFaultError{Part: "counter", Err: errors.New("enc diverged")}, ClassDetector},
+		{"rt checkpoint sentinel", fmt.Errorf("rollback: %w", rt.ErrCheckpointCorrupt), ClassCheckpoint},
+		{"memsim checkpoint sentinel", fmt.Errorf("restore: %w", memsim.ErrCheckpointCorrupt), ClassCheckpoint},
+		// A detector-fault wrapper around a checkpoint sentinel must classify
+		// as checkpoint: the sentinel means the rollback path is compromised.
+		{"checkpoint beats detector", &rt.DetectorFaultError{Part: "checkpoint", Err: rt.ErrCheckpointCorrupt}, ClassCheckpoint},
+	}
+	for _, c := range cases {
+		if got := DefaultClassify(c.err); got != c.want {
+			t.Errorf("%s: DefaultClassify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSuperviseDetectorFaultRebuildsWithoutBackoff(t *testing.T) {
+	// A transient strike on the detector's own state (epoch 1, first attempt)
+	// must be recovered by a rebuild: no backoff pause, no restart, and the
+	// per-class tallies must say "detector", not "data".
+	sink := &telemetry.Collector{}
+	reg := telemetry.NewRegistry()
+	s := &simState{}
+	struck := false
+	cfg := harness(s, 3, func(k int) error {
+		if k == 1 && !struck {
+			struck = true
+			return &rt.DetectorFaultError{Part: "accumulator", Err: errors.New("shadow copy diverged")}
+		}
+		return nil
+	})
+	pauses := 0
+	cfg.Policy = Policy{
+		MaxRetries:  2,
+		MaxRestarts: 1,
+		Backoff:     5 * time.Millisecond,
+		Sleep:       func(time.Duration) { pauses++ },
+	}
+	cfg.Trace = sink
+	cfg.Metrics = reg
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Detected || o.FirstDetection != 1 {
+		t.Errorf("Detected=%v FirstDetection=%d, want detection at epoch 1", o.Detected, o.FirstDetection)
+	}
+	if o.Rebuilds != 1 || o.DetectorFaults != 1 {
+		t.Errorf("Rebuilds=%d DetectorFaults=%d, want 1/1", o.Rebuilds, o.DetectorFaults)
+	}
+	if o.DataFaults != 0 || o.CheckpointFaults != 0 || o.Restarts != 0 {
+		t.Errorf("misclassified: %+v", o)
+	}
+	if pauses != 0 {
+		t.Errorf("detector rebuild paused %d times; rebuilds must not back off", pauses)
+	}
+	if !o.Recovered || o.Tainted {
+		t.Errorf("Recovered=%v Tainted=%v", o.Recovered, o.Tainted)
+	}
+	if s.value != 3 {
+		t.Errorf("final value = %d, want 3", s.value)
+	}
+	if got := sink.Count(telemetry.EvDetectorFault); got != 1 {
+		t.Errorf("detector.fault events = %d, want 1", got)
+	}
+	if got := sink.Count(telemetry.EvRecoveryRebuild); got != 1 {
+		t.Errorf("recovery.rebuild events = %d, want 1", got)
+	}
+	for _, ms := range reg.Snapshot().Metrics {
+		switch ms.Name {
+		case "defuse_detector_faults_total", "defuse_recovery_rebuilds_total":
+			if ms.Value != 1 {
+				t.Errorf("%s = %v, want 1", ms.Name, ms.Value)
+			}
+		}
+	}
+}
+
+func TestSuperviseUsesRebuildDetectorHook(t *testing.T) {
+	// When RebuildDetector is configured it must be used for detector faults
+	// instead of the full Restore.
+	s := &simState{}
+	struck := false
+	cfg := harness(s, 2, func(k int) error {
+		if k == 0 && !struck {
+			struck = true
+			return &checksum.ScrubError{Acc: checksum.AccEDef, Primary: 7, Shadow: 9}
+		}
+		return nil
+	})
+	cfg.Policy = Policy{MaxRetries: 1}
+	rebuilds, restores := 0, 0
+	restore := cfg.Restore
+	cfg.Restore = func(snap any) error { restores++; return restore(snap) }
+	cfg.RebuildDetector = func(snap any) error { rebuilds++; return restore(snap) }
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilds != 1 {
+		t.Errorf("RebuildDetector called %d times, want 1", rebuilds)
+	}
+	if restores != 0 {
+		t.Errorf("Restore called %d times for a detector fault, want 0", restores)
+	}
+	if !o.Recovered || o.Rebuilds != 1 {
+		t.Errorf("outcome = %+v", o)
+	}
+}
+
+func TestSuperviseCorruptCheckpointRestartsImmediately(t *testing.T) {
+	// A corrupt-checkpoint verdict means the rollback path cannot be trusted:
+	// the supervisor must skip retries entirely and go straight to a full
+	// restart from the initial checkpoint.
+	sink := &telemetry.Collector{}
+	s := &simState{}
+	struck := false
+	cfg := harness(s, 3, func(k int) error {
+		if k == 1 && !struck {
+			struck = true
+			return fmt.Errorf("rollback: %w", memsim.ErrCheckpointCorrupt)
+		}
+		return nil
+	})
+	cfg.Policy = Policy{MaxRetries: 3, MaxRestarts: 1}
+	cfg.Trace = sink
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Retries != 0 {
+		t.Errorf("Retries = %d; corrupt checkpoints must not be retried through", o.Retries)
+	}
+	if o.Restarts != 1 || o.CheckpointFaults != 1 {
+		t.Errorf("Restarts=%d CheckpointFaults=%d, want 1/1", o.Restarts, o.CheckpointFaults)
+	}
+	if !o.Recovered || o.Tainted {
+		t.Errorf("Recovered=%v Tainted=%v", o.Recovered, o.Tainted)
+	}
+	if s.value != 3 {
+		t.Errorf("final value = %d, want 3 (restart re-runs everything)", s.value)
+	}
+	if got := sink.Count(telemetry.EvCheckpointCorrupt); got != 1 {
+		t.Errorf("checkpoint.corrupt events = %d, want 1", got)
+	}
+}
+
+func TestSuperviseEpochRestoreFailureEscalates(t *testing.T) {
+	// A data fault triggers rollback, but the epoch checkpoint's Restore
+	// fails with a corrupt-checkpoint error. The supervisor must classify the
+	// restore failure and escalate to a full restart (whose initial
+	// checkpoint is intact).
+	s := &simState{}
+	struck := false
+	cfg := harness(s, 3, func(k int) error {
+		if k == 1 && !struck {
+			struck = true
+			return mismatch()
+		}
+		return nil
+	})
+	restore := cfg.Restore
+	initial := s.value
+	cfg.Restore = func(snap any) error {
+		if snap.(int) != initial {
+			return fmt.Errorf("recovery: %w", rt.ErrCheckpointCorrupt)
+		}
+		return restore(snap)
+	}
+	cfg.Policy = Policy{MaxRetries: 3, MaxRestarts: 1}
+	o, err := Supervise(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.DataFaults != 1 || o.CheckpointFaults != 1 {
+		t.Errorf("DataFaults=%d CheckpointFaults=%d, want 1/1", o.DataFaults, o.CheckpointFaults)
+	}
+	if o.Retries != 1 || o.Restarts != 1 {
+		t.Errorf("Retries=%d Restarts=%d, want 1/1", o.Retries, o.Restarts)
+	}
+	if !o.Recovered || s.value != 3 {
+		t.Errorf("Recovered=%v value=%d, want recovery with value 3", o.Recovered, s.value)
 	}
 }
 

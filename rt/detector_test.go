@@ -1,0 +1,221 @@
+package rt
+
+import (
+	"errors"
+	"testing"
+
+	"defuse/internal/checksum"
+)
+
+func TestScrubDetectorCleanRun(t *testing.T) {
+	tr := NewTracker()
+	var c Counter
+	DefDyn(tr, &c, 0.0, 1.5)
+	Use(tr, &c, 1.5)
+	Use(tr, &c, 1.5)
+	Final(tr, &c, 1.5)
+	if err := tr.ScrubDetector(); err != nil {
+		t.Fatalf("clean run scrub: %v", err)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("clean run verify: %v", err)
+	}
+}
+
+func TestScrubDetectorCatchesAccumulatorFault(t *testing.T) {
+	tr := NewTracker()
+	Def(tr, 3.25, 1)
+	UseKnown(tr, 3.25)
+	tr.CorruptAccumulator(checksum.AccUse, 13)
+	err := tr.ScrubDetector()
+	var df *DetectorFaultError
+	if !errors.As(err, &df) {
+		t.Fatalf("ScrubDetector = %v, want *DetectorFaultError", err)
+	}
+	if df.Part != "accumulator" {
+		t.Errorf("Part = %q, want accumulator", df.Part)
+	}
+	var se *checksum.ScrubError
+	if !errors.As(err, &se) || se.Acc != checksum.AccUse {
+		t.Errorf("underlying scrub error = %v, want use-accumulator divergence", err)
+	}
+	// The fault also breaks def == use, but Verify's verdict must not be
+	// confusable with the detector fault: they are different error types.
+	var mm *checksum.MismatchError
+	if errors.As(err, &mm) {
+		t.Error("detector fault unwraps to a data-fault MismatchError")
+	}
+}
+
+func TestCounterFaultLatchedAtConsumption(t *testing.T) {
+	tr := NewTracker()
+	var c Counter
+	DefDyn(tr, &c, 0.0, 2.0)
+	Use(tr, &c, 2.0)
+	CorruptCounter(&c, 3)
+	// The fault sits in the counter but nothing has consumed it yet: the
+	// tracker-level scrub (latch + accumulators) is still clean.
+	if err := tr.ScrubDetector(); err != nil {
+		t.Fatalf("fault not yet consumed, scrub = %v", err)
+	}
+	// Final consumes (and resets) the counter — the last moment the
+	// divergence is observable — and must latch it.
+	Final(tr, &c, 2.0)
+	err := tr.ScrubDetector()
+	var df *DetectorFaultError
+	if !errors.As(err, &df) || df.Part != "counter" {
+		t.Fatalf("ScrubDetector = %v, want latched counter fault", err)
+	}
+	// The latch is sticky until the state is rebuilt.
+	if tr.ScrubDetector() == nil {
+		t.Error("latched fault vanished on second scrub")
+	}
+	tr.Reset()
+	if err := tr.ScrubDetector(); err != nil {
+		t.Errorf("Reset must clear the latch: %v", err)
+	}
+}
+
+func TestCounterLatchFirstFaultWins(t *testing.T) {
+	tr := NewTracker()
+	var c1, c2 Counter
+	DefDyn(tr, &c1, 0.0, 1.0)
+	DefDyn(tr, &c2, 0.0, 2.0)
+	CorruptCounter(&c1, 4)
+	CorruptCounter(&c2, 5)
+	Final(tr, &c1, 1.0)
+	first := tr.ScrubDetector()
+	Final(tr, &c2, 2.0)
+	second := tr.ScrubDetector()
+	if first == nil || second == nil {
+		t.Fatal("latch missing")
+	}
+	if first != second {
+		t.Errorf("latch was overwritten: %v then %v", first, second)
+	}
+}
+
+func TestCounterScrub(t *testing.T) {
+	var c Counter
+	if err := c.Scrub(); err != nil {
+		t.Fatalf("zero Counter must scrub clean: %v", err)
+	}
+	tr := NewTracker()
+	DefDyn(tr, &c, int64(0), int64(5))
+	Use(tr, &c, int64(5))
+	if err := c.Scrub(); err != nil {
+		t.Fatalf("live counter scrub: %v", err)
+	}
+	CorruptCounter(&c, 1)
+	err := c.Scrub()
+	var df *DetectorFaultError
+	if !errors.As(err, &df) || df.Part != "counter" {
+		t.Fatalf("Scrub = %v, want counter DetectorFaultError", err)
+	}
+}
+
+func TestCorruptCounterDefinedFlag(t *testing.T) {
+	// Bit 0 of the packed form is the defined flag; flipping it is the
+	// nastiest counter fault (it silently suppresses the epilogue adjustment).
+	tr := NewTracker()
+	var c Counter
+	DefDyn(tr, &c, 0.0, 1.0)
+	CorruptCounter(&c, 0)
+	if c.defined {
+		t.Fatal("bit 0 flip did not clear the defined flag")
+	}
+	if c.Scrub() == nil {
+		t.Fatal("cleared defined flag escaped the counter scrub")
+	}
+}
+
+func TestRollbackClearsLatchedFault(t *testing.T) {
+	tr := NewTracker()
+	snap := tr.BeginEpoch()
+	var c Counter
+	DefDyn(tr, &c, 0.0, 1.0)
+	CorruptCounter(&c, 2)
+	Final(tr, &c, 1.0)
+	if tr.ScrubDetector() == nil {
+		t.Fatal("expected a latched counter fault")
+	}
+	if err := tr.Rollback(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ScrubDetector(); err != nil {
+		t.Errorf("Rollback must clear the latch along with the state: %v", err)
+	}
+}
+
+func TestRollbackAfterReset(t *testing.T) {
+	// A snapshot sealed before Reset stays valid: its digest covers its own
+	// fields, not the tracker's, so rolling back across a Reset reinstates
+	// the sealed state exactly.
+	tr := NewTracker()
+	Def(tr, 4.0, 2)
+	UseKnown(tr, 4.0)
+	snap := tr.BeginEpoch()
+	wd, wu, wed, weu := tr.Checksums()
+	tr.Reset()
+	if d, _, _, _ := tr.Checksums(); d != 0 {
+		t.Fatal("Reset did not clear the tracker")
+	}
+	if err := tr.Rollback(snap); err != nil {
+		t.Fatal(err)
+	}
+	d, u, ed, eu := tr.Checksums()
+	if d != wd || u != wu || ed != wed || eu != weu {
+		t.Errorf("rollback across Reset restored %#x/%#x/%#x/%#x, want %#x/%#x/%#x/%#x",
+			d, u, ed, eu, wd, wu, wed, weu)
+	}
+	if err := tr.pair.Scrub(); err != nil {
+		t.Errorf("restored pair shadows inconsistent: %v", err)
+	}
+}
+
+func TestRollbackRefusesTamperedSnapshot(t *testing.T) {
+	tr := NewTracker()
+	Def(tr, 2.0, 1)
+	UseKnown(tr, 2.0)
+	snap := tr.BeginEpoch()
+	snap.Use ^= 1 << 9 // a fault striking the parked checkpoint
+	err := tr.Rollback(snap)
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("Rollback = %v, want ErrCheckpointCorrupt", err)
+	}
+	// The refusal must leave the tracker untouched.
+	if verr := tr.Verify(); verr != nil {
+		t.Errorf("refused rollback still modified the tracker: %v", verr)
+	}
+	// The unhardened baseline resurrects the corruption.
+	if uerr := tr.RollbackUnchecked(snap); uerr != nil {
+		t.Fatalf("RollbackUnchecked = %v", uerr)
+	}
+	if verr := tr.Verify(); verr == nil {
+		t.Error("unchecked restore of a tampered snapshot verified clean")
+	}
+}
+
+func TestEpochStateVerify(t *testing.T) {
+	var zero EpochState
+	if zero.Sealed() {
+		t.Error("zero EpochState claims to be sealed")
+	}
+	if err := zero.Verify(); err == nil {
+		t.Error("zero EpochState verified")
+	} else if errors.Is(err, ErrCheckpointCorrupt) {
+		t.Error("unsealed is not the same failure as corrupt; keep the errors distinct")
+	}
+	tr := NewTracker()
+	s := tr.BeginEpoch()
+	if !s.Sealed() {
+		t.Error("BeginEpoch snapshot not sealed")
+	}
+	if err := s.Verify(); err != nil {
+		t.Errorf("fresh snapshot Verify = %v", err)
+	}
+	s.Defs++
+	if err := s.Verify(); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("tampered snapshot Verify = %v, want ErrCheckpointCorrupt", err)
+	}
+}

@@ -1,6 +1,9 @@
 package rt
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // This file implements epoch-scoped verification. The paper places the
 // def == use comparison at a post-dominator of all defs and uses (program
@@ -12,10 +15,18 @@ import "fmt"
 // back to the sealed snapshot taken at the epoch's entry and re-executing
 // only that epoch (see internal/recovery).
 
+// ErrCheckpointCorrupt reports that a sealed checkpoint failed its integrity
+// digest: a fault struck the checkpoint itself while it sat in memory waiting
+// to be needed. Restoring it would replace live state with silently wrong
+// state, so Rollback refuses; recovery escalates to a full restart instead.
+var ErrCheckpointCorrupt = errors.New("checkpoint integrity digest mismatch")
+
 // EpochState is a sealed snapshot of a Tracker at an epoch boundary: the
 // four checksum accumulators plus the cumulative dynamic def/use operation
-// counters. It is immutable once returned; Rollback accepts only sealed
-// snapshots, so a zero EpochState cannot silently wipe a tracker.
+// counters, covered by an integrity digest computed at seal time. It is
+// immutable once returned; Rollback accepts only sealed snapshots whose
+// digest still verifies, so neither a zero EpochState nor a checkpoint hit
+// by a fault while parked in memory can silently wipe a tracker.
 type EpochState struct {
 	// Index is the epoch this snapshot belongs to: for BeginEpoch the epoch
 	// being entered, for EndEpoch the epoch just closed.
@@ -26,20 +37,56 @@ type EpochState struct {
 	Defs, Uses uint64
 
 	sealed bool
+	digest uint64
 }
 
 // Sealed reports whether the snapshot was produced by BeginEpoch/EndEpoch.
 func (s EpochState) Sealed() bool { return s.sealed }
 
+// mix64 is the splitmix64 finalizer: a cheap bijective bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// computeDigest chains every covered field through the mixer. Chaining makes
+// the digest order-sensitive, so swapping two accumulators is caught too.
+func (s *EpochState) computeDigest() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range [...]uint64{uint64(s.Index), s.Def, s.Use, s.EDef, s.EUse, s.Defs, s.Uses} {
+		h = mix64(h ^ w)
+	}
+	return h
+}
+
+// Verify checks the snapshot's integrity: it must be sealed and its fields
+// must still match the digest computed when it was sealed. A digest failure
+// is reported as ErrCheckpointCorrupt (wrapped).
+func (s EpochState) Verify() error {
+	if !s.sealed {
+		return errors.New("unsealed EpochState")
+	}
+	if s.digest != s.computeDigest() {
+		return fmt.Errorf("epoch %d snapshot: %w", s.Index, ErrCheckpointCorrupt)
+	}
+	return nil
+}
+
 // snapshot captures the tracker's current state as a sealed EpochState.
 func (t *Tracker) snapshot() EpochState {
-	return EpochState{
+	s := EpochState{
 		Index: t.epoch,
 		Def:   t.pair.Def, Use: t.pair.Use,
 		EDef: t.pair.EDef, EUse: t.pair.EUse,
 		Defs: t.defs, Uses: t.uses,
 		sealed: true,
 	}
+	s.digest = s.computeDigest()
+	return s
 }
 
 // Epoch returns the index of the epoch currently being accumulated. It
@@ -73,14 +120,36 @@ func (t *Tracker) EndEpoch() (EpochState, error) {
 
 // Rollback restores the tracker to a sealed snapshot (checksums, dynamic
 // operation counters, and epoch index), undoing every def/use recorded since
-// it was taken. It rejects unsealed snapshots.
+// it was taken and clearing any latched detector fault. It rejects unsealed
+// snapshots, and refuses (with an error wrapping ErrCheckpointCorrupt) a
+// snapshot whose integrity digest no longer matches its fields — restoring a
+// corrupted checkpoint would be worse than the fault it repairs.
 func (t *Tracker) Rollback(s EpochState) error {
+	if err := s.Verify(); err != nil {
+		return fmt.Errorf("rt: Rollback: %w", err)
+	}
+	t.restore(s)
+	return nil
+}
+
+// RollbackUnchecked restores a sealed snapshot without verifying its
+// integrity digest. It exists as the unhardened baseline for fault-injection
+// experiments that measure what the digest buys; production callers should
+// use Rollback.
+func (t *Tracker) RollbackUnchecked(s EpochState) error {
 	if !s.sealed {
 		return fmt.Errorf("rt: Rollback of an unsealed EpochState")
 	}
-	t.pair.Def, t.pair.Use = s.Def, s.Use
-	t.pair.EDef, t.pair.EUse = s.EDef, s.EUse
+	t.restore(s)
+	return nil
+}
+
+func (t *Tracker) restore(s EpochState) {
+	// Route through SetAccumulators so the Pair's shadow copies are resealed
+	// in step with the primaries; writing the exported fields directly would
+	// strand stale shadows and make the next Scrub report a phantom fault.
+	t.pair.SetAccumulators(s.Def, s.Use, s.EDef, s.EUse)
 	t.defs, t.uses = s.Defs, s.Uses
 	t.epoch = s.Index
-	return nil
+	t.latched = nil
 }

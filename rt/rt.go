@@ -11,6 +11,7 @@
 package rt
 
 import (
+	"fmt"
 	"math"
 
 	"defuse/internal/checksum"
@@ -43,11 +44,71 @@ func Bits[T Word](v T) uint64 {
 	panic("rt: unreachable: Word constraint admits only the types above")
 }
 
-// Counter is a shadow dynamic use counter for one tracked variable.
+// ctrRot is the rotation used for a Counter's redundant encoding. A pure
+// rotation (no inversion, unlike the Pair shadows) keeps the zero Counter
+// self-consistent, so `var c Counter` stays a valid starting state.
+const ctrRot = 17
+
+// encCounter produces the redundant copy of a counter's packed state.
+func encCounter(packed uint64) uint64 { return rotl(packed, ctrRot) }
+
+func rotl(v uint64, r int) uint64 { return v<<r | v>>(64-r) }
+func rotr(v uint64, r int) uint64 { return v>>r | v<<(64-r) }
+
+// Counter is a shadow dynamic use counter for one tracked variable. Like the
+// checksum accumulators, it is ordinary memory rather than the paper's
+// register-resident state, so it carries its own redundant copy: the count
+// and defined flag packed into one word and stored rotated. Both copies are
+// updated independently; a transient fault in either diverges them, which the
+// consuming operation (DefDyn/Final) or an explicit Scrub detects.
 type Counter struct {
 	n       int64
 	defined bool
+	// enc is encCounter(packed()) when uncorrupted. Updated by
+	// decode-op-encode, never recomputed from the primary fields on the hot
+	// path (that would launder a corrupted primary into the copy).
+	enc uint64
 }
+
+// packed is the canonical single-word form of the primary state.
+func (c *Counter) packed() uint64 {
+	p := uint64(c.n) << 1
+	if c.defined {
+		p |= 1
+	}
+	return p
+}
+
+// Scrub cross-checks the counter's two copies. A non-nil result is a
+// *DetectorFaultError: a fault struck the detector's own bookkeeping.
+func (c *Counter) Scrub() error {
+	if c.enc != encCounter(c.packed()) {
+		return &DetectorFaultError{
+			Part: "counter",
+			Err: fmt.Errorf("use counter diverged from its encoded copy: %#x != %#x",
+				c.packed(), rotr(c.enc, ctrRot)),
+		}
+	}
+	return nil
+}
+
+// DetectorFaultError reports a fault in the detector's own state — a checksum
+// accumulator or shadow use counter diverged from its redundant copy — as
+// opposed to a *checksum.MismatchError, which reports corruption of the
+// protected data. Recovery treats the two differently: detector state is
+// rebuilt from the last sealed epoch rather than rolled back and re-executed.
+type DetectorFaultError struct {
+	// Part names the corrupted piece: "accumulator" or "counter".
+	Part string
+	// Err carries the underlying divergence detail.
+	Err error
+}
+
+func (e *DetectorFaultError) Error() string {
+	return fmt.Sprintf("rt: detector fault in %s: %v", e.Part, e.Err)
+}
+
+func (e *DetectorFaultError) Unwrap() error { return e.Err }
 
 // Tracker holds the global checksum state for one instrumented function
 // activation.
@@ -64,6 +125,10 @@ type Tracker struct {
 	// guard's noise budget.
 	defs, uses uint64
 	epoch      int
+	// latched records the first detector fault observed at a point where the
+	// evidence is about to be erased (DefDyn/Final reset the counter they
+	// consume). ScrubDetector surfaces it; Reset and Rollback clear it.
+	latched *DetectorFaultError
 }
 
 // NewTracker returns a tracker using the paper's modulo-addition operator.
@@ -93,6 +158,7 @@ func Def[T Word](t *Tracker, v T, n int64) T {
 // e_def and the counter reset. The first definition of a variable has no
 // previous value to adjust; the counter tracks that.
 func DefDyn[T Word](t *Tracker, c *Counter, prev, v T) T {
+	t.checkCounter(c)
 	if c.defined {
 		t.pair.Adjust(Bits(prev), c.n)
 	}
@@ -100,10 +166,26 @@ func DefDyn[T Word](t *Tracker, c *Counter, prev, v T) T {
 	t.defs++
 	c.n = 0
 	c.defined = true
+	c.enc = encCounter(1)
 	if t.obs != nil {
 		t.obs.ObserveDef(Bits(v), -1)
 	}
 	return v
+}
+
+// checkCounter validates a counter's redundant copy at the point where its
+// value is consumed and then reset — the last moment the divergence is
+// observable. A mismatch is latched on the tracker (first fault wins) rather
+// than returned, keeping the instrumented call sites value-shaped; the
+// boundary ScrubDetector surfaces it.
+func (t *Tracker) checkCounter(c *Counter) {
+	if c.enc != encCounter(c.packed()) && t.latched == nil {
+		t.latched = &DetectorFaultError{
+			Part: "counter",
+			Err: fmt.Errorf("use counter diverged from its encoded copy at consumption: %#x != %#x",
+				c.packed(), rotr(c.enc, ctrRot)),
+		}
+	}
 }
 
 // Use records a use of a dynamically counted variable: the observed value is
@@ -114,6 +196,10 @@ func Use[T Word](t *Tracker, c *Counter, v T) T {
 	t.pair.AddUse(bits)
 	t.uses++
 	c.n++
+	// Increment the redundant copy in its decoded domain (packed n sits one
+	// bit left of the defined flag, so +1 to n is +2 packed). Recomputing the
+	// encoding from c.n instead would mask a corrupted primary.
+	c.enc = encCounter(rotr(c.enc, ctrRot) + 2)
 	if t.obs != nil {
 		t.obs.ObserveUse(bits)
 	}
@@ -135,12 +221,14 @@ func UseKnown[T Word](t *Tracker, v T) T {
 // (Algorithm 3 lines 21-22): its current value joins the def-checksum
 // count-1 times and the auxiliary use-checksum once.
 func Final[T Word](t *Tracker, c *Counter, v T) {
+	t.checkCounter(c)
 	if !c.defined {
 		return
 	}
 	t.pair.Adjust(Bits(v), c.n)
 	c.n = 0
 	c.defined = false
+	c.enc = 0 // encCounter(0)
 }
 
 // Verify compares the def/use and e_def/e_use checksums; a non-nil error is
@@ -162,11 +250,43 @@ func (t *Tracker) MustVerify() {
 	}
 }
 
-// Reset clears all checksums, dynamic operation counters, and the epoch
-// index for reuse.
+// ScrubDetector cross-checks the detector's own state: any counter fault
+// latched by DefDyn/Final, then every checksum accumulator against its
+// complement-encoded shadow copy. A non-nil result is a *DetectorFaultError —
+// the detector itself was struck, so its verdicts (Verify, EndEpoch) cannot
+// be trusted until the state is rebuilt from a sealed epoch snapshot.
+func (t *Tracker) ScrubDetector() error {
+	if t.latched != nil {
+		return t.latched
+	}
+	if err := t.pair.Scrub(); err != nil {
+		return &DetectorFaultError{Part: "accumulator", Err: err}
+	}
+	return nil
+}
+
+// CorruptAccumulator flips one bit of the primary copy of the selected
+// checksum accumulator, leaving its shadow copy intact. Fault-injection
+// campaigns use it to aim a transient fault at the detector state.
+func (t *Tracker) CorruptAccumulator(a checksum.Acc, bit uint) {
+	t.pair.CorruptPrimary(a, bit)
+}
+
+// CorruptCounter flips one bit of a counter's primary (packed) state, leaving
+// its encoded copy intact — the footprint of a transient fault striking the
+// shadow use counter. Bit 0 is the defined flag; bits 1+ are the count.
+func CorruptCounter(c *Counter, bit uint) {
+	p := c.packed() ^ 1<<(bit&63)
+	c.n = int64(p >> 1)
+	c.defined = p&1 == 1
+}
+
+// Reset clears all checksums, dynamic operation counters, the epoch index,
+// and any latched detector fault for reuse.
 func (t *Tracker) Reset() {
 	t.pair.Reset()
 	t.defs, t.uses, t.epoch = 0, 0, 0
+	t.latched = nil
 }
 
 // Checksums exposes the four accumulators (def, use, e_def, e_use) for

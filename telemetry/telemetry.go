@@ -59,6 +59,21 @@ const (
 	// EvRecoveryDegraded reports graceful degradation: retries and restarts
 	// are exhausted and the run continues marked tainted (fields: epoch).
 	EvRecoveryDegraded = "recovery.degraded"
+	// EvDetectorFault reports a fault caught in the detector's own state —
+	// an accumulator or shadow counter diverged from its redundant copy
+	// (fields: epoch when supervised, error).
+	EvDetectorFault = "detector.fault"
+	// EvCheckpointCorrupt reports a checkpoint that failed its integrity
+	// digest and was refused (fields: epoch, error).
+	EvCheckpointCorrupt = "checkpoint.corrupt"
+	// EvRecoveryRebuild reports detector state rebuilt from the last sealed
+	// epoch after a detector fault (fields: epoch, attempt).
+	EvRecoveryRebuild = "recovery.rebuild"
+	// EvScrubPass reports a detector scrub whose copies all agreed.
+	EvScrubPass = "scrub.pass"
+	// EvScrubFail reports a detector scrub that found diverged copies
+	// (fields: error).
+	EvScrubFail = "scrub.fail"
 )
 
 // Event is one structured telemetry record.
