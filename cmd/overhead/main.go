@@ -6,14 +6,17 @@
 // Usage:
 //
 //	overhead [-fig 10|11|all] [-scale 0.01] [-bench name] [-list] \
-//	         [-json] [-json-out BENCH_overhead.json] \
+//	         [-parallel N] [-json] [-json-out BENCH_overhead.json] \
 //	         [-trace events.jsonl] [-metrics out]
 //
 // Scale multiplies the paper's problem sizes; the kernels execute on the
 // package's instruction-counting interpreter, so the op-count columns are
 // deterministic and machine-independent. -json additionally writes the
 // machine-readable overhead report (schema defuse/overhead/v1) for
-// regression tracking across commits.
+// regression tracking across commits. -parallel N runs the parallel-safe
+// kernels through the sharded executor at worker counts 1,2,4,...,N and
+// appends the scaling curve (wall-clock and deterministic critical-path
+// speedups) to the report.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 0.004, "problem-size scale relative to the paper's sizes")
 	one := flag.String("bench", "", "run a single benchmark by Table 2 name")
 	list := flag.Bool("list", false, "print Table 2 (benchmarks and problem sizes) and exit")
+	parallel := flag.Int("parallel", 0, "measure the sharded executor's scaling curve up to N workers (0 disables)")
 	jsonOut := flag.Bool("json", false, "also write the machine-readable overhead report")
 	jsonPath := flag.String("json-out", "BENCH_overhead.json", "path of the -json report")
 	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
@@ -48,7 +52,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	err = run(*fig, *scale, *one, *jsonOut, *jsonPath, bench.Telemetry{Trace: sink, Metrics: reg})
+	err = run(*fig, *scale, *one, *parallel, *jsonOut, *jsonPath, bench.Telemetry{Trace: sink, Metrics: reg})
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
@@ -57,7 +61,17 @@ func main() {
 	}
 }
 
-func run(fig string, scale float64, one string, jsonOut bool, jsonPath string, tel bench.Telemetry) error {
+// workerLadder returns the doubling ladder 1, 2, 4, ... capped at n, always
+// ending at n itself so the requested count is measured.
+func workerLadder(n int) []int {
+	var ladder []int
+	for w := 1; w < n; w *= 2 {
+		ladder = append(ladder, w)
+	}
+	return append(ladder, n)
+}
+
+func run(fig string, scale float64, one string, parallel int, jsonOut bool, jsonPath string, tel bench.Telemetry) error {
 	var rows10 []bench.Figure10Row
 	var rows11 []bench.Figure11Row
 	if one != "" {
@@ -92,11 +106,35 @@ func run(fig string, scale float64, one string, jsonOut bool, jsonPath string, t
 		fmt.Print(bench.FormatFigure11(rows11))
 	}
 
+	var scaling []bench.ScalingRow
+	if parallel > 0 {
+		ladder := workerLadder(parallel)
+		for _, b := range bench.Suite() {
+			if !b.ParallelSafe || (one != "" && b.Name != one) {
+				continue
+			}
+			rows, err := bench.RunScaling(b, scale, ladder, tel)
+			if err != nil {
+				return err
+			}
+			scaling = append(scaling, rows...)
+		}
+		if len(scaling) == 0 {
+			return fmt.Errorf("overhead: -parallel: no parallel-safe benchmark selected")
+		}
+		fmt.Println("Scaling: sharded parallel executor (Resilient variant, merge-verify)")
+		fmt.Println("(ops speedup is the deterministic critical-path ratio; wall clock depends on host cores)")
+		fmt.Println()
+		fmt.Print(bench.FormatScaling(scaling))
+		fmt.Println()
+	}
+
 	if jsonOut {
 		rep, err := bench.BuildOverheadReport(rows10, rows11, scale)
 		if err != nil {
 			return err
 		}
+		rep.Scaling = scaling
 		f, err := os.Create(jsonPath)
 		if err != nil {
 			return err

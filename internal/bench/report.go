@@ -41,6 +41,9 @@ type OverheadReport struct {
 	Scale       float64         `json:"scale"`
 	Rows        []OverheadRow   `json:"rows"`
 	Geomean     OverheadGeomean `json:"geomean"`
+	// Scaling holds the parallel executor's scaling curve (one row per
+	// benchmark × worker count), present when -parallel was requested.
+	Scaling []ScalingRow `json:"scaling,omitempty"`
 }
 
 // BuildOverheadReport merges Figure 10 and Figure 11 rows into one report.

@@ -155,6 +155,39 @@ func (p *Pair) ScaleFold(a Acc, v uint64, n int64) {
 	p.foldShadow(a, v, n)
 }
 
+// Merge folds every accumulator of other into p under the pair's commutative
+// operator. Because the def/use checksums are order-independent folds, a
+// sequence of values partitioned across several Pairs and merged yields the
+// same accumulators as folding the whole sequence into one Pair — this is the
+// operation that makes per-goroutine checksum shards sound (see rt.Shard).
+//
+// The shadow copies are merged by decode-combine-re-encode, never by
+// re-sealing from the merged primaries: each side's decoded shadow value is
+// combined and the result re-encoded. A primary/shadow divergence present in
+// either operand (a detector fault) therefore survives into the merged pair
+// and is still caught by Scrub, while two internally consistent operands
+// merge into an internally consistent result.
+//
+// Both pairs must use the same operator; merging across operators is a
+// programmer error and panics. other is not modified.
+func (p *Pair) Merge(other *Pair) {
+	if p.kind != other.kind {
+		panic(fmt.Sprintf("checksum: Merge of %v pair into %v pair", other.kind, p.kind))
+	}
+	p.Def = Combine(p.kind, p.Def, other.Def)
+	p.Use = Combine(p.kind, p.Use, other.Use)
+	p.EDef = Combine(p.kind, p.EDef, other.EDef)
+	p.EUse = Combine(p.kind, p.EUse, other.EUse)
+	for a := AccDef; a <= AccEUse; a++ {
+		p.shadow[a] = encShadow(Combine(p.kind, decShadow(p.shadow[a], a), decShadow(other.shadow[a], a)), a)
+	}
+}
+
+// Shadows exposes the raw (encoded) shadow copies, indexed by Acc. Tests use
+// it to assert that two fold orders produce byte-identical detector state,
+// shadows included.
+func (p *Pair) Shadows() [4]uint64 { return p.shadow }
+
 // SetAccumulators overwrites all four accumulators with trusted values and
 // reseals the shadows. It is the restore path for verified checkpoints; the
 // caller vouches for the integrity of the values (e.g. by a checkpoint

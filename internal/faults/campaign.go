@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"defuse/internal/checksum"
+	"defuse/rt"
 	"defuse/telemetry"
 )
 
@@ -51,6 +52,69 @@ type Campaign struct {
 	// Trace, when non-nil, receives campaign lifecycle events in addition
 	// to whatever the per-cell sinks stream.
 	Trace telemetry.Sink
+
+	// pools hands each worker a reusable per-operator checksum shard, so
+	// epoch trials recycle one tracker and counter table per (worker, kind)
+	// instead of allocating fresh ones per trial. Shard state never leaks
+	// between trials: every trial Resets its shard tracker on entry.
+	poolMu sync.Mutex
+	pools  map[checksum.Kind]*rt.ShardedTracker
+}
+
+// shardPool returns (building on first use) the campaign's sharded tracker
+// for one checksum operator.
+func (c *Campaign) shardPool(k checksum.Kind) *rt.ShardedTracker {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.pools == nil {
+		c.pools = map[checksum.Kind]*rt.ShardedTracker{}
+	}
+	p := c.pools[k]
+	if p == nil {
+		p = rt.NewShardedWith(k).SetTelemetry(c.Trace, nil)
+		c.pools[k] = p
+	}
+	return p
+}
+
+// drainPools merges whatever the workers left in their shards (normally
+// nothing — Close already merged) and emits the shard.drain boundary event
+// per pool, marking the campaign's trackers quiescent.
+func (c *Campaign) drainPools() {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	for _, p := range c.pools {
+		p.Drain()
+	}
+}
+
+// workerState is one pool worker's reusable per-chunk scratch: the classic
+// mode's data buffer and the epoch mode's checksum shards, one per operator.
+type workerState struct {
+	c      *Campaign
+	buf    []uint64
+	shards map[checksum.Kind]*rt.Shard
+}
+
+// shard returns the worker's shard for an operator, taking one from the
+// campaign pool on first use.
+func (ws *workerState) shard(k checksum.Kind) *rt.Shard {
+	if ws.shards == nil {
+		ws.shards = map[checksum.Kind]*rt.Shard{}
+	}
+	sh := ws.shards[k]
+	if sh == nil {
+		sh = ws.c.shardPool(k).Shard()
+		ws.shards[k] = sh
+	}
+	return sh
+}
+
+// close retires the worker's shards back into their pools.
+func (ws *workerState) close() {
+	for _, sh := range ws.shards {
+		sh.Close()
+	}
 }
 
 // CampaignResult aggregates the campaign's cells.
@@ -334,9 +398,10 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var buf []uint64 // reused classic-mode data buffer
+			ws := &workerState{c: c}
+			defer ws.close()
 			for job := range jobCh {
-				tally, err := c.runChunk(runCtx, job, &buf)
+				tally, err := c.runChunk(runCtx, job, ws)
 				resCh <- chunkDone{cell: job.cell, tally: tally, err: err}
 			}
 		}()
@@ -373,6 +438,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			}
 		}
 	}
+	c.drainPools()
 	if firstErr == nil {
 		if err := ctx.Err(); err != nil {
 			firstErr = err
@@ -413,11 +479,16 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	return res, firstErr
 }
 
-// runChunk executes one chunk's trials sequentially on a worker.
-func (c *Campaign) runChunk(ctx context.Context, job chunkJob, buf *[]uint64) (chunkTally, error) {
+// runChunk executes one chunk's trials sequentially on a worker. Cell
+// instruments are resolved once per chunk — the registry lookup takes a
+// mutex and renders labels, which a per-trial call would pay thousands of
+// times over — and epoch trials fold through the worker's reusable shard.
+func (c *Campaign) runChunk(ctx context.Context, job chunkJob, ws *workerState) (chunkTally, error) {
 	cfg := c.Cells[job.cell]
 	tally := chunkTally{Start: job.start, Count: job.count}
+	inst := newCellInstruments(cfg)
 	if cfg.Epochs > 0 {
+		sh := ws.shard(cfg.Kind)
 		for i := 0; i < job.count; i++ {
 			if err := ctx.Err(); err != nil {
 				return tally, err
@@ -427,7 +498,7 @@ func (c *Campaign) runChunk(ctx context.Context, job chunkJob, buf *[]uint64) (c
 			if c.TrialTimeout > 0 {
 				tctx, tcancel = context.WithTimeout(ctx, c.TrialTimeout)
 			}
-			out, err := runEpochTrial(tctx, cfg, trial)
+			out, err := runEpochTrial(tctx, cfg, trial, sh, inst)
 			tcancel()
 			if err != nil {
 				return tally, fmt.Errorf("faults: epoch trial %d: %w", trial, err)
@@ -437,10 +508,10 @@ func (c *Campaign) runChunk(ctx context.Context, job chunkJob, buf *[]uint64) (c
 		return tally, nil
 	}
 
-	if len(*buf) < cfg.Words {
-		*buf = make([]uint64, cfg.Words)
+	if len(ws.buf) < cfg.Words {
+		ws.buf = make([]uint64, cfg.Words)
 	}
-	r := &classicRunner{cfg: cfg, data: (*buf)[:cfg.Words]}
+	r := &classicRunner{cfg: cfg, data: ws.buf[:cfg.Words], inst: inst}
 	for i := 0; i < job.count; i++ {
 		if err := ctx.Err(); err != nil {
 			return tally, err
@@ -455,6 +526,7 @@ func (c *Campaign) runChunk(ctx context.Context, job chunkJob, buf *[]uint64) (c
 type classicRunner struct {
 	cfg          CoverageConfig
 	data         []uint64
+	inst         cellInstruments
 	baseReady    bool
 	base1, base2 uint64
 }
@@ -480,7 +552,7 @@ func (r *classicRunner) trial(trial int) trialTally {
 		s1 = checksum.Sum(cfg.Kind, r.data)
 	}
 	undetected := s1 == r.base1 && (!cfg.Dual || s2 == r.base2)
-	cellMetrics(cfg, undetected)
+	r.inst.record(undetected)
 	if cfg.Trace != nil {
 		coords := make([]map[string]any, len(flips))
 		for i, f := range flips {
@@ -532,12 +604,40 @@ func cellLabels(cfg CoverageConfig) []telemetry.Label {
 	return labels
 }
 
-// cellMetrics records one trial in the cell's trial/undetected counters.
-func cellMetrics(cfg CoverageConfig, undetected bool) {
+// cellInstruments caches one cell's telemetry instruments so the hot trial
+// loop increments atomics instead of going through the registry's mutexed,
+// label-rendering lookup on every trial. Instruments from a nil registry are
+// unregistered but functional, so the disabled path needs no guards.
+type cellInstruments struct {
+	trials     *telemetry.Counter
+	undetected *telemetry.Counter
+	recovered  *telemetry.Counter
+	latency    *telemetry.Histogram
+	scrubPass  *telemetry.Counter
+	scrubFail  *telemetry.Counter
+}
+
+// newCellInstruments resolves the instruments for one cell.
+func newCellInstruments(cfg CoverageConfig) cellInstruments {
 	labels := cellLabels(cfg)
-	cfg.Metrics.Counter("defuse_faultcov_trials_total", labels...).Inc()
+	return cellInstruments{
+		trials:     cfg.Metrics.Counter("defuse_faultcov_trials_total", labels...),
+		undetected: cfg.Metrics.Counter("defuse_faultcov_undetected_total", labels...),
+		recovered:  cfg.Metrics.Counter("defuse_recovery_recovered_total", labels...),
+		latency: cfg.Metrics.Histogram("defuse_detection_latency_epochs",
+			telemetry.EpochBuckets(), labels...),
+		scrubPass: cfg.Metrics.Counter("defuse_scrub_total",
+			telemetry.Label{Key: "result", Value: "pass"}),
+		scrubFail: cfg.Metrics.Counter("defuse_scrub_total",
+			telemetry.Label{Key: "result", Value: "fail"}),
+	}
+}
+
+// record tallies one trial's verdict.
+func (i cellInstruments) record(undetected bool) {
+	i.trials.Inc()
 	if undetected {
-		cfg.Metrics.Counter("defuse_faultcov_undetected_total", labels...).Inc()
+		i.undetected.Inc()
 	}
 }
 

@@ -47,7 +47,11 @@ type epochTrialSnap struct {
 }
 
 // runEpochTrial executes one supervised epoch trial and tallies its outcome.
-func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTally, error) {
+// The trial folds through the worker's reusable shard — its tracker is Reset
+// on entry and its counter table recycled — so the campaign allocates one
+// tracker per (worker, operator) instead of one per trial. inst carries the
+// cell's pre-resolved telemetry instruments.
+func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Shard, inst cellInstruments) (trialTally, error) {
 	words, epochs := cfg.Words, cfg.Epochs
 	in := NewInjector(trialSeed(cfg.Seed, trial))
 
@@ -66,8 +70,9 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 	ckBit := in.Intn(64)
 
 	mem := memsim.New(words)
-	tr := rt.NewTrackerWith(cfg.Kind)
-	counters := make([]rt.Counter, words)
+	tr := sh.Tracker()
+	tr.Reset()
+	counters := sh.Counters(words)
 	for i := 0; i < words; i++ {
 		mem.Poke(i, init[i])
 		rt.DefDyn(tr, &counters[i], uint64(0), init[i])
@@ -151,15 +156,13 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 				telemetry.Emit(cfg.Trace, telemetry.EvScrubFail, map[string]any{
 					"trial": trial, "epoch": k, "error": serr.Error(),
 				})
-				cfg.Metrics.Counter("defuse_scrub_total",
-					telemetry.Label{Key: "result", Value: "fail"}).Inc()
+				inst.scrubFail.Inc()
 				return serr
 			}
 			telemetry.Emit(cfg.Trace, telemetry.EvScrubPass, map[string]any{
 				"trial": trial, "epoch": k,
 			})
-			cfg.Metrics.Counter("defuse_scrub_total",
-				telemetry.Label{Key: "result", Value: "pass"}).Inc()
+			inst.scrubPass.Inc()
 		}
 		_, err := tr.EndEpoch()
 		if !last && err == nil {
@@ -260,14 +263,12 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int) (trialTal
 	tally.falsePositive = !dataInjected && out.DataFaults > 0
 	_ = masked // the mask either held (false negative) or was caught; tallies above cover both
 
-	cellMetrics(cfg, tally.undetected)
-	labels := cellLabels(cfg)
+	inst.record(tally.undetected)
 	if tally.detected {
-		cfg.Metrics.Histogram("defuse_detection_latency_epochs",
-			telemetry.EpochBuckets(), labels...).Observe(float64(tally.latency))
+		inst.latency.Observe(float64(tally.latency))
 	}
 	if tally.recovered {
-		cfg.Metrics.Counter("defuse_recovery_recovered_total", labels...).Inc()
+		inst.recovered.Inc()
 	}
 	return tally, nil
 }

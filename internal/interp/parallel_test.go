@@ -1,0 +1,156 @@
+package interp_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"defuse/internal/bench"
+	"defuse/internal/interp"
+	"defuse/internal/lang"
+)
+
+// The parallel executor's correctness claim is byte-identical state: a
+// PlanParallel run over a parallel-safe instrumented kernel must produce the
+// same outputs, the same four checksum accumulators, the same (encoded)
+// shadow copies, and the same verdict as the sequential Run. These tests pin
+// that against dsyrk, the suite's "large affine kernel".
+
+func newResilientMachine(t *testing.T, name string, scale float64) (*interp.Machine, *bench.Benchmark) {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := b.BuildVariant(bench.Resilient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := b.Params(scale)
+	m, err := interp.New(prog, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Init(m, params)
+	return m, b
+}
+
+func snapshotOutputs(t *testing.T, m *interp.Machine, b *bench.Benchmark) map[string][]float64 {
+	t.Helper()
+	out := map[string][]float64{}
+	for _, d := range b.Program().Decls {
+		if d.Type == lang.TypeFloat && d.IsArray() {
+			snap, err := m.SnapshotFloats(d.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[d.Name] = snap
+		}
+	}
+	return out
+}
+
+func TestParallelRunMatchesSequential(t *testing.T) {
+	for _, name := range []string{"dsyrk", "strsm"} {
+		t.Run(name, func(t *testing.T) {
+			seq, b := newResilientMachine(t, name, 0.004)
+			if err := seq.Run(); err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			for _, workers := range []int{1, 2, 3, 4} {
+				par, _ := newResilientMachine(t, name, 0.004)
+				plan, err := par.PlanParallel(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := plan.Run()
+				if err != nil {
+					t.Fatalf("parallel run (%d workers): %v", workers, err)
+				}
+				if res.Workers != workers {
+					t.Errorf("planned %d workers, ran %d", workers, res.Workers)
+				}
+				sp, pp := seq.Pair(), par.Pair()
+				if sp.Def != pp.Def || sp.Use != pp.Use || sp.EDef != pp.EDef || sp.EUse != pp.EUse {
+					t.Errorf("%d workers: accumulators diverged: seq (%#x,%#x,%#x,%#x) vs parallel (%#x,%#x,%#x,%#x)",
+						workers, sp.Def, sp.Use, sp.EDef, sp.EUse, pp.Def, pp.Use, pp.EDef, pp.EUse)
+				}
+				if sp.Shadows() != pp.Shadows() {
+					t.Errorf("%d workers: shadow copies diverged", workers)
+				}
+				seqOut := snapshotOutputs(t, seq, b)
+				parOut := snapshotOutputs(t, par, b)
+				for name, want := range seqOut {
+					got := parOut[name]
+					for k := range want {
+						if got[k] != want[k] && !(math.IsNaN(got[k]) && math.IsNaN(want[k])) {
+							t.Fatalf("%d workers: %s[%d] = %g, sequential %g", workers, name, k, got[k], want[k])
+						}
+					}
+				}
+				// The worker blocks carry the kernel's ops; the serial
+				// remainder carries registration and the final assertion.
+				var workerOps uint64
+				for _, wc := range res.WorkerCounts {
+					workerOps += wc.Total()
+				}
+				if workerOps == 0 {
+					t.Errorf("%d workers: no ops attributed to worker blocks", workers)
+				}
+				if res.SerialCounts.Total() == 0 {
+					t.Errorf("%d workers: no ops attributed to the serial prologue/epilogue", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRunFaultVerdict seeds a divergent use fold — the footprint a
+// transient fault leaves when a corrupted word is consumed — into both a
+// sequential and a parallel machine. Both must detect: the epilogue's
+// assert_checksums fires on the merged state exactly as on sequential state.
+func TestParallelRunFaultVerdict(t *testing.T) {
+	seq, _ := newResilientMachine(t, "dsyrk", 0.004)
+	seq.Pair().AddUse(0xbad0bad0bad0bad0)
+	seqErr := seq.Run()
+	var seqDet *interp.DetectionError
+	if !errors.As(seqErr, &seqDet) {
+		t.Fatalf("sequential faulted run: got %v, want DetectionError", seqErr)
+	}
+
+	par, _ := newResilientMachine(t, "dsyrk", 0.004)
+	par.Pair().AddUse(0xbad0bad0bad0bad0)
+	plan, err := par.PlanParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parErr := plan.Run()
+	var parDet *interp.DetectionError
+	if !errors.As(parErr, &parDet) {
+		t.Fatalf("parallel faulted run: got %v, want DetectionError", parErr)
+	}
+}
+
+func TestPlanParallelRejectsZeroWorkers(t *testing.T) {
+	m, _ := newResilientMachine(t, "dsyrk", 0.004)
+	if _, err := m.PlanParallel(0); err == nil {
+		t.Fatal("PlanParallel(0) succeeded, want error")
+	}
+}
+
+// TestPlanParallelClampsWorkers asks for more workers than the anchor loop
+// has iterations; the plan must clamp rather than spawn empty blocks.
+func TestPlanParallelClampsWorkers(t *testing.T) {
+	m, _ := newResilientMachine(t, "dsyrk", 0.004)
+	plan, err := m.PlanParallel(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers >= 1024 {
+		t.Errorf("ran %d workers; want clamped to the iteration count", res.Workers)
+	}
+}

@@ -1,0 +1,95 @@
+package rt
+
+import (
+	"testing"
+
+	"defuse/internal/checksum"
+)
+
+// The sharded fold path must cost the same as a plain Tracker fold: a Shard
+// wraps an ordinary private Tracker, so the hot loop takes no locks, touches
+// no shared state, and pays only on the infrequent Merge. These benchmarks
+// and the guards below pin that contract.
+
+// shardFoldLoop is the production sharded hot path: fold into the shard's
+// private Tracker, merging once at the end (amortised to ~zero per op).
+func shardFoldLoop(sh *Shard, n int) {
+	tr := sh.Tracker()
+	v := 1.5
+	for i := 0; i < n; i++ {
+		v = Def(tr, v, 1)
+		_ = UseKnown(tr, v)
+	}
+	sh.Merge()
+}
+
+func BenchmarkShardedFold(b *testing.B) {
+	st := NewShardedWith(checksum.ModAdd)
+	sh := st.Shard()
+	b.ReportAllocs()
+	shardFoldLoop(sh, b.N)
+}
+
+func BenchmarkSingleTrackerFold(b *testing.B) {
+	tr := NewTrackerWith(checksum.ModAdd)
+	b.ReportAllocs()
+	shadowedLoop(tr, b.N)
+}
+
+// TestShardedFoldOverheadGuard enforces the ISSUE budget: folding through a
+// shard stays within 1.5x of folding into a bare Tracker. Since the shard
+// fold IS a Tracker fold (same functions, private state, no locks), the real
+// ratio is ~1.0; the 1.5x guard absorbs CI timer jitter while still catching
+// any accidental lock, indirection, or allocation creeping onto the path.
+func TestShardedFoldOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	best := func(f func(b *testing.B)) float64 {
+		v := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(f)
+			ns := float64(r.NsPerOp())
+			if v == 0 || ns < v {
+				v = ns
+			}
+		}
+		return v
+	}
+	st := NewShardedWith(checksum.ModAdd)
+	sh := st.Shard()
+	sharded := best(func(b *testing.B) { shardFoldLoop(sh, b.N) })
+	tr := NewTrackerWith(checksum.ModAdd)
+	single := best(func(b *testing.B) { shadowedLoop(tr, b.N) })
+	ratio := sharded / single
+	t.Logf("sharded fold %.2f ns/op, single-tracker fold %.2f ns/op, ratio %.3f (guard 1.5x)", sharded, single, ratio)
+	if ratio > 1.5 {
+		t.Errorf("sharded fold overhead ratio %.3f exceeds the 1.5x guard", ratio)
+	}
+}
+
+// TestShardedFoldZeroAllocs pins that the steady-state shard loop — fold,
+// dynamic-counter lifecycle, merge — allocates nothing once the shard and
+// its counter table exist. Telemetry is nil here by construction; the event
+// emission is guarded so the nil-sink path stays allocation-free.
+func TestShardedFoldZeroAllocs(t *testing.T) {
+	st := NewShardedWith(checksum.ModAdd)
+	sh := st.Shard()
+	sh.Counters(4) // pre-size the backing array
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := sh.Tracker()
+		v := Def(tr, 1.25, 1)
+		_ = UseKnown(tr, v)
+		counters := sh.Counters(4)
+		w := DefDyn(tr, &counters[0], uint64(0), uint64(7))
+		w = Use(tr, &counters[0], w)
+		Final(tr, &counters[0], w)
+		sh.Merge()
+	})
+	if allocs != 0 {
+		t.Errorf("sharded fold+merge allocates %.1f per run, want 0", allocs)
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatalf("verify after alloc probe: %v", err)
+	}
+}

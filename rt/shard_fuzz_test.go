@@ -1,0 +1,84 @@
+package rt
+
+import (
+	"testing"
+
+	"defuse/internal/checksum"
+)
+
+// FuzzShardedMerge fuzzes the sequential ≡ sharded property with arbitrary
+// interleavings: the assignment bytes drive which shard receives each fold
+// and which operation it is, the value evolves through an LCG so every trace
+// is distinct, and an occasional unbalanced fold (high bit of the byte)
+// makes verify fail — in which case the sequential and sharded verdicts must
+// still be identical. Seeded with the FuzzDefUsePair corpus shape (a value,
+// a small count, a perturbation mask) plus an explicit interleaving string.
+func FuzzShardedMerge(f *testing.F) {
+	f.Add(uint64(0x3ff8000000000000), uint8(1), uint64(0), []byte{0, 1, 2})
+	f.Add(uint64(0xdeadbeefcafebabe), uint8(7), uint64(1<<51), []byte{7, 3, 0x85, 1})
+	f.Add(uint64(0), uint8(0), uint64(1), []byte{})
+	f.Add(^uint64(0), uint8(3), uint64(0x8000000000000000), []byte{0xff, 0x80, 0x41, 0x07, 0x00})
+	f.Fuzz(func(t *testing.T, bits uint64, nShardsRaw uint8, mask uint64, assign []byte) {
+		nShards := int(nShardsRaw)%8 + 1
+		for _, kind := range []checksum.Kind{checksum.ModAdd, checksum.XOR} {
+			seq := NewTrackerWith(kind)
+			st := NewShardedWith(kind)
+			shards := make([]*Shard, nShards)
+			for i := range shards {
+				shards[i] = st.Shard()
+			}
+			v := bits
+			apply := func(tr *Tracker, b byte) {
+				switch (b >> 3) & 3 {
+				case 0: // balanced pair: def + its one use
+					Def(tr, v, 1)
+					UseKnown(tr, v)
+				case 1: // def with two uses, all partition-local
+					Def(tr, v, 2)
+					UseKnown(tr, v)
+					UseKnown(tr, v)
+				case 2: // dyn lifecycle wholly on this tracker
+					var c Counter
+					DefDyn(tr, &c, uint64(0), v)
+					Use(tr, &c, v)
+					Final(tr, &c, v)
+				default: // unbalanced use: a candidate mismatch
+					if b&0x80 != 0 {
+						UseKnown(tr, v^mask)
+					} else {
+						Def(tr, v, 1)
+						UseKnown(tr, v)
+					}
+				}
+			}
+			for _, b := range assign {
+				apply(seq, b)
+				sh := shards[int(b)%nShards]
+				apply(sh.Tracker(), b)
+				v = v*6364136223846793005 + 1442695040888963407
+				// Rewind the sequential stream so both folds saw the same v.
+				// (apply reads v but never writes it; the LCG advance above
+				// is shared by construction since both applies ran first.)
+			}
+			st.Drain()
+			sd, su, sed, seu := seq.Checksums()
+			rd, ru, red, reu := st.Checksums()
+			if sd != rd || su != ru || sed != red || seu != reu {
+				t.Fatalf("kind=%v shards=%d: accumulators diverged: seq (%#x,%#x,%#x,%#x) vs sharded (%#x,%#x,%#x,%#x)",
+					kind, nShards, sd, su, sed, seu, rd, ru, red, reu)
+			}
+			if seq.ShadowCopies() != st.Root().ShadowCopies() {
+				t.Fatalf("kind=%v shards=%d: shadow copies diverged", kind, nShards)
+			}
+			seqErr := seq.Verify()
+			shErr := st.Verify()
+			if (seqErr == nil) != (shErr == nil) {
+				t.Fatalf("kind=%v shards=%d: verdicts diverged: seq %v vs sharded %v",
+					kind, nShards, seqErr, shErr)
+			}
+			if err := st.ScrubDetector(); err != nil {
+				t.Fatalf("kind=%v shards=%d: merged state failed scrub: %v", kind, nShards, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+
+	"defuse/internal/checksum"
+	"defuse/telemetry"
+)
+
+// Race coverage for the concurrency layer, meaningful under `go test -race`:
+// many goroutines fold into private shards while merges, drains, scrubs, and
+// verifications run concurrently, all reporting through shared observers and
+// sinks. The assertions are deliberately light — the race detector is the
+// primary oracle here; the equivalence properties live in shard_test.go.
+
+func TestShardedConcurrentFoldMergeScrub(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 50
+		opsPerTick = 20
+	)
+	var col telemetry.Collector
+	reg := telemetry.NewRegistry()
+	obs := &CountingObserver{}
+	st := NewShardedWith(checksum.ModAdd).
+		SetObserver(obs).
+		SetTelemetry(&col, reg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		sh := st.Shard() // handed out before the goroutine starts
+		wg.Add(1)
+		go func(g int, sh *Shard) {
+			defer wg.Done()
+			v := 1.5 + float64(g)
+			for r := 0; r < rounds; r++ {
+				tr := sh.Tracker()
+				for i := 0; i < opsPerTick; i++ {
+					v2 := Def(tr, v, 1)
+					_ = UseKnown(tr, v2)
+				}
+				counters := sh.Counters(4)
+				DefDyn(tr, &counters[0], uint64(0), uint64(r))
+				Use(tr, &counters[0], uint64(r))
+				Final(tr, &counters[0], uint64(r))
+				sh.Merge() // concurrent merges of distinct shards
+			}
+			sh.Close()
+		}(g, sh)
+	}
+	// Concurrent readers: scrub and checksum reads against in-flight merges.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := st.ScrubDetector(); err != nil {
+				t.Errorf("concurrent scrub failed: %v", err)
+				return
+			}
+			st.Checksums()
+			st.LiveShards()
+		}
+	}()
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	// All shards closed and every trace balanced: the merged view verifies.
+	if err := st.Verify(); err != nil {
+		t.Fatalf("merged concurrent folds failed verify: %v", err)
+	}
+	wantOps := int64(goroutines * rounds * opsPerTick)
+	if got := obs.Defs.Load(); got != wantOps+int64(goroutines*rounds) {
+		t.Errorf("shared observer counted %d defs, want %d", got, wantOps+int64(goroutines*rounds))
+	}
+}
+
+// TestShardedConcurrentObserverAndTelemetry drives the TelemetryObserver —
+// whose counters are resolved once at construction and atomically updated —
+// from many shards at once, with verifications mixed in.
+func TestShardedConcurrentObserverAndTelemetry(t *testing.T) {
+	var col telemetry.Collector
+	reg := telemetry.NewRegistry()
+	obs := NewTelemetryObserver(&col, reg)
+	st := NewShardedWith(checksum.XOR).SetObserver(obs).SetTelemetry(&col, reg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		sh := st.Shard()
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			for r := 0; r < 40; r++ {
+				tr := sh.Tracker()
+				v := Def(tr, uint64(r), 1)
+				_ = UseKnown(tr, v)
+				if r%8 == 0 {
+					sh.Merge()
+					// Root-only reads are safe mid-run; Verify would drain
+					// shards other goroutines are still folding into.
+					if err := st.ScrubDetector(); err != nil {
+						t.Errorf("mid-run scrub failed: %v", err)
+						return
+					}
+					st.Checksums()
+				}
+			}
+			sh.Close()
+		}(sh)
+	}
+	wg.Wait()
+	if err := st.Verify(); err != nil {
+		t.Fatalf("final verify failed: %v", err)
+	}
+}

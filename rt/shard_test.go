@@ -1,0 +1,337 @@
+package rt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"defuse/internal/checksum"
+	"defuse/telemetry"
+)
+
+// The sharding property: because the checksum operators are commutative and
+// associative, ANY partition of a def/use trace across shards, merged into a
+// root tracker, must be byte-identical to folding the whole trace into one
+// tracker — accumulators, e-checksums, shadow copies, op counts, and the
+// final verdict. These tests exercise random traces under random partitions
+// for every operator, in both the balanced (verify passes) and
+// fault-injected (verify fails identically) cases.
+
+// shardOp is one partitionable unit of a def/use trace. Pure folds (Def with
+// a known count, UseKnown) are order-independent and may land on any shard.
+// A dynamically counted variable's whole lifecycle (DefDyn/Use/Final over
+// its own Counter) is one unit: its counter state travels with the variable,
+// so the variable is owned by a single shard — the same ownership rule a
+// parallel workload follows for thread-private data.
+type shardOp struct {
+	kind int // 0: Def, 1: UseKnown, 2: dyn lifecycle
+	v    uint64
+	n    int64
+	// dyn lifecycle: chain of values; each redefined with uses between.
+	dynVals []uint64
+	dynUses []int
+}
+
+func (op shardOp) apply(tr *Tracker) {
+	switch op.kind {
+	case 0:
+		Def(tr, op.v, op.n)
+	case 1:
+		UseKnown(tr, op.v)
+	default:
+		var c Counter
+		prev := uint64(0)
+		for i, v := range op.dynVals {
+			DefDyn(tr, &c, prev, v)
+			for u := 0; u < op.dynUses[i]; u++ {
+				Use(tr, &c, v)
+			}
+			prev = v
+		}
+		Final(tr, &c, prev)
+	}
+}
+
+// genTrace builds a balanced trace: every Def(v, n) is matched by n
+// UseKnown(v) ops (separately partitionable), and every dyn lifecycle is
+// internally balanced by construction.
+func genTrace(rng *rand.Rand, items int) []shardOp {
+	var ops []shardOp
+	for i := 0; i < items; i++ {
+		if rng.Intn(3) == 0 {
+			op := shardOp{kind: 2}
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				op.dynVals = append(op.dynVals, rng.Uint64())
+				op.dynUses = append(op.dynUses, rng.Intn(4))
+			}
+			ops = append(ops, op)
+			continue
+		}
+		v := rng.Uint64()
+		n := int64(1 + rng.Intn(4))
+		ops = append(ops, shardOp{kind: 0, v: v, n: n})
+		for u := int64(0); u < n; u++ {
+			ops = append(ops, shardOp{kind: 1, v: v})
+		}
+	}
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+// foldSharded partitions ops across nShards shards of a fresh ShardedTracker
+// (assignment drawn from rng), drains, and returns the tracker.
+func foldSharded(kind checksum.Kind, ops []shardOp, nShards int, rng *rand.Rand) *ShardedTracker {
+	st := NewShardedWith(kind)
+	shards := make([]*Shard, nShards)
+	for i := range shards {
+		shards[i] = st.Shard()
+	}
+	for _, op := range ops {
+		op.apply(shards[rng.Intn(nShards)].Tracker())
+	}
+	st.Drain()
+	return st
+}
+
+// requireSameState asserts byte-identical detector state between the merged
+// root and the sequential tracker.
+func requireSameState(t *testing.T, ctx string, root, seq *Tracker) {
+	t.Helper()
+	rd, ru, red, reu := root.Checksums()
+	sd, su, sed, seu := seq.Checksums()
+	if rd != sd || ru != su || red != sed || reu != seu {
+		t.Fatalf("%s: accumulators (%#x,%#x,%#x,%#x) != sequential (%#x,%#x,%#x,%#x)",
+			ctx, rd, ru, red, reu, sd, su, sed, seu)
+	}
+	if root.ShadowCopies() != seq.ShadowCopies() {
+		t.Fatalf("%s: shadow copies %#x != sequential %#x", ctx, root.ShadowCopies(), seq.ShadowCopies())
+	}
+	rdefs, ruses := root.OpCounts()
+	sdefs, suses := seq.OpCounts()
+	if rdefs != sdefs || ruses != suses {
+		t.Fatalf("%s: op counts (%d,%d) != sequential (%d,%d)", ctx, rdefs, ruses, sdefs, suses)
+	}
+}
+
+func TestShardedMergeEquivalentToSequential(t *testing.T) {
+	for _, kind := range []checksum.Kind{checksum.ModAdd, checksum.XOR, checksum.OnesComp} {
+		rng := rand.New(rand.NewSource(4400 + int64(kind)))
+		for round := 0; round < 20; round++ {
+			ops := genTrace(rng, 5+rng.Intn(20))
+			seq := NewTrackerWith(kind)
+			for _, op := range ops {
+				op.apply(seq)
+			}
+			if err := seq.Verify(); err != nil {
+				t.Fatalf("kind=%v: balanced sequential trace failed verify: %v", kind, err)
+			}
+			for nShards := 1; nShards <= 8; nShards++ {
+				st := foldSharded(kind, ops, nShards, rng)
+				ctx := kind.String()
+				requireSameState(t, ctx, st.Root(), seq)
+				if err := st.Verify(); err != nil {
+					t.Fatalf("%s: %d shards: merged verify failed: %v", ctx, nShards, err)
+				}
+				if err := st.ScrubDetector(); err != nil {
+					t.Fatalf("%s: %d shards: merged scrub failed: %v", ctx, nShards, err)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMergeVerdictPartitionInvariantUnderFault checks the mismatch
+// case: a corrupted trace must produce the same failing verdict — the same
+// mismatching pair and values — under every partition.
+func TestShardedMergeVerdictPartitionInvariantUnderFault(t *testing.T) {
+	for _, kind := range []checksum.Kind{checksum.ModAdd, checksum.XOR, checksum.OnesComp} {
+		rng := rand.New(rand.NewSource(5500 + int64(kind)))
+		for round := 0; round < 10; round++ {
+			ops := genTrace(rng, 5+rng.Intn(15))
+			// Corrupt one pure use: the observed value differs from the
+			// defined one — the footprint of a memory error on a read.
+			mask := uint64(1) << uint(rng.Intn(64))
+			corrupted := false
+			for i := range ops {
+				if ops[i].kind == 1 {
+					ops[i].v ^= mask
+					corrupted = true
+					break
+				}
+			}
+			if !corrupted {
+				continue
+			}
+			seq := NewTrackerWith(kind)
+			for _, op := range ops {
+				op.apply(seq)
+			}
+			seqErr := seq.Verify()
+			var seqMM *checksum.MismatchError
+			if seqErr != nil && !errors.As(seqErr, &seqMM) {
+				t.Fatalf("kind=%v: unexpected verify error type %T", kind, seqErr)
+			}
+			for nShards := 1; nShards <= 8; nShards++ {
+				st := foldSharded(kind, ops, nShards, rng)
+				requireSameState(t, kind.String(), st.Root(), seq)
+				gotErr := st.Verify()
+				if (gotErr == nil) != (seqErr == nil) {
+					t.Fatalf("kind=%v: %d shards: verdict %v, sequential %v", kind, nShards, gotErr, seqErr)
+				}
+				if seqErr == nil {
+					continue
+				}
+				var gotMM *checksum.MismatchError
+				if !errors.As(gotErr, &gotMM) {
+					t.Fatalf("kind=%v: %d shards: error type %T", kind, nShards, gotErr)
+				}
+				if *gotMM != *seqMM {
+					t.Fatalf("kind=%v: %d shards: mismatch %+v, sequential %+v", kind, nShards, *gotMM, *seqMM)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMergePreservesDetectorFaultEvidence: a fault striking a shard's
+// accumulator before its merge must still be caught by the root's scrub
+// after the merge — the decode-combine-re-encode merge carries the
+// primary/shadow divergence through instead of laundering it.
+func TestShardedMergePreservesDetectorFaultEvidence(t *testing.T) {
+	for _, acc := range []checksum.Acc{checksum.AccDef, checksum.AccUse, checksum.AccEDef, checksum.AccEUse} {
+		st := NewSharded()
+		a, b := st.Shard(), st.Shard()
+		Def(a.Tracker(), 1.5, 2)
+		UseKnown(b.Tracker(), 1.5)
+		UseKnown(b.Tracker(), 1.5)
+		a.Tracker().CorruptAccumulator(acc, 13)
+		st.Drain()
+		if err := st.ScrubDetector(); err == nil {
+			t.Errorf("acc=%v: detector fault on a shard vanished in the merge", acc)
+		} else {
+			var df *DetectorFaultError
+			if !errors.As(err, &df) {
+				t.Errorf("acc=%v: scrub returned %T, want *DetectorFaultError", acc, err)
+			}
+		}
+	}
+}
+
+// TestShardedMergePropagatesLatchedCounterFault: a counter fault latched on
+// a shard surfaces from the root's ScrubDetector after the merge.
+func TestShardedMergePropagatesLatchedCounterFault(t *testing.T) {
+	st := NewSharded()
+	sh := st.Shard()
+	var c Counter
+	DefDyn(sh.Tracker(), &c, uint64(0), uint64(42))
+	CorruptCounter(&c, 3)
+	Final(sh.Tracker(), &c, uint64(42)) // consumption latches the divergence
+	sh.Merge()
+	var df *DetectorFaultError
+	if err := st.ScrubDetector(); !errors.As(err, &df) {
+		t.Fatalf("latched counter fault did not survive the merge: %v", err)
+	}
+}
+
+// TestShardedEpochDrainAndRollback: epoch boundaries drain every live shard
+// before sealing, and Rollback discards unmerged shard state along with
+// restoring the merged view.
+func TestShardedEpochDrainAndRollback(t *testing.T) {
+	st := NewSharded()
+	a, b := st.Shard(), st.Shard()
+
+	Def(a.Tracker(), 2.5, 1)
+	UseKnown(b.Tracker(), 2.5)
+	start := st.BeginEpoch() // drains both shards, seals the merged view
+	if n := st.Drain(); n != 2 {
+		t.Fatalf("Drain merged %d shards, want 2 (BeginEpoch should leave them live)", n)
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatalf("merged epoch-entry state failed verify: %v", err)
+	}
+
+	// Unbalanced folds land on a shard: a use with no matching def.
+	UseKnown(a.Tracker(), 9.75)
+	if _, err := st.EndEpoch(); err == nil {
+		t.Fatal("EndEpoch verified clean despite an unbalanced shard fold")
+	}
+	if err := st.Rollback(start); err != nil {
+		t.Fatalf("Rollback of sealed epoch state failed: %v", err)
+	}
+	// The unmerged shard state must be gone: the epoch re-executes from the
+	// checkpoint, so a stale partial fold would double-count.
+	if def, use, _, _ := a.Tracker().Checksums(); def != 0 || use != 0 {
+		t.Fatalf("shard kept unmerged state across Rollback: def=%#x use=%#x", def, use)
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatalf("restored state failed verify: %v", err)
+	}
+}
+
+// TestShardCloseRetires: Close merges residual state, shrinks the live set,
+// and is idempotent.
+func TestShardCloseRetires(t *testing.T) {
+	st := NewSharded()
+	sh := st.Shard()
+	other := st.Shard()
+	if got := st.LiveShards(); got != 2 {
+		t.Fatalf("LiveShards = %d, want 2", got)
+	}
+	Def(sh.Tracker(), 3.5, 1)
+	UseKnown(sh.Tracker(), 3.5)
+	sh.Close()
+	sh.Close() // idempotent
+	if got := st.LiveShards(); got != 1 {
+		t.Fatalf("LiveShards after Close = %d, want 1", got)
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatalf("residual state not merged by Close: %v", err)
+	}
+	other.Close()
+}
+
+// TestShardedTelemetry: merges and drains emit their events and maintain the
+// live-shards gauge.
+func TestShardedTelemetry(t *testing.T) {
+	var col telemetry.Collector
+	reg := telemetry.NewRegistry()
+	st := NewSharded().SetTelemetry(&col, reg)
+	a, b := st.Shard(), st.Shard()
+	Def(a.Tracker(), 1.0, 1)
+	UseKnown(a.Tracker(), 1.0)
+	a.Merge()
+	st.Drain() // merges b (and the already-empty a)
+	b.Close()
+	a.Close()
+	if got := col.Count(telemetry.EvShardMerge); got < 3 {
+		t.Errorf("EvShardMerge count = %d, want >= 3", got)
+	}
+	if got := col.Count(telemetry.EvShardDrain); got != 1 {
+		t.Errorf("EvShardDrain count = %d, want 1", got)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name == "defuse_rt_live_shards" {
+			found = true
+			if m.Value != 0 {
+				t.Errorf("live-shards gauge = %v after all closes, want 0", m.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("live-shards gauge not registered")
+	}
+}
+
+// TestShardKindMismatchPanics pins the Merge contract: folding a shard of
+// one operator into a root of another is a programmer error.
+func TestShardKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-operator merge did not panic")
+		}
+	}()
+	p := checksum.NewPair(checksum.ModAdd)
+	p.Merge(checksum.NewPair(checksum.XOR))
+}

@@ -74,6 +74,14 @@ const (
 	// EvScrubFail reports a detector scrub that found diverged copies
 	// (fields: error).
 	EvScrubFail = "scrub.fail"
+	// EvShardMerge reports one checksum shard folded into its root tracker
+	// (fields: defs, uses — the dynamic op counts the shard contributed —
+	// and live, the shard count at merge time).
+	EvShardMerge = "shard.merge"
+	// EvShardDrain reports an epoch-boundary drain: every live shard merged
+	// into the root so the sealed view covers all concurrent work
+	// (fields: shards — how many were merged).
+	EvShardDrain = "shard.drain"
 )
 
 // Event is one structured telemetry record.
