@@ -55,7 +55,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// A SIGINT/SIGTERM flushes the telemetry sinks before the process dies,
+	// so a partial trace file still ends on a complete line.
+	unflush := telemetry.FlushOnSignal(0, finish)
 	err = compile(o, sink, reg)
+	unflush()
 	if ferr := finish(); err == nil {
 		err = ferr
 	}

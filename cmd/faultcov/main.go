@@ -46,6 +46,17 @@
 // flipped word/bit coordinates) plus verification outcomes; select a single
 // cell (one size, one flip count, one pattern, one scheme) to get exactly
 // -trials injection events.
+//
+// -crash N switches to the process-level crash campaign: each trial runs the
+// durable (WAL-checkpointing) epoch workload in a child process — faultcov
+// re-executes itself — SIGKILLs it at a seeded step, optionally corrupts the
+// on-disk log (-crash-cells kill,torn-write,disk-flip), restarts it, and
+// requires the resumed run to be byte-identical to an uninterrupted one. The
+// workload uses the first -sizes entry as its word count and -epochs (default
+// 6) epochs. -wal names the scratch directory holding the per-trial WALs and
+// reports (default: a temporary directory, removed afterwards); -gate exits
+// non-zero on any mismatch, silent acceptance of a corrupt checkpoint, or
+// missed resume.
 package main
 
 import (
@@ -84,9 +95,15 @@ type options struct {
 	targets  string
 	detector string
 	gate     bool
+	crash    int
+	crashSel string
+	walDir   string
 }
 
 func main() {
+	if faults.IsCrashChild() {
+		faults.CrashChildMain() // crash-campaign child: run the workload, never return
+	}
 	var o options
 	flag.IntVar(&o.trials, "trials", 100000, "injection trials per cell (paper: 100000)")
 	flag.StringVar(&o.sizes, "sizes", "100,10000,1000000", "array sizes in 64-bit words")
@@ -105,6 +122,9 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-trial timeout (0 = none)")
 	flag.StringVar(&o.resume, "resume", "", "checkpoint file: record finished chunks and resume an interrupted campaign from it")
 	flag.StringVar(&o.jsonOut, "json", "", `write the campaign result as JSON to this file ("-" for stdout)`)
+	flag.IntVar(&o.crash, "crash", 0, "run the process-level crash campaign with this many trials per cell (0 = disabled)")
+	flag.StringVar(&o.crashSel, "crash-cells", "kill,torn-write,disk-flip", "crash cells (comma list): kill, torn-write, disk-flip")
+	flag.StringVar(&o.walDir, "wal", "", "with -crash: scratch directory for the per-trial write-ahead logs (default: a removed temp dir)")
 	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
 	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
 	flag.Parse()
@@ -113,9 +133,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The first SIGINT/SIGTERM cancels the context for a graceful, resumable
+	// shutdown; a second one force-flushes the telemetry sinks and exits.
+	unflush := telemetry.FlushOnSignal(1, finish)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	err = run(ctx, o, sink, reg)
 	stop()
+	unflush()
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
@@ -152,6 +176,9 @@ func run(ctx context.Context, o options, sink telemetry.Sink, reg *telemetry.Reg
 	hardenedList, err := parseDetectors(o.detector)
 	if err != nil {
 		return err
+	}
+	if o.crash > 0 {
+		return runCrash(ctx, o, kind, sizeList[0], sink, reg)
 	}
 	if o.epochs > 0 {
 		// Epoch mode measures the single def/use checksum pair; the dual
@@ -200,6 +227,58 @@ func run(ctx context.Context, o options, sink telemetry.Sink, reg *telemetry.Reg
 		runErr = res.Gate()
 	}
 	return runErr
+}
+
+// runCrash executes the process-level crash campaign: faultcov re-executes
+// itself as the child (the CrashChildEnv hook at the top of main routes the
+// child into the workload).
+func runCrash(ctx context.Context, o options, kind checksum.Kind, words int, sink telemetry.Sink, reg *telemetry.Registry) error {
+	epochs := o.epochs
+	if epochs <= 0 {
+		epochs = 6
+	}
+	var cells []faults.CrashConfig
+	for _, name := range strings.Split(o.crashSel, ",") {
+		cell, err := faults.ParseCrashCell(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		cells = append(cells, faults.CrashConfig{
+			Kind: kind, Words: words, Epochs: epochs,
+			Trials: o.crash, Seed: o.seed, Cell: cell,
+			Trace: sink, Metrics: reg,
+		})
+	}
+	camp := &faults.CrashCampaign{Cells: cells, Dir: o.walDir, Workers: o.workers}
+	res, err := camp.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if o.jsonOut != "" {
+		raw, jerr := json.MarshalIndent(res, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		raw = append(raw, '\n')
+		if o.jsonOut == "-" {
+			if _, werr := os.Stdout.Write(raw); werr != nil {
+				return werr
+			}
+		} else if werr := os.WriteFile(o.jsonOut, raw, 0o644); werr != nil {
+			return werr
+		}
+	} else {
+		fmt.Printf("crash campaign: %d words, %d epochs, %d trials per cell\n\n", words, epochs, o.crash)
+		for _, c := range res.Cells {
+			fmt.Printf("%-11s killed=%d identical=%d resumed=%d fresh=%d torn=%d corrupt=%d silent=%d mismatched=%d\n",
+				c.CellName, c.Killed, c.Identical, c.Resumed, c.Fresh,
+				c.TornReported, c.CorruptReported, c.SilentAcceptances, c.Mismatched)
+		}
+	}
+	if o.gate {
+		return res.Gate()
+	}
+	return nil
 }
 
 func render(o options, res *faults.CampaignResult, sizes, flips []int,

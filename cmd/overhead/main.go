@@ -7,7 +7,14 @@
 //
 //	overhead [-fig 10|11|all] [-scale 0.01] [-bench name] [-list] \
 //	         [-parallel N] [-json] [-json-out BENCH_overhead.json] \
+//	         [-wal dir] [-wal-epochs 8] \
 //	         [-trace events.jsonl] [-metrics out]
+//
+// -wal switches to the durability measurement: each kernel runs once under
+// plain epoch supervision and once with crash-consistent WAL checkpoints
+// sealed (encoded, CRC-framed, fsynced) at every verified epoch boundary,
+// reporting the runtime ratio and the checkpoint log size. Outputs of the
+// two runs are verified equal.
 //
 // Scale multiplies the paper's problem sizes; the kernels execute on the
 // package's instruction-counting interpreter, so the op-count columns are
@@ -20,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +44,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "measure the sharded executor's scaling curve up to N workers (0 disables)")
 	jsonOut := flag.Bool("json", false, "also write the machine-readable overhead report")
 	jsonPath := flag.String("json-out", "BENCH_overhead.json", "path of the -json report")
+	wal := flag.String("wal", "", "measure durable-checkpoint overhead, writing per-benchmark WALs into this directory")
+	walEpochs := flag.Int("wal-epochs", 8, "with -wal: epochs (checkpoint seals) per benchmark run")
 	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
 	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
 	flag.Parse()
@@ -52,7 +62,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	err = run(*fig, *scale, *one, *parallel, *jsonOut, *jsonPath, bench.Telemetry{Trace: sink, Metrics: reg})
+	// A SIGINT/SIGTERM flushes the telemetry sinks before the process dies,
+	// so a partial trace file still ends on a complete line.
+	unflush := telemetry.FlushOnSignal(0, finish)
+	err = run(*fig, *scale, *one, *parallel, *jsonOut, *jsonPath, *wal, *walEpochs,
+		bench.Telemetry{Trace: sink, Metrics: reg})
+	unflush()
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
@@ -71,7 +86,10 @@ func workerLadder(n int) []int {
 	return append(ladder, n)
 }
 
-func run(fig string, scale float64, one string, parallel int, jsonOut bool, jsonPath string, tel bench.Telemetry) error {
+func run(fig string, scale float64, one string, parallel int, jsonOut bool, jsonPath, wal string, walEpochs int, tel bench.Telemetry) error {
+	if wal != "" {
+		return runDurable(scale, one, wal, walEpochs, jsonOut, jsonPath, tel)
+	}
 	var rows10 []bench.Figure10Row
 	var rows11 []bench.Figure11Row
 	if one != "" {
@@ -140,6 +158,53 @@ func run(fig string, scale float64, one string, parallel int, jsonOut bool, json
 			return err
 		}
 		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "overhead: wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runDurable measures the durability tax: epoch-supervised baseline vs
+// WAL-checkpointing runs of each kernel, with output equivalence enforced.
+func runDurable(scale float64, one, walDir string, epochs int, jsonOut bool, jsonPath string, tel bench.Telemetry) error {
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return err
+	}
+	var rows []bench.DurableRow
+	if one != "" {
+		b, err := bench.ByName(one)
+		if err != nil {
+			return err
+		}
+		row, err := bench.RunDurable(b, scale, epochs, walDir, tel)
+		if err != nil {
+			return err
+		}
+		rows = []bench.DurableRow{row}
+	} else {
+		var err error
+		rows, err = bench.RunDurableSuite(scale, epochs, walDir, tel)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Println("Durability: epoch-supervised baseline vs crash-consistent WAL checkpoints")
+	fmt.Println("(each seal = snapshot encode + CRC frame + fsync; outputs verified equal)")
+	fmt.Println()
+	fmt.Print(bench.FormatDurable(rows))
+	if jsonOut {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
 			f.Close()
 			return err
 		}

@@ -197,6 +197,17 @@ func (p *Pair) SetAccumulators(def, use, edef, euse uint64) {
 	p.resealShadows()
 }
 
+// SetState overwrites the accumulators and their shadow copies with exact
+// values, without resealing. It is the restore path for durable checkpoints
+// that captured both copies: a primary/shadow divergence present at seal time
+// (detector-fault evidence) is reinstated rather than erased, so a verdict
+// formed before a crash survives the restart. The caller vouches for the
+// bytes (e.g. by the checkpoint's integrity digest).
+func (p *Pair) SetState(def, use, edef, euse uint64, shadow [4]uint64) {
+	p.Def, p.Use, p.EDef, p.EUse = def, use, edef, euse
+	p.shadow = shadow
+}
+
 // CorruptPrimary flips one bit of the primary copy of the selected
 // accumulator, leaving its shadow untouched — exactly the footprint of a
 // transient fault striking the detector's own state. Fault-injection

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"defuse/internal/checksum"
+	"defuse/internal/wal"
 	"defuse/rt"
 	"defuse/telemetry"
 )
@@ -692,13 +693,8 @@ func (c *Campaign) writeCheckpoint(key uint64, done map[[2]int]chunkTally) error
 	if err != nil {
 		return err
 	}
-	tmp := c.CheckpointPath + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, c.CheckpointPath); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	// Temp-write + fsync + rename + dir fsync: a campaign killed mid-write
+	// leaves either the previous checkpoint or the complete new one, never a
+	// truncated JSON that a resume would reject as corrupt.
+	return wal.WriteFileAtomic(c.CheckpointPath, raw, 0o644)
 }

@@ -1,0 +1,774 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"syscall"
+
+	"defuse/internal/checksum"
+	"defuse/internal/memsim"
+	"defuse/internal/recovery"
+	"defuse/internal/wal"
+	"defuse/rt"
+	"defuse/telemetry"
+)
+
+// This file is the process-level half of the fault campaign: where
+// epochtrial.go flips bits inside a live process, the crash campaign kills
+// the whole process. Each trial runs a deterministic epoch workload under the
+// durable (WAL-checkpointing) supervisor in a child process, SIGKILLs it at a
+// seeded epoch/step, optionally corrupts the on-disk log the way a dying
+// machine would (a torn write, a flipped bit at rest), restarts the child,
+// and requires the resumed run to finish byte-identical — memory words,
+// checksum accumulators, shadow copies, operation counters, and verdict — to
+// an uninterrupted run of the same seed. A corrupt checkpoint must never be
+// accepted silently: the restarted child has to report the torn tail or the
+// corrupt record it refused.
+
+// CrashChildEnv is the environment variable that re-routes a process into
+// CrashChildMain. Its value is the JSON-encoded CrashSpec for the child run.
+// Both the faults test binary (via its TestMain) and cmd/faultcov honor it,
+// so either can serve as the campaign's child executable.
+const CrashChildEnv = "DEFUSE_CRASH_CHILD"
+
+// CrashSpec tells a child process exactly what to run.
+type CrashSpec struct {
+	Words  int           `json:"words"`
+	Epochs int           `json:"epochs"`
+	Kind   checksum.Kind `json:"kind"`
+	// Seed drives the workload's data fill; the parent derives it per trial.
+	Seed int64 `json:"seed"`
+	// WAL is the durable checkpoint log shared by the crashing and the
+	// resuming incarnation of the trial.
+	WAL string `json:"wal"`
+	// Out is where a cleanly finishing child writes its crashReport.
+	Out string `json:"out"`
+	// CrashStep is the global step (epoch*words + word) before which the
+	// child SIGKILLs itself; -1 runs to completion.
+	CrashStep int64 `json:"crash_step"`
+}
+
+// IsCrashChild reports whether this process was spawned as a crash-campaign
+// child and must hand control to CrashChildMain before doing anything else.
+func IsCrashChild() bool { return os.Getenv(CrashChildEnv) != "" }
+
+// CrashChildMain runs the child side of a crash trial and never returns: the
+// process either dies by its own SIGKILL at the spec's crash step or exits
+// after writing its report.
+func CrashChildMain() {
+	var spec CrashSpec
+	if err := json.Unmarshal([]byte(os.Getenv(CrashChildEnv)), &spec); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: bad spec:", err)
+		os.Exit(3)
+	}
+	rep, err := runCrashSpec(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(3)
+	}
+	if spec.CrashStep >= 0 {
+		// The crash step was never reached: the spec is inconsistent with the
+		// workload size. Surface it rather than report a bogus clean run.
+		fmt.Fprintf(os.Stderr, "crash child: survived crash step %d\n", spec.CrashStep)
+		os.Exit(4)
+	}
+	raw, err := json.Marshal(rep)
+	if err == nil {
+		err = wal.WriteFileAtomic(spec.Out, raw, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+// crashReport is what a cleanly finishing child hands back to the parent.
+type crashReport struct {
+	// Final is the workload's encoded final state: epoch-state (accumulators,
+	// shadows, op counters), shadow use counters, and memory snapshot. Two
+	// runs agree exactly when these bytes agree.
+	Final          []byte `json:"final"`
+	Resumed        bool   `json:"resumed"`
+	ResumeEpoch    int    `json:"resume_epoch"`
+	Seals          int    `json:"seals"`
+	CorruptRecords int    `json:"corrupt_records"`
+	TornTail       bool   `json:"torn_tail"`
+	Detected       bool   `json:"detected"`
+	Tainted        bool   `json:"tainted"`
+}
+
+// crashWorkload is the deterministic epoch program a crash trial runs: every
+// epoch advances each word through the bijective update under the def/use
+// discipline, with boundary finalize/verify/re-register — the same shape as
+// an epoch injection trial, minus the injected fault. The only perturbation
+// is the crash step.
+type crashWorkload struct {
+	words, epochs int
+	crashAt       int64 // global step to die before; -1 = never
+	step          int64
+	mem           *memsim.Memory
+	tr            *rt.Tracker
+	counters      []rt.Counter
+}
+
+func newCrashWorkload(spec CrashSpec) *crashWorkload {
+	w := &crashWorkload{
+		words:    spec.Words,
+		epochs:   spec.Epochs,
+		crashAt:  spec.CrashStep,
+		mem:      memsim.New(spec.Words),
+		tr:       rt.NewTrackerWith(spec.Kind),
+		counters: make([]rt.Counter, spec.Words),
+	}
+	init := make([]uint64, spec.Words)
+	NewInjector(spec.Seed).Fill(init, Random)
+	for i := 0; i < spec.Words; i++ {
+		w.mem.Poke(i, init[i])
+		rt.DefDyn(w.tr, &w.counters[i], uint64(0), init[i])
+	}
+	return w
+}
+
+// maybeCrash is the kill site: SIGKILL is unblockable and unhandlable, so the
+// process dies exactly as if the machine had lost power between two steps.
+func (w *crashWorkload) maybeCrash() {
+	if w.crashAt >= 0 && w.step == w.crashAt {
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable: SIGKILL cannot be caught or ignored
+	}
+}
+
+func (w *crashWorkload) run(k int) error {
+	for i := 0; i < w.words; i++ {
+		w.maybeCrash()
+		w.step++
+		v := rt.Use(w.tr, &w.counters[i], w.mem.Load(i))
+		next := update(v)
+		w.mem.Store(i, next)
+		rt.DefDyn(w.tr, &w.counters[i], v, next)
+	}
+	return nil
+}
+
+func (w *crashWorkload) verify(k int) error {
+	for i := 0; i < w.words; i++ {
+		rt.Final(w.tr, &w.counters[i], w.mem.Peek(i))
+	}
+	_, err := w.tr.EndEpoch()
+	if err == nil && k != w.epochs-1 {
+		for i := 0; i < w.words; i++ {
+			rt.DefDyn(w.tr, &w.counters[i], uint64(0), w.mem.Peek(i))
+		}
+	}
+	return err
+}
+
+// encodeState renders the complete workload state: the sealed epoch state
+// (with its own digest), the shadow use counters verbatim, and the memory
+// snapshot (with its own digest). Called at verified epoch boundaries for WAL
+// payloads and once more at the end for the trial report, so byte equality of
+// two encodings is exactly state equality.
+func (w *crashWorkload) encodeState() ([]byte, error) {
+	es, err := w.tr.BeginEpoch().Encode()
+	if err != nil {
+		return nil, err
+	}
+	snap := w.mem.Snapshot()
+	mb, err := snap.Encode()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, len(es)+8+16*w.words+len(mb))
+	b = append(b, es...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(w.words))
+	for i := range w.counters {
+		packed, enc := w.counters[i].State()
+		b = binary.LittleEndian.AppendUint64(b, packed)
+		b = binary.LittleEndian.AppendUint64(b, enc)
+	}
+	return append(b, mb...), nil
+}
+
+func (w *crashWorkload) decodeState(b []byte) error {
+	if len(b) < rt.EncodedEpochStateSize+8 {
+		return fmt.Errorf("faults: crash state of %d bytes: %w", len(b), rt.ErrCheckpointCorrupt)
+	}
+	st, err := rt.DecodeEpochState(b[:rt.EncodedEpochStateSize])
+	if err != nil {
+		return err
+	}
+	rest := b[rt.EncodedEpochStateSize:]
+	if n := binary.LittleEndian.Uint64(rest); n != uint64(w.words) {
+		return fmt.Errorf("faults: crash state for %d words, workload has %d: %w",
+			n, w.words, rt.ErrCheckpointCorrupt)
+	}
+	rest = rest[8:]
+	if len(rest) < 16*w.words {
+		return fmt.Errorf("faults: crash state truncated counters: %w", rt.ErrCheckpointCorrupt)
+	}
+	snap, err := memsim.DecodeSnapshot(rest[16*w.words:])
+	if err != nil {
+		return err
+	}
+	if err := w.tr.Resume(st); err != nil {
+		return err
+	}
+	for i := range w.counters {
+		w.counters[i].SetState(
+			binary.LittleEndian.Uint64(rest[16*i:]),
+			binary.LittleEndian.Uint64(rest[16*i+8:]))
+	}
+	return w.mem.Restore(snap)
+}
+
+// crashSnap is the in-memory per-epoch checkpoint for rollback retries (the
+// crash trial injects no data faults, so it exists for supervisor symmetry).
+type crashSnap struct {
+	mem      memsim.Snapshot
+	state    rt.EpochState
+	counters []rt.Counter
+}
+
+// crashFingerprint pins a WAL record to one trial's exact workload, so a
+// record from another trial (or a stale file) can never resume this one.
+func crashFingerprint(spec CrashSpec) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "crash words=%d epochs=%d kind=%d seed=%d", spec.Words, spec.Epochs, spec.Kind, spec.Seed)
+	return h.Sum64()
+}
+
+// runCrashSpec executes one incarnation of a crash trial: resume from the
+// spec's WAL if it holds a usable record, run (possibly dying at the crash
+// step), and report the final state. The parent calls it in-process with a
+// fresh WAL to compute the uninterrupted reference.
+func runCrashSpec(ctx context.Context, spec CrashSpec) (crashReport, error) {
+	if spec.Words <= 0 || spec.Epochs <= 0 || spec.WAL == "" {
+		return crashReport{}, fmt.Errorf("faults: crash spec needs words, epochs, and a wal path")
+	}
+	w := newCrashWorkload(spec)
+	d := &recovery.DurableSupervisor{
+		Config: recovery.Config{
+			Epochs: spec.Epochs,
+			Run:    w.run,
+			Verify: w.verify,
+			Checkpoint: func() any {
+				return crashSnap{
+					mem:      w.mem.Snapshot(),
+					state:    w.tr.BeginEpoch(),
+					counters: append([]rt.Counter(nil), w.counters...),
+				}
+			},
+			Restore: func(snap any) error {
+				s := snap.(crashSnap)
+				if err := w.mem.Restore(s.mem); err != nil {
+					return err
+				}
+				if err := w.tr.Rollback(s.state); err != nil {
+					return err
+				}
+				copy(w.counters, s.counters)
+				return nil
+			},
+			Policy: recovery.DefaultPolicy(),
+		},
+		Path:        spec.WAL,
+		Fingerprint: crashFingerprint(spec),
+		EncodeState: w.encodeState,
+		DecodeState: w.decodeState,
+	}
+	out, err := d.Run(ctx)
+	if err != nil {
+		return crashReport{}, err
+	}
+	final, err := w.encodeState()
+	if err != nil {
+		return crashReport{}, err
+	}
+	return crashReport{
+		Final:          final,
+		Resumed:        out.Resumed,
+		ResumeEpoch:    out.ResumeEpoch,
+		Seals:          out.Seals,
+		CorruptRecords: out.CorruptRecords,
+		TornTail:       out.TornTail,
+		Detected:       out.Detected,
+		Tainted:        out.Tainted,
+	}, nil
+}
+
+// CrashCellKind selects what a crash cell does to the durable run.
+type CrashCellKind int
+
+const (
+	// CrashKill SIGKILLs the child at a seeded step and restarts it; the WAL
+	// is left exactly as the dying process wrote it.
+	CrashKill CrashCellKind = iota
+	// CrashTornWrite additionally truncates the WAL mid-frame after the kill,
+	// simulating a seal whose write reached the disk only partially.
+	CrashTornWrite
+	// CrashDiskFlip additionally flips one seeded bit inside the WAL's valid
+	// frames, simulating corruption of the checkpoint at rest.
+	CrashDiskFlip
+)
+
+var crashCellNames = map[CrashCellKind]string{
+	CrashKill:      "kill",
+	CrashTornWrite: "torn-write",
+	CrashDiskFlip:  "disk-flip",
+}
+
+// String returns the lower-case name of the cell kind.
+func (k CrashCellKind) String() string {
+	if s, ok := crashCellNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("faults.CrashCellKind(%d)", int(k))
+}
+
+// ParseCrashCell resolves a crash-cell name as used by cmd/faultcov.
+func ParseCrashCell(s string) (CrashCellKind, error) {
+	for k, name := range crashCellNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown crash cell %q (kill, torn-write, disk-flip)", s)
+}
+
+// CrashConfig describes one crash-injection cell.
+type CrashConfig struct {
+	Kind   checksum.Kind `json:"kind"`
+	Words  int           `json:"words"`
+	Epochs int           `json:"epochs"`
+	Trials int           `json:"trials"`
+	Seed   int64         `json:"seed"`
+	Cell   CrashCellKind `json:"-"`
+	// CellName is Cell's name in reports.
+	CellName string `json:"cell"`
+
+	Trace   telemetry.Sink      `json:"-"`
+	Metrics *telemetry.Registry `json:"-"`
+}
+
+// Validate reports configuration errors before any process is spawned.
+func (cfg CrashConfig) Validate() error {
+	if cfg.Trials <= 0 {
+		return fmt.Errorf("faults: crash Trials must be positive, got %d", cfg.Trials)
+	}
+	if cfg.Words <= 0 || cfg.Epochs <= 0 {
+		return fmt.Errorf("faults: crash Words and Epochs must be positive, got %d/%d", cfg.Words, cfg.Epochs)
+	}
+	if cfg.Epochs < 2 && cfg.Cell != CrashKill {
+		return fmt.Errorf("faults: %v cell needs Epochs >= 2 (at least one sealed record to corrupt)", cfg.Cell)
+	}
+	if _, ok := crashCellNames[cfg.Cell]; !ok {
+		return fmt.Errorf("faults: unknown crash cell %d", int(cfg.Cell))
+	}
+	return nil
+}
+
+// CrashResult tallies one cell's trials. All counts are sums of per-trial
+// outcomes, so the result is independent of worker count and trial order.
+type CrashResult struct {
+	CrashConfig
+	// Killed counts first incarnations that died by SIGKILL as scheduled.
+	Killed int `json:"killed"`
+	// Identical counts trials whose resumed final state was byte-identical to
+	// the uninterrupted reference with a clean verdict.
+	Identical int `json:"identical"`
+	// Mismatched counts trials that finished with wrong bytes or a dirty
+	// verdict (detected/tainted on a fault-free workload).
+	Mismatched int `json:"mismatched"`
+	// Resumed and Fresh split the restarted incarnations by whether a durable
+	// record was installed.
+	Resumed int `json:"resumed"`
+	Fresh   int `json:"fresh"`
+	// MutationsApplied counts trials whose WAL was torn or bit-flipped.
+	MutationsApplied int `json:"mutations_applied"`
+	// TornReported and CorruptReported count restarted incarnations that
+	// flagged the torn tail / refused records.
+	TornReported    int `json:"torn_reported"`
+	CorruptReported int `json:"corrupt_reported"`
+	// SilentAcceptances counts trials whose WAL was mutated and whose
+	// restarted child neither reported a torn tail nor refused a record: a
+	// corrupt checkpoint accepted silently. The gate requires zero.
+	SilentAcceptances int `json:"silent_acceptances"`
+	// ResumeMissed counts trials that sealed at least one epoch, were not
+	// mutated, and still failed to resume from the WAL.
+	ResumeMissed int `json:"resume_missed"`
+}
+
+// CrashSchema identifies the crash campaign result JSON document.
+const CrashSchema = "defuse/crashcov/v1"
+
+// CrashCampaignResult aggregates the campaign's cells.
+type CrashCampaignResult struct {
+	Schema    string        `json:"schema"`
+	Completed bool          `json:"completed"`
+	Cells     []CrashResult `json:"cells"`
+}
+
+// Gate returns a non-nil error unless every trial was killed as scheduled,
+// every resumed run finished byte-identical with a clean verdict, every
+// intact WAL actually resumed, and no mutated WAL was accepted silently.
+func (r *CrashCampaignResult) Gate() error {
+	if !r.Completed {
+		return errors.New("faults: gate: crash campaign incomplete")
+	}
+	for i, res := range r.Cells {
+		cell := fmt.Sprintf("crash cell %d (%s)", i, res.CellName)
+		switch {
+		case res.Killed != res.Trials:
+			return fmt.Errorf("faults: gate: %s: %d of %d children not killed as scheduled", cell, res.Trials-res.Killed, res.Trials)
+		case res.Mismatched > 0:
+			return fmt.Errorf("faults: gate: %s: %d resumed runs not byte-identical to uninterrupted runs", cell, res.Mismatched)
+		case res.SilentAcceptances > 0:
+			return fmt.Errorf("faults: gate: %s: %d corrupt checkpoints accepted silently", cell, res.SilentAcceptances)
+		case res.ResumeMissed > 0:
+			return fmt.Errorf("faults: gate: %s: %d intact checkpoints not resumed", cell, res.ResumeMissed)
+		case res.Identical != res.Trials:
+			return fmt.Errorf("faults: gate: %s: %d of %d trials not accounted identical", cell, res.Trials-res.Identical, res.Trials)
+		}
+	}
+	return nil
+}
+
+// CrashCampaign drives crash cells against a child executable.
+type CrashCampaign struct {
+	Cells []CrashConfig
+	// Exe is the child binary; empty means the current executable. The binary
+	// must route CrashChildEnv to CrashChildMain before doing anything else
+	// (cmd/faultcov does; so does the faults test binary via its TestMain).
+	Exe string
+	// Args are extra arguments passed to every child invocation.
+	Args []string
+	// Dir is the scratch directory for WALs and reports; empty means a fresh
+	// temporary directory, removed when the campaign finishes.
+	Dir string
+	// Workers is the number of concurrent trials; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// crashTrialOutcome is one trial's contribution to its cell's tallies.
+type crashTrialOutcome struct {
+	killed, identical, mismatched   bool
+	resumed, mutated, torn, corrupt bool
+	silent, resumeMissed            bool
+}
+
+// Run executes every cell's trials on a worker pool and aggregates them.
+func (c *CrashCampaign) Run(ctx context.Context) (*CrashCampaignResult, error) {
+	if len(c.Cells) == 0 {
+		return nil, errors.New("faults: crash campaign has no cells")
+	}
+	for i, cfg := range c.Cells {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("crash cell %d: %w", i, err)
+		}
+	}
+	exe := c.Exe
+	if exe == "" {
+		var err error
+		if exe, err = os.Executable(); err != nil {
+			return nil, err
+		}
+	}
+	dir := c.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "defuse-crash-"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct{ cell, trial int }
+	jobs := make(chan job)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		results  = make([]CrashResult, len(c.Cells))
+	)
+	for i, cfg := range c.Cells {
+		results[i].CrashConfig = cfg
+		results[i].CellName = cfg.Cell.String()
+		results[i].Trials = 0 // counts completed trials; compared by Gate
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out, err := c.runTrial(runCtx, exe, dir, c.Cells[j.cell], j.trial)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil && runCtx.Err() == nil {
+						firstErr = fmt.Errorf("crash cell %d trial %d: %w", j.cell, j.trial, err)
+					}
+					cancel()
+				} else {
+					tallyCrash(&results[j.cell], out)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+loop:
+	for ci, cfg := range c.Cells {
+		for t := 0; t < cfg.Trials; t++ {
+			select {
+			case jobs <- job{ci, t}:
+			case <-runCtx.Done():
+				break loop
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+
+	res := &CrashCampaignResult{Schema: CrashSchema, Completed: firstErr == nil}
+	completedAll := true
+	for i := range results {
+		if results[i].Trials != c.Cells[i].Trials {
+			completedAll = false
+		}
+		res.Cells = append(res.Cells, results[i])
+	}
+	res.Completed = res.Completed && completedAll
+	return res, firstErr
+}
+
+func tallyCrash(r *CrashResult, o crashTrialOutcome) {
+	r.Trials++
+	if o.killed {
+		r.Killed++
+	}
+	if o.identical {
+		r.Identical++
+	}
+	if o.mismatched {
+		r.Mismatched++
+	}
+	if o.resumed {
+		r.Resumed++
+	} else {
+		r.Fresh++
+	}
+	if o.mutated {
+		r.MutationsApplied++
+	}
+	if o.torn {
+		r.TornReported++
+	}
+	if o.corrupt {
+		r.CorruptReported++
+	}
+	if o.silent {
+		r.SilentAcceptances++
+	}
+	if o.resumeMissed {
+		r.ResumeMissed++
+	}
+}
+
+// runTrial executes one crash trial end to end.
+func (c *CrashCampaign) runTrial(ctx context.Context, exe, dir string, cfg CrashConfig, trial int) (crashTrialOutcome, error) {
+	var out crashTrialOutcome
+	seed := trialSeed(cfg.Seed, trial)
+	in := NewInjector(seed)
+	totalSteps := int64(cfg.Words) * int64(cfg.Epochs)
+	var crashStep int64
+	if cfg.Cell == CrashKill {
+		crashStep = int64(in.Intn(int(totalSteps)))
+	} else {
+		// Mutation cells die no earlier than epoch 1, so at least one sealed
+		// record exists for the mutation to strike.
+		crashStep = int64(cfg.Words) + int64(in.Intn(int(totalSteps)-cfg.Words))
+	}
+
+	base := filepath.Join(dir, fmt.Sprintf("c%s-t%d", cfg.Cell, trial))
+	spec := CrashSpec{
+		Words: cfg.Words, Epochs: cfg.Epochs, Kind: cfg.Kind, Seed: seed,
+		WAL: base + ".wal", Out: base + ".json", CrashStep: crashStep,
+	}
+
+	// Incarnation 1: run until the scheduled SIGKILL.
+	if err := c.spawn(ctx, exe, spec); err == nil {
+		return out, fmt.Errorf("child survived crash step %d", crashStep)
+	} else if !killedBySigkill(err) {
+		return out, fmt.Errorf("child did not die by SIGKILL: %w", err)
+	}
+	out.killed = true
+
+	// Post-mortem disk damage for the mutation cells.
+	var err error
+	switch cfg.Cell {
+	case CrashTornWrite:
+		out.mutated, err = tornMutate(spec.WAL, in)
+	case CrashDiskFlip:
+		out.mutated, err = flipMutate(spec.WAL, in)
+	}
+	if err != nil {
+		return out, err
+	}
+	if cfg.Cell != CrashKill && !out.mutated {
+		return out, fmt.Errorf("%v cell found no sealed record to mutate", cfg.Cell)
+	}
+
+	// Incarnation 2: restart and run to completion.
+	spec.CrashStep = -1
+	if err := c.spawn(ctx, exe, spec); err != nil {
+		return out, fmt.Errorf("restarted child: %w", err)
+	}
+	raw, err := os.ReadFile(spec.Out)
+	if err != nil {
+		return out, err
+	}
+	var rep crashReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return out, fmt.Errorf("child report: %w", err)
+	}
+
+	// The oracle: an uninterrupted in-process run of the same seed.
+	refSpec := spec
+	refSpec.WAL = base + ".ref.wal"
+	ref, err := runCrashSpec(ctx, refSpec)
+	if err != nil {
+		return out, fmt.Errorf("reference run: %w", err)
+	}
+	os.Remove(refSpec.WAL)
+
+	out.resumed = rep.Resumed
+	out.torn = rep.TornTail
+	out.corrupt = rep.CorruptRecords > 0
+	if out.mutated && !rep.TornTail && rep.CorruptRecords == 0 {
+		out.silent = true
+	}
+	if cfg.Cell == CrashKill && crashStep >= int64(cfg.Words) && !rep.Resumed {
+		// Epoch 0 was sealed and fsynced before the kill and nothing touched
+		// the log: the restart must have resumed from it.
+		out.resumeMissed = true
+	}
+	if bytes.Equal(rep.Final, ref.Final) && !rep.Detected && !rep.Tainted &&
+		!out.silent && !out.resumeMissed {
+		out.identical = true
+	} else if !bytes.Equal(rep.Final, ref.Final) || rep.Detected || rep.Tainted {
+		out.mismatched = true
+	}
+
+	if cfg.Metrics != nil {
+		labels := []telemetry.Label{{Key: "cell", Value: cfg.Cell.String()}}
+		cfg.Metrics.Counter("defuse_crash_trials_total", labels...).Inc()
+		if !out.identical {
+			cfg.Metrics.Counter("defuse_crash_failures_total", labels...).Inc()
+		}
+	}
+	telemetry.Emit(cfg.Trace, telemetry.EvCrashTrial, map[string]any{
+		"cell": cfg.Cell.String(), "trial": trial, "crash_step": crashStep,
+		"resumed": rep.Resumed, "resume_epoch": rep.ResumeEpoch,
+		"torn_tail": rep.TornTail, "corrupt_records": rep.CorruptRecords,
+		"identical": out.identical,
+	})
+	os.Remove(spec.WAL)
+	os.Remove(spec.Out)
+	return out, nil
+}
+
+// spawn runs one child incarnation, handing it the spec through the
+// environment hook. Child stderr is folded into the returned error.
+func (c *CrashCampaign) spawn(ctx context.Context, exe string, spec CrashSpec) error {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	cmd := exec.CommandContext(ctx, exe, c.Args...)
+	cmd.Env = append(os.Environ(), CrashChildEnv+"="+string(raw))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		if msg := bytes.TrimSpace(stderr.Bytes()); len(msg) > 0 {
+			return fmt.Errorf("%w: %s", err, msg)
+		}
+		return err
+	}
+	return nil
+}
+
+// killedBySigkill reports whether a child's exit error means death by SIGKILL.
+func killedBySigkill(err error) bool {
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		return false
+	}
+	ws, ok := exit.Sys().(syscall.WaitStatus)
+	return ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL
+}
+
+// tornMutate truncates the WAL strictly inside its last valid frame — the
+// footprint of a seal whose write only partially reached the platter. It
+// reports whether a frame existed to tear.
+func tornMutate(path string, in *Injector) (bool, error) {
+	scan, err := wal.Recover(path)
+	if err != nil || len(scan.Records) == 0 {
+		return false, nil
+	}
+	last := scan.Records[len(scan.Records)-1]
+	frameLen := int64(16 + len(last.Payload))
+	start := scan.ValidSize - frameLen
+	cut := start + 1 + int64(in.Intn(int(frameLen-1)))
+	return true, os.Truncate(path, cut)
+}
+
+// flipMutate flips one seeded bit inside the WAL's valid frames (past the
+// file magic) — corruption of the checkpoint at rest. It reports whether a
+// frame existed to corrupt.
+func flipMutate(path string, in *Injector) (bool, error) {
+	scan, err := wal.Recover(path)
+	if err != nil || len(scan.Records) == 0 {
+		return false, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	const magicLen = 8
+	off := magicLen + in.Intn(int(scan.ValidSize)-magicLen)
+	raw[off] ^= 1 << uint(in.Intn(8))
+	return true, os.WriteFile(path, raw, 0o644)
+}
+
+// DefaultCrashCells returns the standard three-cell crash grid (kill,
+// torn-write, disk-flip) with trials trials per cell.
+func DefaultCrashCells(kind checksum.Kind, words, epochs, trials int, seed int64) []CrashConfig {
+	var cells []CrashConfig
+	for _, cell := range []CrashCellKind{CrashKill, CrashTornWrite, CrashDiskFlip} {
+		cells = append(cells, CrashConfig{
+			Kind: kind, Words: words, Epochs: epochs,
+			Trials: trials, Seed: seed, Cell: cell,
+		})
+	}
+	return cells
+}

@@ -1,0 +1,151 @@
+package interp
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"defuse/internal/lang"
+	"defuse/internal/memsim"
+	"defuse/internal/recovery"
+)
+
+// This file extends epoch-supervised execution across process boundaries:
+// the machine state a supervisor checkpoint captures (simulated memory,
+// checksum pair with its shadow copies, cached loop bounds) gets a stable
+// binary form, and SuperviseDurable runs the plan under a DurableSupervisor
+// that seals that form into a write-ahead log at every verified epoch. A
+// process killed mid-run resumes from the newest valid record: the machine
+// is rebuilt exactly — accumulators, shadows, memory words — so the finished
+// run is byte-identical to one that was never interrupted.
+
+// machineStateHeader is the fixed prefix of the encoded machine state:
+// checksum kind, four accumulators, four shadow words, the plan's cached
+// loop bounds, and the haveBounds flag — twelve little-endian uint64 words,
+// followed by the encoded memory snapshot (which carries its own digest).
+const machineStateHeader = 12 * 8
+
+// encodeState renders the machine-plus-plan state at an epoch boundary.
+func (p *EpochPlan) encodeState() ([]byte, error) {
+	snap := p.m.mem.Snapshot()
+	mem, err := snap.Encode()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, machineStateHeader, machineStateHeader+len(mem))
+	pair := p.m.pair
+	sh := pair.Shadows()
+	for i, w := range [...]uint64{
+		uint64(pair.Kind()),
+		pair.Def, pair.Use, pair.EDef, pair.EUse,
+		sh[0], sh[1], sh[2], sh[3],
+		uint64(p.lo), uint64(p.hi), boolWord(p.haveBounds),
+	} {
+		binary.LittleEndian.PutUint64(b[i*8:], w)
+	}
+	return append(b, mem...), nil
+}
+
+// decodeState installs previously encoded state into the machine. The memory
+// snapshot's integrity digest is re-verified by DecodeSnapshot and again by
+// Restore; a checksum-kind mismatch means the record belongs to a different
+// configuration and is refused (the fingerprint should already have caught
+// this — the check here keeps decode safe on its own).
+func (p *EpochPlan) decodeState(b []byte) error {
+	if len(b) < machineStateHeader {
+		return fmt.Errorf("interp: durable state of %d bytes: %w", len(b), memsim.ErrCheckpointCorrupt)
+	}
+	w := func(i int) uint64 { return binary.LittleEndian.Uint64(b[i*8:]) }
+	if kind := w(0); kind != uint64(p.m.pair.Kind()) {
+		return fmt.Errorf("interp: durable state for checksum kind %d, machine uses %d: %w",
+			kind, p.m.pair.Kind(), memsim.ErrCheckpointCorrupt)
+	}
+	snap, err := memsim.DecodeSnapshot(b[machineStateHeader:])
+	if err != nil {
+		return err
+	}
+	if err := p.m.mem.Restore(snap); err != nil {
+		return err
+	}
+	p.m.pair.SetState(w(1), w(2), w(3), w(4), [4]uint64{w(5), w(6), w(7), w(8)})
+	p.lo, p.hi = int64(w(9)), int64(w(10))
+	p.haveBounds = w(11) != 0
+	return nil
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Fingerprint identifies the plan's run configuration: the program text, the
+// concrete parameters (in sorted order), the checksum operator, and the
+// epoch count. Two runs with equal fingerprints execute the same work over
+// the same layout, so a durable checkpoint from one is a valid resume point
+// for the other; anything else must not be resumed.
+func (p *EpochPlan) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "epochs=%d kind=%d\n", p.n, p.m.pair.Kind())
+	h.Write([]byte(lang.Print(p.m.prog)))
+	names := make([]string, 0, len(p.m.params))
+	for name := range p.m.params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "%s=%d\n", name, p.m.params[name])
+	}
+	return h.Sum64()
+}
+
+// SuperviseDurable is Supervise with durable checkpoints: every verified
+// epoch is sealed into the write-ahead log at walPath, and a fresh process
+// pointed at the same log resumes from the newest valid record instead of
+// restarting from scratch. The machine must be in its initialized (epoch-0
+// entry) state when called; if the log holds a usable checkpoint, that state
+// is replaced by the resumed one before any epoch runs.
+func (p *EpochPlan) SuperviseDurable(ctx context.Context, pol recovery.Policy, walPath string) (recovery.DurableOutcome, error) {
+	defer p.m.publishMetrics()
+	d := &recovery.DurableSupervisor{
+		Config: recovery.Config{
+			Epochs: p.n,
+			Run:    p.RunEpoch,
+			Verify: func(int) error {
+				if err := p.m.pair.Scrub(); err != nil {
+					return err
+				}
+				err := p.m.pair.Verify()
+				p.m.emitVerify(err)
+				return err
+			},
+			Checkpoint: func() any {
+				return epochSnap{
+					mem:  p.m.mem.Snapshot(),
+					pair: *p.m.pair,
+					lo:   p.lo, hi: p.hi, haveBounds: p.haveBounds,
+				}
+			},
+			Restore: func(snap any) error {
+				s := snap.(epochSnap)
+				if err := p.m.mem.Restore(s.mem); err != nil {
+					return err
+				}
+				*p.m.pair = s.pair
+				p.lo, p.hi, p.haveBounds = s.lo, s.hi, s.haveBounds
+				return nil
+			},
+			Policy:  pol,
+			Trace:   p.m.trace,
+			Metrics: p.m.metrics,
+		},
+		Path:        walPath,
+		Fingerprint: p.Fingerprint(),
+		EncodeState: p.encodeState,
+		DecodeState: p.decodeState,
+	}
+	return d.Run(ctx)
+}

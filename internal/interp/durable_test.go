@@ -1,0 +1,189 @@
+package interp
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"defuse/internal/recovery"
+)
+
+func durableWALPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "machine.wal")
+}
+
+func TestSuperviseDurableCleanRunMatchesSupervise(t *testing.T) {
+	ref, rp := planFor(t, epochTestSrc, 12, 4)
+	if _, err := rp.Supervise(context.Background(), recovery.DefaultPolicy()); err != nil {
+		t.Fatal(err)
+	}
+
+	m, p := planFor(t, epochTestSrc, 12, 4)
+	path := durableWALPath(t)
+	out, err := p.SuperviseDurable(context.Background(), recovery.DefaultPolicy(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Resumed || out.Seals != 4 || out.Detected {
+		t.Errorf("outcome = %+v, want 4 seals, no resume, clean", out)
+	}
+	refA, _ := ref.SnapshotFloats("A")
+	gotA, _ := m.SnapshotFloats("A")
+	for i := range refA {
+		if gotA[i] != refA[i] {
+			t.Fatalf("A[%d] = %v, want %v", i, gotA[i], refA[i])
+		}
+	}
+	if *m.Pair() != *ref.Pair() {
+		t.Error("checksum pair diverged from the in-memory supervised run")
+	}
+}
+
+func TestSuperviseDurableResumesAcrossMachines(t *testing.T) {
+	const n, epochs = 12, 4
+	path := durableWALPath(t)
+
+	// First machine runs only epochs 0 and 1 under durable commits, then is
+	// abandoned — the moral equivalent of SIGKILL after two seals (each seal
+	// is fsynced before the epoch is reported complete).
+	_, p1 := planFor(t, epochTestSrc, n, epochs)
+	d := &recovery.DurableSupervisor{
+		Config: recovery.Config{
+			Epochs: 2, // run just the first two epochs of the four-epoch plan
+			Run:    p1.RunEpoch,
+			Checkpoint: func() any {
+				return epochSnap{mem: p1.m.mem.Snapshot(), pair: *p1.m.pair,
+					lo: p1.lo, hi: p1.hi, haveBounds: p1.haveBounds}
+			},
+			Restore: func(snap any) error {
+				s := snap.(epochSnap)
+				if err := p1.m.mem.Restore(s.mem); err != nil {
+					return err
+				}
+				*p1.m.pair = s.pair
+				p1.lo, p1.hi, p1.haveBounds = s.lo, s.hi, s.haveBounds
+				return nil
+			},
+		},
+		Path:        path,
+		Fingerprint: p1.Fingerprint(), // the full plan's fingerprint
+		EncodeState: p1.encodeState,
+		DecodeState: p1.decodeState,
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A brand-new process: fresh machine, same program and parameters. It
+	// must resume at epoch 2 and finish byte-identical to an uninterrupted
+	// run — memory words, accumulators, and shadow copies.
+	m2, p2 := planFor(t, epochTestSrc, n, epochs)
+	out, err := p2.SuperviseDurable(context.Background(), recovery.DefaultPolicy(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Resumed || out.ResumeEpoch != 2 {
+		t.Fatalf("Resumed=%v ResumeEpoch=%d, want resume at epoch 2", out.Resumed, out.ResumeEpoch)
+	}
+
+	ref, rp := planFor(t, epochTestSrc, n, epochs)
+	runAll(t, rp)
+	refA, _ := ref.SnapshotFloats("A")
+	gotA, _ := m2.SnapshotFloats("A")
+	for i := range refA {
+		if gotA[i] != refA[i] {
+			t.Fatalf("A[%d] = %v, want %v", i, gotA[i], refA[i])
+		}
+	}
+	if *m2.Pair() != *ref.Pair() {
+		t.Error("resumed pair (accumulators or shadows) differs from uninterrupted run")
+	}
+	for name, want := range map[string]float64{"first": 123.0, "last": 456.0} {
+		if got, _ := m2.Float(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSuperviseDurableRefusesForeignProgram(t *testing.T) {
+	path := durableWALPath(t)
+	_, p1 := planFor(t, epochTestSrc, 12, 4)
+	if _, err := p1.SuperviseDurable(context.Background(), recovery.DefaultPolicy(), path); err != nil {
+		t.Fatal(err)
+	}
+	// Same file, different parameters: the fingerprint differs, so nothing
+	// resumes and the run completes from scratch.
+	m2, p2 := planFor(t, epochTestSrc, 8, 4)
+	out, err := p2.SuperviseDurable(context.Background(), recovery.DefaultPolicy(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Resumed {
+		t.Fatal("resumed from a checkpoint of a different configuration")
+	}
+	if out.CorruptRecords == 0 {
+		t.Error("foreign records not reported")
+	}
+	if got, _ := m2.Float("A", 7); got != 7*3.0+1.0 {
+		t.Errorf("A[7] = %v after fresh run", got)
+	}
+}
+
+func TestSuperviseDurableSurvivesDiskBitFlip(t *testing.T) {
+	const n, epochs = 12, 4
+	path := durableWALPath(t)
+	_, p1 := planFor(t, epochTestSrc, n, epochs)
+	if _, err := p1.SuperviseDurable(context.Background(), recovery.DefaultPolicy(), path); err != nil {
+		t.Fatal(err)
+	}
+	// Strike the parked log: one bit in the newest frame.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-9] ^= 0x08
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, p2 := planFor(t, epochTestSrc, n, epochs)
+	out, err := p2.SuperviseDurable(context.Background(), recovery.DefaultPolicy(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CorruptRecords == 0 {
+		t.Error("disk bit flip not reported as a corrupt record")
+	}
+	// Whether it resumed from an older record or started fresh, the final
+	// state must be the uninterrupted one — never silently wrong.
+	ref, rp := planFor(t, epochTestSrc, n, epochs)
+	runAll(t, rp)
+	refA, _ := ref.SnapshotFloats("A")
+	gotA, _ := m2.SnapshotFloats("A")
+	for i := range refA {
+		if gotA[i] != refA[i] {
+			t.Fatalf("A[%d] = %v, want %v", i, gotA[i], refA[i])
+		}
+	}
+	if *m2.Pair() != *ref.Pair() {
+		t.Error("pair differs after disk-fault recovery")
+	}
+}
+
+func TestFingerprintDistinguishesConfigurations(t *testing.T) {
+	_, p1 := planFor(t, epochTestSrc, 12, 4)
+	_, p2 := planFor(t, epochTestSrc, 12, 4)
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Error("identical configurations fingerprint differently")
+	}
+	_, p3 := planFor(t, epochTestSrc, 13, 4)
+	if p1.Fingerprint() == p3.Fingerprint() {
+		t.Error("different parameters share a fingerprint")
+	}
+	_, p4 := planFor(t, epochTestSrc, 12, 5)
+	if p1.Fingerprint() == p4.Fingerprint() {
+		t.Error("different epoch counts share a fingerprint")
+	}
+}

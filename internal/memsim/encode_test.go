@@ -1,0 +1,81 @@
+package memsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	m := New(6)
+	for i := 0; i < m.Size(); i++ {
+		m.Poke(i, uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	snap := m.Snapshot()
+	b, err := snap.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Len() != snap.Len() {
+		t.Fatalf("decoded %d words, want %d", got.Len(), snap.Len())
+	}
+
+	// Restoring the decoded snapshot into a scrambled memory reproduces the
+	// original contents exactly.
+	m2 := New(6)
+	for i := 0; i < m2.Size(); i++ {
+		m2.Poke(i, ^uint64(i))
+	}
+	if err := m2.Restore(got); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := 0; i < m.Size(); i++ {
+		if m2.Peek(i) != m.Peek(i) {
+			t.Fatalf("word %d: %#x != %#x", i, m2.Peek(i), m.Peek(i))
+		}
+	}
+
+	// Deterministic bytes.
+	b2, _ := snap.Encode()
+	if !bytes.Equal(b, b2) {
+		t.Fatal("two encodings of one snapshot differ")
+	}
+}
+
+func TestDecodeSnapshotRejectsCorruption(t *testing.T) {
+	m := New(3)
+	m.Poke(0, 0xdead)
+	m.Poke(2, 0xbeef)
+	snap := m.Snapshot()
+	b, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any single bit flip anywhere — count, words, digest — must be refused.
+	for pos := range b {
+		mut := append([]byte(nil), b...)
+		mut[pos] ^= 0x20
+		if _, err := DecodeSnapshot(mut); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCheckpointCorrupt", pos, err)
+		}
+	}
+	// Truncations and ragged lengths too.
+	for _, n := range []int{0, 7, 8, len(b) - 8, len(b) - 1} {
+		mut := make([]byte, n)
+		copy(mut, b)
+		if _, err := DecodeSnapshot(mut); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("len %d: err = %v, want ErrCheckpointCorrupt", n, err)
+		}
+	}
+}
+
+func TestEncodeUnsealedSnapshotFails(t *testing.T) {
+	var s Snapshot
+	if _, err := s.Encode(); err == nil {
+		t.Fatal("Encode of zero Snapshot succeeded")
+	}
+}

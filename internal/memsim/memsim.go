@@ -6,6 +6,7 @@
 package memsim
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -136,6 +137,49 @@ func digestWords(words []uint64) uint64 {
 		h ^= h >> 31
 	}
 	return h
+}
+
+// Encode renders a sealed snapshot in its stable binary form: a little-endian
+// uint64 word count, the words, and the integrity digest last.
+func (s *Snapshot) Encode() ([]byte, error) {
+	if !s.sealed {
+		return nil, errors.New("memsim: Encode of an unsealed Snapshot")
+	}
+	b := make([]byte, (len(s.words)+2)*8)
+	binary.LittleEndian.PutUint64(b, uint64(len(s.words)))
+	for i, w := range s.words {
+		binary.LittleEndian.PutUint64(b[(i+1)*8:], w)
+	}
+	binary.LittleEndian.PutUint64(b[(len(s.words)+1)*8:], s.digest)
+	return b, nil
+}
+
+// DecodeSnapshot parses the stable binary form and re-verifies the integrity
+// digest over the decoded words, so bytes corrupted at rest surface as
+// ErrCheckpointCorrupt instead of as silently wrong memory contents. On
+// success the snapshot is sealed and accepted by Restore.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	if len(b) < 16 || len(b)%8 != 0 {
+		return Snapshot{}, fmt.Errorf("memsim: DecodeSnapshot: %d bytes: %w", len(b), ErrCheckpointCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(b)
+	if n != uint64(len(b)/8-2) {
+		return Snapshot{}, fmt.Errorf("memsim: DecodeSnapshot: word count %d in %d bytes: %w",
+			n, len(b), ErrCheckpointCorrupt)
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(b[(i+1)*8:])
+	}
+	s := Snapshot{
+		words:  words,
+		digest: binary.LittleEndian.Uint64(b[(len(words)+1)*8:]),
+		sealed: true,
+	}
+	if err := s.Verify(); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
 }
 
 // Snapshot returns a sealed copy of the memory contents, for epoch

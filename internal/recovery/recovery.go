@@ -143,6 +143,18 @@ type Config struct {
 	// Classify maps a failed attempt's error to a failure mode. Nil (with
 	// nil IsDetection) uses DefaultClassify.
 	Classify func(error) FaultClass
+	// StartEpoch is the first epoch to execute (default 0). A durable
+	// supervisor that resumed state sealed at an epoch boundary sets it to
+	// the next epoch; the initial checkpoint is then the resumed state, so a
+	// full restart rewinds to the resume point, not to a state the process
+	// never held. StartEpoch == Epochs is legal and runs nothing (the prior
+	// process sealed the final epoch and died before reporting).
+	StartEpoch int
+	// Commit, when non-nil, is called after each epoch's verification
+	// succeeds, with the just-closed epoch index. It is the durability hook:
+	// a failure to persist is a terminal error (the run's recovery guarantee
+	// can no longer be honored), surfaced from Supervise.
+	Commit func(k int) error
 
 	Policy  Policy
 	Trace   telemetry.Sink
@@ -188,6 +200,9 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 	}
 	if cfg.Run == nil || cfg.Checkpoint == nil || cfg.Restore == nil {
 		return o, errors.New("recovery: Config needs Run, Checkpoint, and Restore")
+	}
+	if cfg.StartEpoch < 0 || cfg.StartEpoch > cfg.Epochs {
+		return o, fmt.Errorf("recovery: StartEpoch %d out of range [0,%d]", cfg.StartEpoch, cfg.Epochs)
 	}
 	classify := cfg.Classify
 	if classify == nil {
@@ -271,12 +286,13 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 			})
 			cfg.Metrics.Counter("defuse_recovery_degraded_total").Inc()
 		}
-		for k := 0; k < cfg.Epochs && !restart; k++ {
+		for k := cfg.StartEpoch; k < cfg.Epochs && !restart; k++ {
 			if err := ctx.Err(); err != nil {
 				return o, err
 			}
 			snap := cfg.Checkpoint()
 			retries := 0
+			verified := false
 			backoff := cfg.Policy.Backoff
 			for {
 				err := cfg.Run(k)
@@ -288,6 +304,7 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 				})
 				if err == nil {
 					verifications("ok").Inc()
+					verified = true
 					break
 				}
 				verifications("mismatch").Inc()
@@ -348,6 +365,11 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 				}
 				escalateRestart(k)
 				break
+			}
+			if verified && cfg.Commit != nil {
+				if cerr := cfg.Commit(k); cerr != nil {
+					return o, fmt.Errorf("recovery: commit of epoch %d: %w", k, cerr)
+				}
 			}
 		}
 		if !restart {

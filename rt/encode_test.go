@@ -1,0 +1,152 @@
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"defuse/internal/checksum"
+)
+
+// trackerWithHistory runs a short def/use trace so every accumulator, shadow,
+// and counter holds a nontrivial value.
+func trackerWithHistory() (*Tracker, *Counter) {
+	tr := NewTracker()
+	c := &Counter{}
+	Def(tr, 3.5, 2)
+	UseKnown(tr, 3.5)
+	UseKnown(tr, 3.5)
+	DefDyn(tr, c, 0.0, 7.25)
+	Use(tr, c, 7.25)
+	return tr, c
+}
+
+func TestEpochStateEncodeDecodeRoundTrip(t *testing.T) {
+	tr, _ := trackerWithHistory()
+	s := tr.BeginEpoch()
+	b, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(b) != EncodedEpochStateSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), EncodedEpochStateSize)
+	}
+	got, err := DecodeEpochState(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != s {
+		t.Fatalf("round trip changed state:\n got %+v\nwant %+v", got, s)
+	}
+	if !got.Sealed() {
+		t.Fatal("decoded snapshot not sealed")
+	}
+
+	// Resume into a fresh tracker must reproduce checksums, shadows, and
+	// operation counters exactly.
+	tr2 := NewTracker()
+	if err := tr2.Resume(got); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	d1, u1, ed1, eu1 := tr.Checksums()
+	d2, u2, ed2, eu2 := tr2.Checksums()
+	if d1 != d2 || u1 != u2 || ed1 != ed2 || eu1 != eu2 {
+		t.Fatal("resumed checksums differ")
+	}
+	if tr.ShadowCopies() != tr2.ShadowCopies() {
+		t.Fatal("resumed shadow copies differ")
+	}
+	defs1, uses1 := tr.OpCounts()
+	defs2, uses2 := tr2.OpCounts()
+	if defs1 != defs2 || uses1 != uses2 {
+		t.Fatal("resumed op counts differ")
+	}
+}
+
+func TestEncodeUnsealedEpochStateFails(t *testing.T) {
+	if _, err := (EpochState{}).Encode(); err == nil {
+		t.Fatal("Encode of zero EpochState succeeded")
+	}
+}
+
+func TestDecodeEpochStateRejectsEveryBitFlip(t *testing.T) {
+	tr, _ := trackerWithHistory()
+	b, err := tr.BeginEpoch().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range b {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), b...)
+			mut[pos] ^= 1 << bit
+			if _, err := DecodeEpochState(mut); !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("flip byte %d bit %d: err = %v, want ErrCheckpointCorrupt", pos, bit, err)
+			}
+		}
+	}
+	// Truncation and padding are corrupt too, never a panic.
+	for _, n := range []int{0, 8, len(b) - 1, len(b) + 8} {
+		mut := make([]byte, n)
+		copy(mut, b)
+		if _, err := DecodeEpochState(mut); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("len %d: err = %v, want ErrCheckpointCorrupt", n, err)
+		}
+	}
+}
+
+func TestDetectorFaultEvidenceSurvivesEncodeDecode(t *testing.T) {
+	tr, _ := trackerWithHistory()
+	tr.CorruptAccumulator(checksum.AccUse, 9)
+	if tr.ScrubDetector() == nil {
+		t.Fatal("corrupted tracker scrubs clean")
+	}
+	b, err := tr.BeginEpoch().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeEpochState(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	tr2 := NewTracker()
+	if err := tr2.Resume(s); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	err = tr2.ScrubDetector()
+	var dfe *DetectorFaultError
+	if !errors.As(err, &dfe) {
+		t.Fatalf("resumed tracker scrub = %v, want the surviving detector fault", err)
+	}
+}
+
+func TestCounterStateRoundTrip(t *testing.T) {
+	_, c := trackerWithHistory()
+	packed, enc := c.State()
+	var c2 Counter
+	c2.SetState(packed, enc)
+	if c2 != *c {
+		t.Fatalf("round trip: %+v != %+v", c2, *c)
+	}
+	if err := c2.Scrub(); err != nil {
+		t.Fatalf("consistent counter scrubs dirty: %v", err)
+	}
+
+	// A diverged counter (fault evidence) must survive verbatim.
+	CorruptCounter(c, 3)
+	packed, enc = c.State()
+	var c3 Counter
+	c3.SetState(packed, enc)
+	if c3.Scrub() == nil {
+		t.Fatal("divergence laundered by SetState")
+	}
+}
+
+func TestEpochStateEncodeIsDeterministic(t *testing.T) {
+	tr, _ := trackerWithHistory()
+	s := tr.BeginEpoch()
+	a, _ := s.Encode()
+	b, _ := s.Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of one snapshot differ")
+	}
+}

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -35,6 +36,12 @@ type EpochState struct {
 	Def, Use, EDef, EUse uint64
 	// Defs and Uses are the cumulative dynamic def/use operation counts.
 	Defs, Uses uint64
+	// Shadow holds the raw (encoded) shadow copies of the four accumulators,
+	// indexed by checksum.Acc, captured exactly as they were at seal time.
+	// Restoring them verbatim (rather than resealing from the primaries)
+	// means a primary/shadow divergence — detector-fault evidence — survives
+	// a checkpoint round trip, including across a process restart.
+	Shadow [4]uint64
 
 	sealed bool
 	digest uint64
@@ -57,7 +64,10 @@ func mix64(x uint64) uint64 {
 // the digest order-sensitive, so swapping two accumulators is caught too.
 func (s *EpochState) computeDigest() uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
-	for _, w := range [...]uint64{uint64(s.Index), s.Def, s.Use, s.EDef, s.EUse, s.Defs, s.Uses} {
+	for _, w := range [...]uint64{
+		uint64(s.Index), s.Def, s.Use, s.EDef, s.EUse, s.Defs, s.Uses,
+		s.Shadow[0], s.Shadow[1], s.Shadow[2], s.Shadow[3],
+	} {
 		h = mix64(h ^ w)
 	}
 	return h
@@ -76,6 +86,53 @@ func (s EpochState) Verify() error {
 	return nil
 }
 
+// EncodedEpochStateSize is the length of an EpochState's stable binary form:
+// twelve little-endian uint64 words (index, four accumulators, two operation
+// counters, four shadow words, digest).
+const EncodedEpochStateSize = 12 * 8
+
+// Encode renders a sealed snapshot in its stable binary form, digest last.
+// The layout is versioned implicitly by the WAL file magic; the digest both
+// authenticates the decoded fields and pins the field order.
+func (s EpochState) Encode() ([]byte, error) {
+	if !s.sealed {
+		return nil, errors.New("rt: Encode of an unsealed EpochState")
+	}
+	b := make([]byte, EncodedEpochStateSize)
+	for i, w := range [...]uint64{
+		uint64(s.Index), s.Def, s.Use, s.EDef, s.EUse, s.Defs, s.Uses,
+		s.Shadow[0], s.Shadow[1], s.Shadow[2], s.Shadow[3], s.digest,
+	} {
+		binary.LittleEndian.PutUint64(b[i*8:], w)
+	}
+	return b, nil
+}
+
+// DecodeEpochState parses the stable binary form and re-verifies the
+// integrity digest against the decoded fields, so corruption of the bytes at
+// rest (on disk, in a WAL frame that passed its CRC by coincidence) surfaces
+// as ErrCheckpointCorrupt rather than as silently wrong tracker state. On
+// success the snapshot is sealed and accepted by Resume/Rollback.
+func DecodeEpochState(b []byte) (EpochState, error) {
+	if len(b) != EncodedEpochStateSize {
+		return EpochState{}, fmt.Errorf("rt: DecodeEpochState: %d bytes, want %d: %w",
+			len(b), EncodedEpochStateSize, ErrCheckpointCorrupt)
+	}
+	w := func(i int) uint64 { return binary.LittleEndian.Uint64(b[i*8:]) }
+	s := EpochState{
+		Index: int(int64(w(0))),
+		Def:   w(1), Use: w(2), EDef: w(3), EUse: w(4),
+		Defs: w(5), Uses: w(6),
+		Shadow: [4]uint64{w(7), w(8), w(9), w(10)},
+		sealed: true,
+		digest: w(11),
+	}
+	if err := s.Verify(); err != nil {
+		return EpochState{}, err
+	}
+	return s, nil
+}
+
 // snapshot captures the tracker's current state as a sealed EpochState.
 func (t *Tracker) snapshot() EpochState {
 	s := EpochState{
@@ -83,6 +140,7 @@ func (t *Tracker) snapshot() EpochState {
 		Def:   t.pair.Def, Use: t.pair.Use,
 		EDef: t.pair.EDef, EUse: t.pair.EUse,
 		Defs: t.defs, Uses: t.uses,
+		Shadow: t.pair.Shadows(),
 		sealed: true,
 	}
 	s.digest = s.computeDigest()
@@ -145,11 +203,24 @@ func (t *Tracker) RollbackUnchecked(s EpochState) error {
 }
 
 func (t *Tracker) restore(s EpochState) {
-	// Route through SetAccumulators so the Pair's shadow copies are resealed
-	// in step with the primaries; writing the exported fields directly would
-	// strand stale shadows and make the next Scrub report a phantom fault.
-	t.pair.SetAccumulators(s.Def, s.Use, s.EDef, s.EUse)
+	// Install the shadow copies exactly as sealed rather than resealing from
+	// the primaries: a consistent snapshot restores to a consistent pair
+	// either way, but a divergence captured at seal time (detector-fault
+	// evidence) must survive the round trip — resealing would launder it.
+	t.pair.SetState(s.Def, s.Use, s.EDef, s.EUse, s.Shadow)
 	t.defs, t.uses = s.Defs, s.Uses
 	t.epoch = s.Index
 	t.latched = nil
+}
+
+// Resume is Rollback for a snapshot that crossed a process boundary: it
+// verifies the snapshot's integrity digest and installs it as the tracker's
+// state (checksums, exact shadow copies, operation counters, epoch index).
+// It is the entry point the durable supervisor uses after DecodeEpochState.
+func (t *Tracker) Resume(s EpochState) error {
+	if err := s.Verify(); err != nil {
+		return fmt.Errorf("rt: Resume: %w", err)
+	}
+	t.restore(s)
+	return nil
 }

@@ -79,6 +79,21 @@ func (c *Counter) packed() uint64 {
 	return p
 }
 
+// State returns both copies of the counter verbatim: the packed primary
+// (count shifted left of the defined flag) and the rotated redundant copy.
+// Durable checkpoints persist both so that a divergence — detector-fault
+// evidence — survives a process restart exactly as it stood.
+func (c *Counter) State() (packed, enc uint64) { return c.packed(), c.enc }
+
+// SetState installs both copies verbatim, the inverse of State. It does not
+// re-derive enc from packed: that would launder a corrupted primary into the
+// redundant copy. The caller vouches for the bytes (checkpoint digest).
+func (c *Counter) SetState(packed, enc uint64) {
+	c.n = int64(packed >> 1)
+	c.defined = packed&1 == 1
+	c.enc = enc
+}
+
 // Scrub cross-checks the counter's two copies. A non-nil result is a
 // *DetectorFaultError: a fault struck the detector's own bookkeeping.
 func (c *Counter) Scrub() error {

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// FlushOnSignal installs a SIGINT/SIGTERM handler that runs finish — the
+// flush/close function returned by Setup — before the process dies, so a
+// buffered JSON-lines trace from an interrupted run is never silently
+// truncated. skip is the number of signals to let pass (a CLI that cancels a
+// context gracefully on the first signal and flushes on its normal exit path
+// passes 1; one with no handling of its own passes 0); the signal after that
+// flushes and exits with the conventional 128+signo status. The returned stop
+// function uninstalls the handler; call it once the normal exit path has
+// taken responsibility for flushing.
+func FlushOnSignal(skip int, finish func() error) (stop func()) {
+	ch := make(chan os.Signal, skip+2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		seen := 0
+		for {
+			select {
+			case sig := <-ch:
+				seen++
+				if seen <= skip {
+					continue
+				}
+				_ = finish()
+				code := 128 + 15
+				if sig == os.Interrupt {
+					code = 128 + 2
+				}
+				os.Exit(code)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}

@@ -82,6 +82,24 @@ const (
 	// into the root so the sealed view covers all concurrent work
 	// (fields: shards — how many were merged).
 	EvShardDrain = "shard.drain"
+	// EvWALSeal reports one durable checkpoint record fsynced to the
+	// write-ahead log (fields: epoch, bytes, seconds, seq).
+	EvWALSeal = "wal.seal"
+	// EvWALRecover reports a startup resume from a durable checkpoint
+	// (fields: epoch, records, bytes).
+	EvWALRecover = "wal.recover"
+	// EvWALTornTail reports a truncated final WAL frame discarded at
+	// recovery — the previous process died mid-seal (fields: bytes).
+	EvWALTornTail = "wal.torn_tail"
+	// EvWALCorrupt reports a WAL record refused at recovery: a complete
+	// frame failed its CRC or a payload failed its integrity digest
+	// (fields: error).
+	EvWALCorrupt = "wal.corrupt"
+	// EvCrashTrial reports one process-level crash-injection trial: the child
+	// was SIGKILLed at crash_step, restarted, and compared against an
+	// uninterrupted run (fields: cell, trial, crash_step, resumed,
+	// resume_epoch, torn_tail, corrupt_records, identical).
+	EvCrashTrial = "crash.trial"
 )
 
 // Event is one structured telemetry record.
