@@ -7,12 +7,17 @@
 // Usage:
 //
 //	defusec [-split] [-inspector] [-analyze] [-run] [-param n=100,...] \
-//	        [-inject step:array:index:bit] [-trace events.jsonl] [-metrics out] file.dl
+//	        [-inject step:array:index:bit] [-trace events.jsonl] [-metrics out] \
+//	        [-serve addr] [-flight dump.json] [-chrome trace.json] file.dl
 //
 // With no file the program is read from standard input. -trace streams
 // structured events (compile.phase, plan.chosen, fault.injected, detection,
 // verify.*) as JSON lines; -metrics writes a final metrics snapshot (JSON if
-// the path ends in .json, Prometheus text otherwise).
+// the path ends in .json, Prometheus text otherwise). -serve exposes the
+// live telemetry endpoint (/metrics, /events, /flight, /trace, pprof),
+// -flight arms the crash flight recorder (the recent span/event ring dumps
+// there on detection or exit), and -chrome writes the recorded spans as
+// Chrome trace-event JSON loadable in Perfetto.
 package main
 
 import (
@@ -48,19 +53,31 @@ func main() {
 	flag.StringVar(&o.inject, "inject", "", "inject a fault: step:array:flatIndex:bit")
 	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
 	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
+	serve := flag.String("serve", "", "serve live telemetry (metrics, events, flight ring, pprof) on this host:port")
+	flight := flag.String("flight", "", "arm the flight recorder: dump the recent span/event ring to this file on fault or exit")
+	chrome := flag.String("chrome", "", "write recorded spans as Chrome trace-event JSON (Perfetto-loadable)")
 	flag.Parse()
 	o.file = flag.Arg(0)
 
-	sink, reg, finish, err := telemetry.Setup(*trace, *metrics)
+	obs, err := telemetry.SetupObs(telemetry.ObsConfig{
+		TracePath:   *trace,
+		MetricsPath: *metrics,
+		FlightPath:  *flight,
+		ChromePath:  *chrome,
+		ServeAddr:   *serve,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	// A SIGINT/SIGTERM flushes the telemetry sinks before the process dies,
-	// so a partial trace file still ends on a complete line.
-	unflush := telemetry.FlushOnSignal(0, finish)
-	err = compile(o, sink, reg)
+	if obs.Server != nil {
+		fmt.Fprintf(os.Stderr, "defusec: serving telemetry on http://%s\n", obs.Server.Addr())
+	}
+	// A SIGINT/SIGTERM flushes and dumps the telemetry artifacts before the
+	// process dies, so a partial trace file still ends on a complete line.
+	unflush := telemetry.FlushOnSignal(0, obs.Finish)
+	err = compile(o, obs)
 	unflush()
-	if ferr := finish(); err == nil {
+	if ferr := obs.Finish(); err == nil {
 		err = ferr
 	}
 	if err != nil {
@@ -68,7 +85,8 @@ func main() {
 	}
 }
 
-func compile(o options, sink telemetry.Sink, reg *telemetry.Registry) error {
+func compile(o options, obs *telemetry.Obs) error {
+	sink, reg := obs.Sink, obs.Metrics
 	src, err := readInput(o.file)
 	if err != nil {
 		return err
@@ -98,7 +116,8 @@ func compile(o options, sink telemetry.Sink, reg *telemetry.Registry) error {
 	if err != nil {
 		return err
 	}
-	m, err := interp.New(res.Prog, pv, interp.WithTrace(sink), interp.WithMetrics(reg))
+	m, err := interp.New(res.Prog, pv,
+		interp.WithTrace(sink), interp.WithMetrics(reg), interp.WithTracer(obs.Tracer))
 	if err != nil {
 		return err
 	}
@@ -107,7 +126,11 @@ func compile(o options, sink telemetry.Sink, reg *telemetry.Registry) error {
 			return err
 		}
 	}
+	span := obs.Tracer.Start(telemetry.SpanContext{}, "run",
+		telemetry.String("program", prog.Name),
+		telemetry.Bool("injected", o.inject != ""))
 	err = m.Run()
+	span.EndErr(err)
 	var de *interp.DetectionError
 	switch {
 	case errors.As(err, &de):

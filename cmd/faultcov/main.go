@@ -10,7 +10,8 @@
 //	         [-epochs 0] [-endonly] [-recover] [-workers 0] [-timeout 0] \
 //	         [-target data] [-detector unhardened] [-gate] \
 //	         [-resume checkpoint.json] [-json out.json] \
-//	         [-trace events.jsonl] [-metrics out]
+//	         [-trace events.jsonl] [-metrics out] \
+//	         [-serve addr] [-flight dump.json] [-chrome trace.json]
 //
 // The paper uses 100,000 trials; -trials 10000 gives the same shape in
 // seconds rather than minutes. Trials run on a worker pool (-workers, default
@@ -46,6 +47,14 @@
 // flipped word/bit coordinates) plus verification outcomes; select a single
 // cell (one size, one flip count, one pattern, one scheme) to get exactly
 // -trials injection events.
+//
+// -serve starts the live telemetry endpoint (/metrics, /events, /flight,
+// /trace, /debug/pprof) for watching a long campaign. -flight arms the crash
+// flight recorder: the most recent spans and events are kept in a fixed ring
+// and dumped to the named file automatically when a trial detects a fault in
+// the detector itself, sees checkpoint or WAL corruption, or the process is
+// signalled. -chrome writes the per-trial and supervisor spans as Chrome
+// trace-event JSON loadable in Perfetto.
 //
 // -crash N switches to the process-level crash campaign: each trial runs the
 // durable (WAL-checkpointing) epoch workload in a child process — faultcov
@@ -127,20 +136,38 @@ func main() {
 	flag.StringVar(&o.walDir, "wal", "", "with -crash: scratch directory for the per-trial write-ahead logs (default: a removed temp dir)")
 	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
 	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
+	serve := flag.String("serve", "", "serve live telemetry (metrics, events, flight ring, pprof) on this host:port")
+	flight := flag.String("flight", "", "arm the flight recorder: dump the recent span/event ring to this file on fault or exit")
+	chrome := flag.String("chrome", "", "write recorded spans as Chrome trace-event JSON (Perfetto-loadable)")
 	flag.Parse()
 
-	sink, reg, finish, err := telemetry.Setup(*trace, *metrics)
+	obs, err := telemetry.SetupObs(telemetry.ObsConfig{
+		TracePath:   *trace,
+		MetricsPath: *metrics,
+		FlightPath:  *flight,
+		ChromePath:  *chrome,
+		ServeAddr:   *serve,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	if obs.Server != nil {
+		fmt.Fprintf(os.Stderr, "faultcov: serving telemetry on http://%s\n", obs.Server.Addr())
+	}
 	// The first SIGINT/SIGTERM cancels the context for a graceful, resumable
-	// shutdown; a second one force-flushes the telemetry sinks and exits.
-	unflush := telemetry.FlushOnSignal(1, finish)
+	// shutdown — and flushes the telemetry artifacts (JSONL buffer, flight
+	// ring, metrics, Chrome trace) so they survive even a later SIGKILL; a
+	// second signal finishes the sinks and exits immediately.
+	unflush := telemetry.FlushOnSignal(1, obs.Finish, func() {
+		if err := obs.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "faultcov: telemetry flush:", err)
+		}
+	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	err = run(ctx, o, sink, reg)
+	err = run(ctx, o, obs)
 	stop()
 	unflush()
-	if ferr := finish(); err == nil {
+	if ferr := obs.Finish(); err == nil {
 		err = ferr
 	}
 	if err != nil {
@@ -148,7 +175,8 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, o options, sink telemetry.Sink, reg *telemetry.Registry) error {
+func run(ctx context.Context, o options, obs *telemetry.Obs) error {
+	sink, reg := obs.Sink, obs.Metrics
 	kind, err := parseKind(o.op)
 	if err != nil {
 		return err
@@ -199,7 +227,7 @@ func run(ctx context.Context, o options, sink telemetry.Sink, reg *telemetry.Reg
 								Epochs: o.epochs, EndOnlyVerify: o.endOnly,
 								Recover: o.epochs > 0 && o.recover,
 								Target:  tgt, Hardened: hardened,
-								Trace: sink, Metrics: reg,
+								Trace: sink, Metrics: reg, Tracer: obs.Tracer,
 							})
 						}
 					}

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	goinstr [-funcs f,g] [-o out.go] file.go
+//	goinstr [-funcs f,g] [-o out.go] [-serve addr] file.go
 //
 // The instrumented source is written to -o (default: standard output). The
-// consuming module must be able to import defuse/rt.
+// consuming module must be able to import defuse/rt. -serve exposes the live
+// telemetry endpoint (/metrics, /trace, /debug/pprof) for the duration of
+// the instrumentation — useful for profiling the rewriter on large inputs.
 package main
 
 import (
@@ -18,15 +20,24 @@ import (
 	"strings"
 
 	"defuse/internal/goinstr"
+	"defuse/telemetry"
 )
 
 func main() {
 	funcs := flag.String("funcs", "", "comma-separated functions to instrument (default: all)")
 	out := flag.String("o", "", "output file (default stdout)")
+	serve := flag.String("serve", "", "serve live telemetry (metrics, spans, pprof) on this host:port while instrumenting")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: goinstr [-funcs f,g] [-o out.go] file.go")
+		fmt.Fprintln(os.Stderr, "usage: goinstr [-funcs f,g] [-o out.go] [-serve addr] file.go")
 		os.Exit(2)
+	}
+	obs, err := telemetry.SetupObs(telemetry.ObsConfig{ServeAddr: *serve})
+	if err != nil {
+		fatal(err)
+	}
+	if obs.Server != nil {
+		fmt.Fprintf(os.Stderr, "goinstr: serving telemetry on http://%s\n", obs.Server.Addr())
 	}
 	path := flag.Arg(0)
 	src, err := os.ReadFile(path)
@@ -37,7 +48,10 @@ func main() {
 	if *funcs != "" {
 		opt.Funcs = strings.Split(*funcs, ",")
 	}
+	span := obs.Tracer.Start(telemetry.SpanContext{}, "goinstr.instrument",
+		telemetry.String("file", path), telemetry.Int("bytes", len(src)))
 	res, rep, err := goinstr.Instrument(path, string(src), opt)
+	span.EndErr(err)
 	if err != nil {
 		fatal(err)
 	}
@@ -48,6 +62,9 @@ func main() {
 		for v, why := range sk {
 			fmt.Fprintf(os.Stderr, "# %s: skipped %s (%s)\n", fn, v, why)
 		}
+	}
+	if err := obs.Finish(); err != nil {
+		fatal(err)
 	}
 	if *out == "" {
 		fmt.Print(res)

@@ -8,7 +8,8 @@
 //	overhead [-fig 10|11|all] [-scale 0.01] [-bench name] [-list] \
 //	         [-parallel N] [-json] [-json-out BENCH_overhead.json] \
 //	         [-wal dir] [-wal-epochs 8] \
-//	         [-trace events.jsonl] [-metrics out]
+//	         [-trace events.jsonl] [-metrics out] \
+//	         [-serve addr] [-flight dump.json] [-chrome trace.json] [-linger]
 //
 // -wal switches to the durability measurement: each kernel runs once under
 // plain epoch supervision and once with crash-consistent WAL checkpoints
@@ -19,11 +20,19 @@
 // Scale multiplies the paper's problem sizes; the kernels execute on the
 // package's instruction-counting interpreter, so the op-count columns are
 // deterministic and machine-independent. -json additionally writes the
-// machine-readable overhead report (schema defuse/overhead/v1) for
-// regression tracking across commits. -parallel N runs the parallel-safe
-// kernels through the sharded executor at worker counts 1,2,4,...,N and
-// appends the scaling curve (wall-clock and deterministic critical-path
-// speedups) to the report.
+// machine-readable overhead report (schema defuse/overhead/v2) for
+// regression tracking across commits, including histogram-derived
+// p50/p99/p999 quantiles for epoch-verification cost and detection latency
+// (measured by a small supervised fault-injection probe). -parallel N runs
+// the parallel-safe kernels through the sharded executor at worker counts
+// 1,2,4,...,N and appends the scaling curve (wall-clock and deterministic
+// critical-path speedups) to the report.
+//
+// -serve starts the live telemetry endpoint (/metrics, /events, /flight,
+// /trace, /debug/pprof); -linger keeps it up after the measurements finish
+// until SIGINT/SIGTERM. -flight arms the crash flight recorder (the span and
+// event ring dumps there on fault detection or exit) and -chrome writes the
+// recorded spans as Chrome trace-event JSON loadable in Perfetto.
 package main
 
 import (
@@ -33,6 +42,8 @@ import (
 	"os"
 
 	"defuse/internal/bench"
+	"defuse/internal/checksum"
+	"defuse/internal/faults"
 	"defuse/telemetry"
 )
 
@@ -48,6 +59,10 @@ func main() {
 	walEpochs := flag.Int("wal-epochs", 8, "with -wal: epochs (checkpoint seals) per benchmark run")
 	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
 	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
+	serve := flag.String("serve", "", "serve live telemetry (metrics, events, flight ring, pprof) on this host:port")
+	flight := flag.String("flight", "", "arm the flight recorder: dump the recent span/event ring to this file on fault or exit")
+	chrome := flag.String("chrome", "", "write recorded spans as Chrome trace-event JSON (Perfetto-loadable)")
+	linger := flag.Bool("linger", false, "with -serve: keep serving after the run until SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *list {
@@ -58,17 +73,31 @@ func main() {
 		return
 	}
 
-	sink, reg, finish, err := telemetry.Setup(*trace, *metrics)
+	obs, err := telemetry.SetupObs(telemetry.ObsConfig{
+		TracePath:   *trace,
+		MetricsPath: *metrics,
+		FlightPath:  *flight,
+		ChromePath:  *chrome,
+		ServeAddr:   *serve,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	// A SIGINT/SIGTERM flushes the telemetry sinks before the process dies,
-	// so a partial trace file still ends on a complete line.
-	unflush := telemetry.FlushOnSignal(0, finish)
+	if obs.Server != nil {
+		fmt.Fprintf(os.Stderr, "overhead: serving telemetry on http://%s\n", obs.Server.Addr())
+	}
+	// A SIGINT/SIGTERM flushes and dumps every armed artifact (JSONL trace,
+	// flight ring, metrics, Chrome trace) before the process dies, so a
+	// partial run still leaves complete, parseable files behind.
+	unflush := telemetry.FlushOnSignal(0, obs.Finish)
 	err = run(*fig, *scale, *one, *parallel, *jsonOut, *jsonPath, *wal, *walEpochs,
-		bench.Telemetry{Trace: sink, Metrics: reg})
+		bench.Telemetry{Trace: obs.Sink, Metrics: obs.Metrics, Tracer: obs.Tracer})
+	if err == nil && *linger && obs.Server != nil {
+		fmt.Fprintln(os.Stderr, "overhead: lingering; interrupt to exit")
+		select {} // the signal handler owns shutdown from here
+	}
 	unflush()
-	if ferr := finish(); err == nil {
+	if ferr := obs.Finish(); err == nil {
 		err = ferr
 	}
 	if err != nil {
@@ -153,6 +182,11 @@ func run(fig string, scale float64, one string, parallel int, jsonOut bool, json
 			return err
 		}
 		rep.Scaling = scaling
+		snap, err := runQuantileProbe(tel)
+		if err != nil {
+			return err
+		}
+		rep.AttachQuantiles(snap)
 		f, err := os.Create(jsonPath)
 		if err != nil {
 			return err
@@ -167,6 +201,41 @@ func run(fig string, scale float64, one string, parallel int, jsonOut bool, json
 		fmt.Fprintf(os.Stderr, "overhead: wrote %s\n", jsonPath)
 	}
 	return nil
+}
+
+// runQuantileProbe fills the epoch-verify and detection-latency histograms
+// behind the v2 report's quantiles block by running a small supervised
+// fault-injection cell: every trial exercises the epoch-boundary Verify path
+// (timing defuse_epoch_verify_seconds) and every detection lands in
+// defuse_detection_latency_epochs. The trial count is deliberately small —
+// the probe characterizes latency distributions, not coverage rates.
+func runQuantileProbe(tel bench.Telemetry) (telemetry.Snapshot, error) {
+	reg := tel.Metrics
+	if reg == nil {
+		// No -metrics/-serve: the quantiles still need a registry to
+		// accumulate in; it lives only for the probe.
+		reg = telemetry.NewRegistry()
+	}
+	res, err := faults.RunCoverage(faults.CoverageConfig{
+		Kind:     checksum.ModAdd,
+		Words:    32,
+		BitFlips: 1,
+		Pattern:  faults.Random,
+		Trials:   256,
+		Seed:     1,
+		Epochs:   6,
+		Recover:  true,
+		Trace:    tel.Trace,
+		Metrics:  reg,
+		Tracer:   tel.Tracer,
+	})
+	if err != nil {
+		return telemetry.Snapshot{}, fmt.Errorf("overhead: quantile probe: %w", err)
+	}
+	if res.Detected == 0 {
+		return telemetry.Snapshot{}, fmt.Errorf("overhead: quantile probe detected 0/%d injected faults", res.Trials)
+	}
+	return reg.Snapshot(), nil
 }
 
 // runDurable measures the durability tax: epoch-supervised baseline vs

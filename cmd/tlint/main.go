@@ -1,0 +1,26 @@
+// Command tlint lints Prometheus text-format metrics read from standard
+// input: every family must carry a TYPE line, histogram bucket series must be
+// cumulative with a +Inf bucket matching _count, and _sum/_count pairs must
+// be consistent. It is the CI check behind the live /metrics endpoint — a
+// serving binary's scrape is piped through tlint to catch malformed output
+// before a real Prometheus server would.
+//
+// Usage:
+//
+//	curl -s http://addr/metrics | tlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"defuse/telemetry"
+)
+
+func main() {
+	if err := telemetry.Lint(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "tlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tlint: ok")
+}

@@ -50,7 +50,8 @@ func RunDurable(b *Benchmark, scale float64, epochs int, walDir string, tel Tele
 		prog := b.Program()
 		params := b.Params(scale)
 		m, err := interp.New(prog, params,
-			interp.WithTrace(tel.Trace), interp.WithMetrics(tel.Metrics))
+			interp.WithTrace(tel.Trace), interp.WithMetrics(tel.Metrics),
+			interp.WithTracer(tel.Tracer))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"defuse/telemetry"
 )
 
 // This file defines the machine-readable overhead record written by
@@ -13,8 +15,10 @@ import (
 // format, so Figure 10/11 overhead claims can be regression-tracked across
 // PRs instead of living only in terminal scrollback.
 
-// OverheadSchema identifies the BENCH_overhead.json format version.
-const OverheadSchema = "defuse/overhead/v1"
+// OverheadSchema identifies the BENCH_overhead.json format version. v2 adds
+// the optional quantiles block (epoch-verify latency and detection latency
+// distributions); every v1 field is carried forward unchanged.
+const OverheadSchema = "defuse/overhead/v2"
 
 // OverheadRow is one benchmark's measurements across the three variants.
 type OverheadRow struct {
@@ -34,6 +38,15 @@ type OverheadGeomean struct {
 	HWEstimate   float64 `json:"hw_estimate"`
 }
 
+// OverheadQuantiles carries the latency distributions behind the headline
+// geomeans: how long a boundary verification takes in wall-clock terms, and
+// how many epochs a detection lags its injection, both summarized as
+// histogram-derived p50/p99/p999. New in defuse/overhead/v2.
+type OverheadQuantiles struct {
+	EpochVerifySeconds     *telemetry.QuantileSummary `json:"epoch_verify_seconds,omitempty"`
+	DetectionLatencyEpochs *telemetry.QuantileSummary `json:"detection_latency_epochs,omitempty"`
+}
+
 // OverheadReport is the full BENCH_overhead.json document.
 type OverheadReport struct {
 	Schema      string          `json:"schema"`
@@ -44,6 +57,26 @@ type OverheadReport struct {
 	// Scaling holds the parallel executor's scaling curve (one row per
 	// benchmark × worker count), present when -parallel was requested.
 	Scaling []ScalingRow `json:"scaling,omitempty"`
+	// Quantiles is present when the run recorded the relevant histograms
+	// (cmd/overhead -json runs a small supervised fault probe to fill it).
+	Quantiles *OverheadQuantiles `json:"quantiles,omitempty"`
+}
+
+// AttachQuantiles pulls the epoch-verify and detection-latency families out
+// of a metrics snapshot and records their quantile summaries on the report.
+// Families that recorded no observations are left out rather than reported
+// as zeros.
+func (r *OverheadReport) AttachQuantiles(snap telemetry.Snapshot) {
+	q := &OverheadQuantiles{}
+	if s, ok := snap.FamilyQuantiles("defuse_epoch_verify_seconds"); ok {
+		q.EpochVerifySeconds = &s
+	}
+	if s, ok := snap.FamilyQuantiles("defuse_detection_latency_epochs"); ok {
+		q.DetectionLatencyEpochs = &s
+	}
+	if q.EpochVerifySeconds != nil || q.DetectionLatencyEpochs != nil {
+		r.Quantiles = q
+	}
 }
 
 // BuildOverheadReport merges Figure 10 and Figure 11 rows into one report.

@@ -19,6 +19,9 @@ import (
 type Telemetry struct {
 	Trace   telemetry.Sink
 	Metrics *telemetry.Registry
+	// Tracer records causally linked spans (bench.run roots with supervised
+	// epoch/recovery/WAL children). Nil is free.
+	Tracer *telemetry.Tracer
 }
 
 // Variant names the three compilation modes of Figure 10.
@@ -90,16 +93,21 @@ func (b *Benchmark) RunWith(v Variant, scale float64, tel Telemetry) (*RunResult
 	}
 	params := b.Params(scale)
 	m, err := interp.New(prog, params,
-		interp.WithTrace(tel.Trace), interp.WithMetrics(tel.Metrics))
+		interp.WithTrace(tel.Trace), interp.WithMetrics(tel.Metrics),
+		interp.WithTracer(tel.Tracer))
 	if err != nil {
 		return nil, err
 	}
 	b.Init(m, params)
+	span := tel.Tracer.Start(telemetry.SpanContext{}, "bench.run",
+		telemetry.String("bench", b.Name), telemetry.String("variant", string(v)))
 	start := time.Now()
 	if err := m.Run(); err != nil {
+		span.EndErr(err)
 		return nil, fmt.Errorf("bench: %s/%s: %w", b.Name, v, err)
 	}
 	dur := time.Since(start)
+	span.EndErr(nil)
 	tel.Metrics.Histogram("defuse_bench_run_seconds", telemetry.DefBuckets(),
 		telemetry.Label{Key: "bench", Value: b.Name},
 		telemetry.Label{Key: "variant", Value: string(v)}).Observe(dur.Seconds())

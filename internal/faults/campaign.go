@@ -32,8 +32,10 @@ const DefaultChunkSize = 256
 // CampaignSchema identifies the campaign result JSON document.
 const CampaignSchema = "defuse/faultcov/v2"
 
-// checkpointSchema identifies the resume checkpoint JSON document.
-const checkpointSchema = "defuse/faultcov-checkpoint/v1"
+// checkpointSchema identifies the resume checkpoint JSON document. v2 added
+// the per-chunk detection-latency histogram; a v1 checkpoint would silently
+// undercount the merged distribution, so it is refused rather than resumed.
+const checkpointSchema = "defuse/faultcov-checkpoint/v2"
 
 // Campaign runs a set of coverage cells on a worker pool.
 type Campaign struct {
@@ -152,16 +154,61 @@ type CellReport struct {
 	Detected             int     `json:"detected"`
 	MeanDetectionLatency float64 `json:"mean_detection_latency_epochs"`
 	MaxDetectionLatency  int     `json:"max_detection_latency_epochs"`
-	Recovered            int     `json:"recovered"`
-	RecoverySuccessRate  float64 `json:"recovery_success_rate"`
-	Tainted              int     `json:"tainted"`
-	Retries              int64   `json:"retries"`
-	Restarts             int64   `json:"restarts"`
-	Rebuilds             int64   `json:"rebuilds,omitempty"`
-	DetectorFaults       int64   `json:"detector_faults,omitempty"`
-	CheckpointFaults     int64   `json:"checkpoint_faults,omitempty"`
-	FalseNegatives       int     `json:"false_negatives,omitempty"`
-	FalsePositives       int     `json:"false_positives,omitempty"`
+	// DetectionLatency is the full per-cell latency distribution (cumulative
+	// buckets over epoch bounds plus interpolated quantiles); present for
+	// epoch cells with at least one detection.
+	DetectionLatency    *LatencyReport `json:"detection_latency,omitempty"`
+	Recovered           int            `json:"recovered"`
+	RecoverySuccessRate float64        `json:"recovery_success_rate"`
+	Tainted             int            `json:"tainted"`
+	Retries             int64          `json:"retries"`
+	Restarts            int64          `json:"restarts"`
+	Rebuilds            int64          `json:"rebuilds,omitempty"`
+	DetectorFaults      int64          `json:"detector_faults,omitempty"`
+	CheckpointFaults    int64          `json:"checkpoint_faults,omitempty"`
+	FalseNegatives      int            `json:"false_negatives,omitempty"`
+	FalsePositives      int            `json:"false_positives,omitempty"`
+}
+
+// LatencyReport is a detection-latency histogram in report form: cumulative
+// bucket counts over telemetry.EpochBuckets (Prometheus-style, with a
+// closing +Inf bucket) and interpolated p50/p99/p999.
+type LatencyReport struct {
+	Buckets   []telemetry.BucketSnapshot `json:"buckets"`
+	Quantiles telemetry.QuantileSummary  `json:"quantiles"`
+}
+
+// latencyReport renders a per-bucket count slice (EpochBuckets bounds plus
+// overflow) as a LatencyReport, or nil when empty.
+func latencyReport(hist []int64) *LatencyReport {
+	var total uint64
+	counts := make([]uint64, len(hist))
+	for i, c := range hist {
+		counts[i] = uint64(c)
+		total += uint64(c)
+	}
+	if total == 0 {
+		return nil
+	}
+	bounds := telemetry.EpochBuckets()
+	rep := &LatencyReport{
+		Quantiles: telemetry.QuantileSummary{
+			Count: total,
+			P50:   telemetry.QuantileFromBuckets(bounds, counts, 0.50),
+			P99:   telemetry.QuantileFromBuckets(bounds, counts, 0.99),
+			P999:  telemetry.QuantileFromBuckets(bounds, counts, 0.999),
+		},
+	}
+	cum := uint64(0)
+	for i := range counts {
+		cum += counts[i]
+		le := "+Inf"
+		if i < len(bounds) {
+			le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+		}
+		rep.Buckets = append(rep.Buckets, telemetry.BucketSnapshot{LE: le, Count: cum})
+	}
+	return rep
 }
 
 // Report renders the result as its JSON summary row.
@@ -196,6 +243,9 @@ func (r CoverageResult) Report() CellReport {
 	if r.Target != TargetData {
 		rep.Target = r.Target.String()
 		rep.Hardened = r.Hardened
+	}
+	if r.Epochs > 0 {
+		rep.DetectionLatency = latencyReport(r.LatencyHist)
 	}
 	return rep
 }
@@ -260,21 +310,25 @@ type trialTally struct {
 
 // chunkTally is the checkpointable aggregate of one chunk of trials.
 type chunkTally struct {
-	Start            int   `json:"start"`
-	Count            int   `json:"count"`
-	Undetected       int   `json:"undetected"`
-	Detected         int   `json:"detected"`
-	LatencySum       int64 `json:"latency_sum,omitempty"`
-	LatencyMax       int   `json:"latency_max,omitempty"`
-	Recovered        int   `json:"recovered,omitempty"`
-	Tainted          int   `json:"tainted,omitempty"`
-	Retries          int64 `json:"retries,omitempty"`
-	Restarts         int64 `json:"restarts,omitempty"`
-	Rebuilds         int64 `json:"rebuilds,omitempty"`
-	DetectorFaults   int64 `json:"detector_faults,omitempty"`
-	CheckpointFaults int64 `json:"checkpoint_faults,omitempty"`
-	FalseNegatives   int   `json:"false_negatives,omitempty"`
-	FalsePositives   int   `json:"false_positives,omitempty"`
+	Start      int   `json:"start"`
+	Count      int   `json:"count"`
+	Undetected int   `json:"undetected"`
+	Detected   int   `json:"detected"`
+	LatencySum int64 `json:"latency_sum,omitempty"`
+	LatencyMax int   `json:"latency_max,omitempty"`
+	// LatencyHist counts detected trials per telemetry.EpochBuckets bound
+	// (plus a trailing overflow bucket), so the merged campaign report can
+	// carry the full distribution, not just mean and max.
+	LatencyHist      []int64 `json:"latency_hist,omitempty"`
+	Recovered        int     `json:"recovered,omitempty"`
+	Tainted          int     `json:"tainted,omitempty"`
+	Retries          int64   `json:"retries,omitempty"`
+	Restarts         int64   `json:"restarts,omitempty"`
+	Rebuilds         int64   `json:"rebuilds,omitempty"`
+	DetectorFaults   int64   `json:"detector_faults,omitempty"`
+	CheckpointFaults int64   `json:"checkpoint_faults,omitempty"`
+	FalseNegatives   int     `json:"false_negatives,omitempty"`
+	FalsePositives   int     `json:"false_positives,omitempty"`
 }
 
 func (t *chunkTally) add(o trialTally) {
@@ -287,6 +341,11 @@ func (t *chunkTally) add(o trialTally) {
 		if o.latency > t.LatencyMax {
 			t.LatencyMax = o.latency
 		}
+		bounds := telemetry.EpochBuckets()
+		if t.LatencyHist == nil {
+			t.LatencyHist = make([]int64, len(bounds)+1)
+		}
+		t.LatencyHist[sort.SearchFloat64s(bounds, float64(o.latency))]++
 	}
 	if o.recovered {
 		t.Recovered++
@@ -464,6 +523,16 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			if t.LatencyMax > r.LatencyMax {
 				r.LatencyMax = t.LatencyMax
 			}
+			if len(t.LatencyHist) > 0 {
+				if len(r.LatencyHist) < len(t.LatencyHist) {
+					grown := make([]int64, len(t.LatencyHist))
+					copy(grown, r.LatencyHist)
+					r.LatencyHist = grown
+				}
+				for bi, n := range t.LatencyHist {
+					r.LatencyHist[bi] += n
+				}
+			}
 			r.Recovered += t.Recovered
 			r.Tainted += t.Tainted
 			r.Retries += t.Retries
@@ -488,6 +557,24 @@ func (c *Campaign) runChunk(ctx context.Context, job chunkJob, ws *workerState) 
 	cfg := c.Cells[job.cell]
 	tally := chunkTally{Start: job.start, Count: job.count}
 	inst := newCellInstruments(cfg)
+	// One chunk span roots the trace for this work unit; per-trial spans are
+	// its children, labeled by the cell so a Perfetto view groups campaign
+	// work by (cell, chunk) lanes. Attributes are built once per chunk.
+	var cellAttrs []telemetry.Attr
+	if cfg.Tracer.Enabled() {
+		cellAttrs = []telemetry.Attr{
+			telemetry.Int("cell", job.cell),
+			telemetry.String("scheme", cfg.scheme()),
+			telemetry.Int("words", cfg.Words),
+			telemetry.Int("flips", cfg.BitFlips),
+		}
+		if cfg.Target != TargetData {
+			cellAttrs = append(cellAttrs, telemetry.String("target", cfg.Target.String()))
+		}
+	}
+	chunk := cfg.Tracer.Start(telemetry.SpanContext{}, "chunk",
+		append([]telemetry.Attr{telemetry.Int("start", job.start), telemetry.Int("count", job.count)}, cellAttrs...)...)
+	defer chunk.End()
 	if cfg.Epochs > 0 {
 		sh := ws.shard(cfg.Kind)
 		for i := 0; i < job.count; i++ {
@@ -499,11 +586,15 @@ func (c *Campaign) runChunk(ctx context.Context, job chunkJob, ws *workerState) 
 			if c.TrialTimeout > 0 {
 				tctx, tcancel = context.WithTimeout(ctx, c.TrialTimeout)
 			}
-			out, err := runEpochTrial(tctx, cfg, trial, sh, inst)
+			tspan := cfg.Tracer.Start(chunk.Context(), "trial",
+				append([]telemetry.Attr{telemetry.Int("trial", trial)}, cellAttrs...)...)
+			out, err := runEpochTrial(tctx, cfg, trial, sh, inst, tspan.Context())
 			tcancel()
 			if err != nil {
+				tspan.EndErr(err)
 				return tally, fmt.Errorf("faults: epoch trial %d: %w", trial, err)
 			}
+			tspan.End(telemetry.Bool("detected", out.detected), telemetry.Bool("recovered", out.recovered))
 			tally.add(out)
 		}
 		return tally, nil
@@ -517,7 +608,12 @@ func (c *Campaign) runChunk(ctx context.Context, job chunkJob, ws *workerState) 
 		if err := ctx.Err(); err != nil {
 			return tally, err
 		}
-		tally.add(r.trial(job.start + i))
+		trial := job.start + i
+		tspan := cfg.Tracer.Start(chunk.Context(), "trial",
+			append([]telemetry.Attr{telemetry.Int("trial", trial)}, cellAttrs...)...)
+		out := r.trial(trial)
+		tspan.End(telemetry.Bool("detected", out.detected))
+		tally.add(out)
 	}
 	return tally, nil
 }

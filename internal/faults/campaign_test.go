@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -65,7 +66,7 @@ func TestCampaignWorkerCountInvariance(t *testing.T) {
 				continue
 			}
 			for i := range res.Results {
-				if res.Results[i] != ref.Results[i] {
+				if !reflect.DeepEqual(res.Results[i], ref.Results[i]) {
 					t.Errorf("workers=%d chunk=%d cell %d: %+v != %+v",
 						workers, chunk, i, res.Results[i], ref.Results[i])
 				}
@@ -214,7 +215,7 @@ func TestCampaignResumeMatchesUninterrupted(t *testing.T) {
 		t.Error("resume did not restore any chunks")
 	}
 	for i := range full.Results {
-		if resumed.Results[i] != full.Results[i] {
+		if !reflect.DeepEqual(resumed.Results[i], full.Results[i]) {
 			t.Errorf("cell %d: resumed %+v != uninterrupted %+v", i, resumed.Results[i], full.Results[i])
 		}
 	}
@@ -253,7 +254,7 @@ func TestCampaignCancelCheckpointsAndResumes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resumed.Results[0] != full {
+	if !reflect.DeepEqual(resumed.Results[0], full) {
 		t.Errorf("resumed %+v != uninterrupted %+v", resumed.Results[0], full)
 	}
 }

@@ -118,6 +118,10 @@ type CoverageConfig struct {
 	// counters labeled by flips/words/pattern/scheme, and in epoch mode a
 	// detection-latency histogram and recovery counters.
 	Metrics *telemetry.Registry `json:"-"`
+	// Tracer, when non-nil, records one span per trial (labeled by the
+	// cell's scheme/words/flips/target) with the supervisor's epoch,
+	// verification, and recovery spans as children. A nil tracer is free.
+	Tracer *telemetry.Tracer `json:"-"`
 }
 
 // Validate reports configuration errors a run would otherwise surface as
@@ -187,6 +191,11 @@ type CoverageResult struct {
 	LatencySum int64
 	// LatencyMax is the worst detection latency observed, in epochs.
 	LatencyMax int
+	// LatencyHist is the full detection-latency distribution: per-bucket
+	// counts over telemetry.EpochBuckets plus a trailing overflow bucket,
+	// populated for epoch cells so reports can state p50/p99/p999 rather
+	// than just a mean.
+	LatencyHist []int64
 	// Recovered counts detected trials whose rollback re-execution restored
 	// a correct, fully verified final state.
 	Recovered int

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -216,7 +217,7 @@ func TestDetectorCellsWorkerCountInvariance(t *testing.T) {
 				continue
 			}
 			for i := range res.Results {
-				if res.Results[i] != ref.Results[i] {
+				if !reflect.DeepEqual(res.Results[i], ref.Results[i]) {
 					t.Errorf("workers=%d chunk=%d cell %d: %+v != %+v",
 						workers, chunk, i, res.Results[i], ref.Results[i])
 				}
@@ -240,7 +241,7 @@ func TestDataTargetStreamUnchangedByDetectorDraws(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("explicit TargetData changed the result:\n%+v\n%+v", a, b)
 	}
 }

@@ -51,7 +51,9 @@ type epochTrialSnap struct {
 // on entry and its counter table recycled — so the campaign allocates one
 // tracker per (worker, operator) instead of one per trial. inst carries the
 // cell's pre-resolved telemetry instruments.
-func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Shard, inst cellInstruments) (trialTally, error) {
+// span is the parent the supervisor's spans attach to (the campaign's
+// per-trial span); pass the zero context when untraced.
+func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Shard, inst cellInstruments, span telemetry.SpanContext) (trialTally, error) {
 	words, epochs := cfg.Words, cfg.Epochs
 	in := NewInjector(trialSeed(cfg.Seed, trial))
 
@@ -234,6 +236,8 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Sh
 		Policy:  pol,
 		Trace:   cfg.Trace,
 		Metrics: cfg.Metrics,
+		Tracer:  cfg.Tracer,
+		Span:    span,
 	})
 	if err != nil {
 		return trialTally{}, err

@@ -10,6 +10,7 @@ import (
 	"defuse/internal/lang"
 	"defuse/internal/memsim"
 	"defuse/internal/recovery"
+	"defuse/telemetry"
 )
 
 // This file extends epoch-supervised execution across process boundaries:
@@ -110,6 +111,8 @@ func (p *EpochPlan) Fingerprint() uint64 {
 // is replaced by the resumed one before any epoch runs.
 func (p *EpochPlan) SuperviseDurable(ctx context.Context, pol recovery.Policy, walPath string) (recovery.DurableOutcome, error) {
 	defer p.m.publishMetrics()
+	run := p.m.tracer.Start(telemetry.SpanContext{}, "run",
+		telemetry.Int("epochs", p.n), telemetry.Bool("durable", true))
 	d := &recovery.DurableSupervisor{
 		Config: recovery.Config{
 			Epochs: p.n,
@@ -141,11 +144,15 @@ func (p *EpochPlan) SuperviseDurable(ctx context.Context, pol recovery.Policy, w
 			Policy:  pol,
 			Trace:   p.m.trace,
 			Metrics: p.m.metrics,
+			Tracer:  p.m.tracer,
+			Span:    run.Context(),
 		},
 		Path:        walPath,
 		Fingerprint: p.Fingerprint(),
 		EncodeState: p.encodeState,
 		DecodeState: p.decodeState,
 	}
-	return d.Run(ctx)
+	out, err := d.Run(ctx)
+	run.End(telemetry.Bool("detected", out.Detected), telemetry.Bool("resumed", out.Resumed))
+	return out, err
 }

@@ -8,6 +8,7 @@ import (
 	"defuse/internal/lang"
 	"defuse/internal/memsim"
 	"defuse/internal/recovery"
+	"defuse/telemetry"
 )
 
 // This file wires epoch-scoped execution through the interpreter. The
@@ -135,7 +136,8 @@ type epochSnap struct {
 // receive the supervisor's epoch.verify / recovery.* telemetry.
 func (p *EpochPlan) Supervise(ctx context.Context, pol recovery.Policy) (recovery.Outcome, error) {
 	defer p.m.publishMetrics()
-	return recovery.Supervise(ctx, recovery.Config{
+	run := p.m.tracer.Start(telemetry.SpanContext{}, "run", telemetry.Int("epochs", p.n))
+	out, err := recovery.Supervise(ctx, recovery.Config{
 		Epochs: p.n,
 		Run:    p.RunEpoch,
 		Verify: func(int) error {
@@ -168,5 +170,9 @@ func (p *EpochPlan) Supervise(ctx context.Context, pol recovery.Policy) (recover
 		Policy:  pol,
 		Trace:   p.m.trace,
 		Metrics: p.m.metrics,
+		Tracer:  p.m.tracer,
+		Span:    run.Context(),
 	})
+	run.End(telemetry.Bool("detected", out.Detected), telemetry.Bool("tainted", out.Tainted))
+	return out, err
 }

@@ -85,6 +85,7 @@ type Machine struct {
 
 	trace   telemetry.Sink
 	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
 }
 
 // Option configures a Machine.
@@ -110,6 +111,13 @@ func WithTrace(s telemetry.Sink) Option {
 // into r after each Run.
 func WithMetrics(r *telemetry.Registry) Option {
 	return func(m *Machine) { m.metrics = r }
+}
+
+// WithTracer records causally linked spans for supervised execution: a root
+// "run" span per Supervise call with per-epoch-attempt, verification,
+// recovery, and WAL children. A nil tracer costs nothing.
+func WithTracer(t *telemetry.Tracer) Option {
+	return func(m *Machine) { m.tracer = t }
 }
 
 // New builds a machine for prog with the given integer parameter values,

@@ -79,7 +79,9 @@ func (d *DurableSupervisor) Run(ctx context.Context) (DurableOutcome, error) {
 		return out, errors.New("recovery: DurableSupervisor owns Config.StartEpoch and Config.Commit")
 	}
 
+	rspan := d.Config.Tracer.Start(d.Config.Span, "wal.recover")
 	log, err := d.resume(&out)
+	rspan.EndErr(err)
 	if err != nil {
 		return out, err
 	}
@@ -87,21 +89,27 @@ func (d *DurableSupervisor) Run(ctx context.Context) (DurableOutcome, error) {
 
 	cfg := d.Config
 	cfg.StartEpoch = out.ResumeEpoch
+	log.SetTracer(cfg.Tracer, cfg.Span)
 	sealBytes := cfg.Metrics.Gauge("defuse_wal_checkpoint_bytes")
 	sealLatency := cfg.Metrics.Histogram("defuse_wal_seal_seconds", telemetry.DefBuckets())
 	cfg.Commit = func(k int) error {
 		start := time.Now()
+		sspan := cfg.Tracer.Start(cfg.Span, "wal.seal", telemetry.Int("epoch", k))
 		app, err := d.EncodeState()
 		if err != nil {
+			sspan.EndErr(err)
 			return err
 		}
 		payload := make([]byte, durableRecordHeader+len(app))
 		binary.LittleEndian.PutUint64(payload, d.Fingerprint)
 		binary.LittleEndian.PutUint64(payload[8:], uint64(k+1))
 		copy(payload[durableRecordHeader:], app)
+		log.SetTracer(cfg.Tracer, sspan.Context())
 		if err := log.Append(payload); err != nil {
+			sspan.EndErr(err)
 			return err
 		}
+		sspan.End(telemetry.Int("bytes", len(payload)))
 		out.Seals++
 		d := time.Since(start)
 		telemetry.Emit(cfg.Trace, telemetry.EvWALSeal, map[string]any{

@@ -159,6 +159,14 @@ type Config struct {
 	Policy  Policy
 	Trace   telemetry.Sink
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one span per epoch attempt (named
+	// "epoch", attributes epoch/attempt/ok) plus spans for each recovery
+	// action (rollback, rebuild, restart), all children of Span. A nil
+	// tracer is free.
+	Tracer *telemetry.Tracer
+	// Span is the parent context the supervisor's spans attach to (the
+	// caller's "run" span); the zero value roots a fresh trace.
+	Span telemetry.SpanContext
 }
 
 // Outcome summarizes a supervised run.
@@ -234,6 +242,7 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 			telemetry.Label{Key: "result", Value: result})
 	}
 	backoffHist := cfg.Metrics.Histogram("defuse_recovery_backoff_seconds", telemetry.DefBuckets())
+	verifyHist := cfg.Metrics.Histogram("defuse_epoch_verify_seconds", telemetry.DefBuckets())
 
 	// noteDetection records the first failed verification and per-class
 	// tallies for one failed attempt.
@@ -273,7 +282,11 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 					"epoch": k, "restart": o.Restarts,
 				})
 				cfg.Metrics.Counter("defuse_recovery_restarts_total").Inc()
-				if rerr := cfg.Restore(initial); rerr != nil {
+				rspan := cfg.Tracer.Start(cfg.Span, "recovery.restart",
+					telemetry.Int("epoch", k), telemetry.Int("restart", o.Restarts))
+				rerr := cfg.Restore(initial)
+				rspan.EndErr(rerr)
+				if rerr != nil {
 					noteDetection(k, classify(rerr), rerr)
 				} else {
 					restart = true
@@ -295,10 +308,17 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 			verified := false
 			backoff := cfg.Policy.Backoff
 			for {
+				attempt := cfg.Tracer.Start(cfg.Span, "epoch",
+					telemetry.Int("epoch", k), telemetry.Int("attempt", retries))
 				err := cfg.Run(k)
 				if err == nil && cfg.Verify != nil {
+					vspan := cfg.Tracer.Start(attempt.Context(), "verify")
+					vstart := time.Now()
 					err = cfg.Verify(k)
+					verifyHist.Observe(time.Since(vstart).Seconds())
+					vspan.EndErr(err)
 				}
+				attempt.EndErr(err)
 				telemetry.Emit(cfg.Trace, telemetry.EvEpochVerify, map[string]any{
 					"epoch": k, "attempt": retries, "ok": err == nil,
 				})
@@ -341,7 +361,10 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 							"epoch": k, "attempt": retries,
 						})
 						cfg.Metrics.Counter("defuse_recovery_rebuilds_total").Inc()
+						bspan := cfg.Tracer.Start(cfg.Span, "recovery.rebuild",
+							telemetry.Int("epoch", k), telemetry.Int("attempt", retries))
 						rerr = rebuild(snap)
+						bspan.EndErr(rerr)
 					} else {
 						telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRetry, map[string]any{
 							"epoch": k, "attempt": retries, "backoff_seconds": backoff.Seconds(),
@@ -352,7 +375,10 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 							sleep(backoff)
 						}
 						backoff = time.Duration(float64(backoff) * factor)
+						rspan := cfg.Tracer.Start(cfg.Span, "recovery.rollback",
+							telemetry.Int("epoch", k), telemetry.Int("attempt", retries))
 						rerr = cfg.Restore(snap)
+						rspan.EndErr(rerr)
 					}
 					if rerr != nil {
 						// The epoch checkpoint cannot be reinstated —

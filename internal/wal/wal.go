@@ -29,6 +29,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"defuse/telemetry"
 )
 
 // magic identifies a defuse WAL file (8 bytes, version folded in).
@@ -191,6 +193,19 @@ type Log struct {
 	// last is the newest record's frame bytes, kept so rotation can rewrite
 	// the compacted log without re-reading the file.
 	last []byte
+
+	// tracer/span, when armed via SetTracer, record one "wal.append" span
+	// per sealed record (with a "wal.rotate" child when the append
+	// compacted the log). A nil tracer costs one nil check.
+	tracer *telemetry.Tracer
+	span   telemetry.SpanContext
+}
+
+// SetTracer arms span recording on the append handle; spans attach to
+// parent (the supervisor's run span).
+func (l *Log) SetTracer(t *telemetry.Tracer, parent telemetry.SpanContext) {
+	l.tracer = t
+	l.span = parent
 }
 
 // Create truncates (or creates) the log at path and returns an empty append
@@ -254,20 +269,31 @@ func frame(seq uint32, payload []byte) []byte {
 // been told about survives any subsequent crash. When the log exceeds
 // MaxBytes it is then rotated down to this newest record.
 func (l *Log) Append(payload []byte) error {
+	sp := l.tracer.Start(l.span, "wal.append",
+		telemetry.Int("bytes", len(payload)), telemetry.Int("seq", int(l.nextSeq)))
 	b := frame(l.nextSeq, payload)
 	if _, err := l.f.Write(b); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		err = fmt.Errorf("wal: append: %w", err)
+		sp.EndErr(err)
+		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: append sync: %w", err)
+		err = fmt.Errorf("wal: append sync: %w", err)
+		sp.EndErr(err)
+		return err
 	}
 	l.size += int64(len(b))
 	l.records++
 	l.nextSeq++
 	l.last = b
 	if l.opts.MaxBytes > 0 && l.size > l.opts.MaxBytes && l.records > 1 {
-		return l.rotate()
+		rsp := l.tracer.Start(sp.Context(), "wal.rotate", telemetry.Int("records", l.records))
+		err := l.rotate()
+		rsp.EndErr(err)
+		sp.EndErr(err)
+		return err
 	}
+	sp.EndErr(nil)
 	return nil
 }
 

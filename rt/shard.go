@@ -35,6 +35,14 @@ type ShardedTracker struct {
 	obs   Observer
 	trace telemetry.Sink
 
+	// tracer/span, when armed via SetTracer, record spans for the locked
+	// epoch-boundary operations (shard.merge, shard.drain, verify,
+	// epoch.end, rollback). The lock-free fold path through a Shard never
+	// consults them, so tracing cannot perturb the hot path (see the guard
+	// in trace_bench_test.go).
+	tracer *telemetry.Tracer
+	span   telemetry.SpanContext
+
 	liveGauge  *telemetry.Gauge
 	mergeCount *telemetry.Counter
 	drainCount *telemetry.Counter
@@ -65,6 +73,18 @@ func (s *ShardedTracker) SetTelemetry(sink telemetry.Sink, reg *telemetry.Regist
 		s.mergeCount = reg.Counter("defuse_rt_shard_merges_total")
 		s.drainCount = reg.Counter("defuse_rt_shard_drains_total")
 	}
+	return s
+}
+
+// SetTracer arms span recording for merges, drains, verifications, and
+// epoch boundaries; spans attach to parent (typically the supervisor's run
+// or epoch span). A nil tracer disables recording at the cost of one nil
+// check per locked operation. Returns s for chaining.
+func (s *ShardedTracker) SetTracer(t *telemetry.Tracer, parent telemetry.SpanContext) *ShardedTracker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+	s.span = parent
 	return s
 }
 
@@ -181,6 +201,7 @@ func (sh *Shard) Close() {
 
 // mergeLocked does the fold with the parent lock held.
 func (sh *Shard) mergeLocked(p *ShardedTracker) {
+	sp := p.tracer.Start(p.span, "shard.merge")
 	defs, uses := sh.t.defs, sh.t.uses
 	p.root.pair.Merge(sh.t.pair)
 	p.root.defs += defs
@@ -197,6 +218,7 @@ func (sh *Shard) mergeLocked(p *ShardedTracker) {
 			"defs": defs, "uses": uses, "live": p.live,
 		})
 	}
+	sp.End(telemetry.Int64("defs", int64(defs)), telemetry.Int64("uses", int64(uses)))
 }
 
 // Drain merges every live shard into the root and reports how many were
@@ -211,6 +233,7 @@ func (s *ShardedTracker) Drain() int {
 }
 
 func (s *ShardedTracker) drainLocked() int {
+	sp := s.tracer.Start(s.span, "shard.drain")
 	n := 0
 	for _, sh := range s.shards {
 		if !sh.closed {
@@ -224,6 +247,7 @@ func (s *ShardedTracker) drainLocked() int {
 	if s.trace != nil {
 		telemetry.Emit(s.trace, telemetry.EvShardDrain, map[string]any{"shards": n})
 	}
+	sp.End(telemetry.Int("shards", n))
 	return n
 }
 
@@ -240,8 +264,11 @@ func (s *ShardedTracker) Checksums() (def, use, edef, euse uint64) {
 func (s *ShardedTracker) Verify() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp := s.tracer.Start(s.span, "verify")
 	s.drainLocked()
-	return s.root.Verify()
+	err := s.root.Verify()
+	sp.EndErr(err)
+	return err
 }
 
 // ScrubDetector cross-checks the root tracker's own state (latched counter
@@ -270,8 +297,11 @@ func (s *ShardedTracker) BeginEpoch() EpochState {
 func (s *ShardedTracker) EndEpoch() (EpochState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp := s.tracer.Start(s.span, "epoch.end")
 	s.drainLocked()
-	return s.root.EndEpoch()
+	st, err := s.root.EndEpoch()
+	sp.EndErr(err)
+	return st, err
 }
 
 // Rollback restores the merged view to a sealed snapshot and discards every
@@ -282,7 +312,9 @@ func (s *ShardedTracker) EndEpoch() (EpochState, error) {
 func (s *ShardedTracker) Rollback(st EpochState) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp := s.tracer.Start(s.span, "rollback")
 	if err := s.root.Rollback(st); err != nil {
+		sp.EndErr(err)
 		return err
 	}
 	for _, sh := range s.shards {
@@ -290,6 +322,7 @@ func (s *ShardedTracker) Rollback(st EpochState) error {
 			sh.t.Reset()
 		}
 	}
+	sp.EndErr(nil)
 	return nil
 }
 

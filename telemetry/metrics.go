@@ -96,6 +96,64 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts by
+// linear interpolation within the covering bucket, the same estimate
+// Prometheus's histogram_quantile produces. It returns 0 when the histogram
+// is empty, and the largest finite bound when the quantile lands in the
+// +Inf bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return QuantileFromBuckets(h.bounds, counts, q)
+}
+
+// QuantileFromBuckets estimates the q-quantile from per-bucket (not
+// cumulative) observation counts. bounds are the ascending finite upper
+// bounds; counts has one extra trailing entry for the implicit +Inf bucket.
+// The estimate interpolates linearly within the covering bucket (the first
+// bucket's lower edge is 0 when its bound is positive, following Prometheus
+// convention); an empty histogram yields 0 and a quantile landing in the
+// +Inf bucket yields the largest finite bound.
+func QuantileFromBuckets(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: the best finite statement is the last bound.
+			return bounds[len(bounds)-1]
+		}
+		upper := bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		} else if upper <= 0 {
+			lower = upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
 const (
 	kindCounter   = "counter"
 	kindGauge     = "gauge"
@@ -228,6 +286,9 @@ type MetricSnapshot struct {
 	Count   uint64            `json:"count,omitempty"`
 	Sum     float64           `json:"sum,omitempty"`
 	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+	// Quantiles carries interpolated p50/p99/p999 estimates for histograms
+	// with at least one observation.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // Snapshot is a consistent-enough point-in-time export of a registry.
@@ -279,10 +340,84 @@ func (r *Registry) Snapshot() Snapshot {
 				}
 				s.Buckets = append(s.Buckets, BucketSnapshot{LE: le, Count: cum})
 			}
+			if s.Count > 0 {
+				s.Quantiles = map[string]float64{
+					"p50":  m.hist.Quantile(0.50),
+					"p99":  m.hist.Quantile(0.99),
+					"p999": m.hist.Quantile(0.999),
+				}
+			}
 		}
 		snap.Metrics = append(snap.Metrics, s)
 	}
 	return snap
+}
+
+// QuantileSummary is an aggregated histogram family's interpolated
+// quantiles, as surfaced in overhead and campaign reports.
+type QuantileSummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// FamilyQuantiles merges every label set of the named histogram family in
+// the snapshot into one distribution and returns its interpolated
+// p50/p99/p999. ok is false when the family is absent or has no
+// observations.
+func (s Snapshot) FamilyQuantiles(name string) (QuantileSummary, bool) {
+	// Merge per-LE deltas across label sets; bounds are shared within a
+	// family in practice, and stray bounds simply merge as extra buckets.
+	deltas := map[string]uint64{}
+	var total uint64
+	seen := false
+	for _, m := range s.Metrics {
+		if m.Name != name || m.Kind != kindHistogram {
+			continue
+		}
+		seen = true
+		total += m.Count
+		prev := uint64(0)
+		for _, b := range m.Buckets {
+			deltas[b.LE] += b.Count - prev
+			prev = b.Count
+		}
+	}
+	if !seen || total == 0 {
+		return QuantileSummary{}, false
+	}
+	type bk struct {
+		le    float64
+		count uint64
+	}
+	var finite []bk
+	var inf uint64
+	for le, c := range deltas {
+		v, err := parseValue(le)
+		if err != nil {
+			continue
+		}
+		if math.IsInf(v, 1) {
+			inf += c
+			continue
+		}
+		finite = append(finite, bk{le: v, count: c})
+	}
+	sort.Slice(finite, func(i, j int) bool { return finite[i].le < finite[j].le })
+	bounds := make([]float64, len(finite))
+	counts := make([]uint64, len(finite)+1)
+	for i, b := range finite {
+		bounds[i] = b.le
+		counts[i] = b.count
+	}
+	counts[len(finite)] = inf
+	return QuantileSummary{
+		Count: total,
+		P50:   QuantileFromBuckets(bounds, counts, 0.50),
+		P99:   QuantileFromBuckets(bounds, counts, 0.99),
+		P999:  QuantileFromBuckets(bounds, counts, 0.999),
+	}, true
 }
 
 // WriteJSON writes the snapshot as indented JSON.

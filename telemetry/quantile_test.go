@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestQuantileFromBuckets(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	// 10 observations in (1,2], 10 in (2,4].
+	counts := []uint64{0, 10, 10, 0, 0}
+	if got := QuantileFromBuckets(bounds, counts, 0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2 (upper edge of the covering bucket)", got)
+	}
+	if got := QuantileFromBuckets(bounds, counts, 0.25); got != 1.5 {
+		t.Errorf("p25 = %v, want 1.5 (midway through (1,2])", got)
+	}
+	if got := QuantileFromBuckets(bounds, counts, 1); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2}
+	if got := QuantileFromBuckets(bounds, []uint64{0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	// All mass in +Inf: the best finite statement is the largest bound.
+	if got := QuantileFromBuckets(bounds, []uint64{0, 0, 5}, 0.5); got != 2 {
+		t.Errorf("+Inf-bucket p50 = %v, want 2", got)
+	}
+	// First bucket interpolates from lower edge 0.
+	if got := QuantileFromBuckets(bounds, []uint64{10, 0, 0}, 0.5); got != 0.5 {
+		t.Errorf("first-bucket p50 = %v, want 0.5", got)
+	}
+	if got := QuantileFromBuckets(nil, []uint64{3}, 0.5); got != 0 {
+		t.Errorf("no bounds p50 = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("defuse_epoch_verify_seconds", []float64{0.001, 0.01, 0.1})
+	for i := 0; i < 99; i++ {
+		h.Observe(0.005)
+	}
+	h.Observe(0.05)
+
+	if p50 := h.Quantile(0.5); p50 <= 0.001 || p50 > 0.01 {
+		t.Errorf("p50 = %v, want within (0.001, 0.01]", p50)
+	}
+	if p999 := h.Quantile(0.999); p999 <= 0.01 || p999 > 0.1 {
+		t.Errorf("p999 = %v, want within (0.01, 0.1]", p999)
+	}
+
+	snap := reg.Snapshot()
+	if len(snap.Metrics) != 1 {
+		t.Fatalf("snapshot has %d metrics", len(snap.Metrics))
+	}
+	q := snap.Metrics[0].Quantiles
+	if q == nil || q["p50"] != h.Quantile(0.5) || q["p99"] != h.Quantile(0.99) || q["p999"] != h.Quantile(0.999) {
+		t.Errorf("snapshot quantiles = %v", q)
+	}
+	// Snapshots must marshal: quantiles can never be NaN/Inf.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+
+	// Empty histograms omit the quantile block entirely.
+	reg2 := NewRegistry()
+	reg2.Histogram("empty_seconds", DefBuckets())
+	if q := reg2.Snapshot().Metrics[0].Quantiles; q != nil {
+		t.Errorf("empty histogram published quantiles %v", q)
+	}
+}
+
+func TestFamilyQuantilesMergesLabelSets(t *testing.T) {
+	reg := NewRegistry()
+	bounds := []float64{1, 2, 4}
+	a := reg.Histogram("defuse_detection_latency_epochs", bounds, Label{Key: "cell", Value: "a"})
+	b := reg.Histogram("defuse_detection_latency_epochs", bounds, Label{Key: "cell", Value: "b"})
+	for i := 0; i < 50; i++ {
+		a.Observe(0.5) // first bucket
+		b.Observe(3)   // third bucket
+	}
+	snap := reg.Snapshot()
+	q, ok := snap.FamilyQuantiles("defuse_detection_latency_epochs")
+	if !ok {
+		t.Fatal("family not found")
+	}
+	if q.Count != 100 {
+		t.Errorf("merged count = %d, want 100", q.Count)
+	}
+	// Half the mass is <=1, half in (2,4]: p50 sits at the first bound and
+	// p99 inside the third bucket.
+	if q.P50 != 1 {
+		t.Errorf("merged p50 = %v, want 1", q.P50)
+	}
+	if q.P99 <= 2 || q.P99 > 4 {
+		t.Errorf("merged p99 = %v, want within (2, 4]", q.P99)
+	}
+	if math.IsNaN(q.P999) {
+		t.Error("p999 is NaN")
+	}
+
+	if _, ok := snap.FamilyQuantiles("no_such_family"); ok {
+		t.Error("absent family reported ok")
+	}
+	reg.Histogram("quiet_seconds", bounds)
+	if _, ok := reg.Snapshot().FamilyQuantiles("quiet_seconds"); ok {
+		t.Error("zero-observation family reported ok")
+	}
+}

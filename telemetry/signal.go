@@ -8,15 +8,20 @@ import (
 )
 
 // FlushOnSignal installs a SIGINT/SIGTERM handler that runs finish — the
-// flush/close function returned by Setup — before the process dies, so a
-// buffered JSON-lines trace from an interrupted run is never silently
-// truncated. skip is the number of signals to let pass (a CLI that cancels a
+// flush/close function returned by Setup, or Obs.Finish — before the process
+// dies, so a buffered JSON-lines trace from an interrupted run is never
+// silently truncated and the flight-recorder ring still becomes a postmortem
+// artifact. skip is the number of signals to let pass (a CLI that cancels a
 // context gracefully on the first signal and flushes on its normal exit path
 // passes 1; one with no handling of its own passes 0); the signal after that
-// flushes and exits with the conventional 128+signo status. The returned stop
+// flushes and exits with the conventional 128+signo status. Skipped signals
+// are not silent either: each runs the optional onSkip functions (typically
+// Obs.Flush), which drain the event sink and dump the flight recorder
+// non-destructively — so even if the graceful path then wedges and the
+// process is SIGKILLed, the artifacts are already on disk. The returned stop
 // function uninstalls the handler; call it once the normal exit path has
 // taken responsibility for flushing.
-func FlushOnSignal(skip int, finish func() error) (stop func()) {
+func FlushOnSignal(skip int, finish func() error, onSkip ...func()) (stop func()) {
 	ch := make(chan os.Signal, skip+2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
@@ -27,6 +32,9 @@ func FlushOnSignal(skip int, finish func() error) (stop func()) {
 			case sig := <-ch:
 				seen++
 				if seen <= skip {
+					for _, f := range onSkip {
+						f()
+					}
 					continue
 				}
 				_ = finish()

@@ -180,6 +180,17 @@ func (s *JSONLSink) Close() error {
 	return s.err
 }
 
+// Flush writes the buffer through without closing the underlying writer, so
+// a signal handler can persist the tail of the event stream mid-run.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.bw.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	return s.err
+}
+
 // Err returns the first write error encountered, if any.
 func (s *JSONLSink) Err() error {
 	s.mu.Lock()
