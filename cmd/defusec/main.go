@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,32 +52,24 @@ func main() {
 	flag.BoolVar(&o.run, "run", false, "execute the instrumented program on the simulated memory")
 	flag.StringVar(&o.params, "param", "", "comma-separated parameter values, e.g. n=100,tsteps=5")
 	flag.StringVar(&o.inject, "inject", "", "inject a fault: step:array:flatIndex:bit")
-	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
-	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
-	serve := flag.String("serve", "", "serve live telemetry (metrics, events, flight ring, pprof) on this host:port")
-	flight := flag.String("flight", "", "arm the flight recorder: dump the recent span/event ring to this file on fault or exit")
-	chrome := flag.String("chrome", "", "write recorded spans as Chrome trace-event JSON (Perfetto-loadable)")
+	obsFlags := telemetry.ObsFlags(flag.CommandLine)
 	flag.Parse()
 	o.file = flag.Arg(0)
 
-	obs, err := telemetry.SetupObs(telemetry.ObsConfig{
-		TracePath:   *trace,
-		MetricsPath: *metrics,
-		FlightPath:  *flight,
-		ChromePath:  *chrome,
-		ServeAddr:   *serve,
-	})
+	obs, err := telemetry.SetupObs(obsFlags())
 	if err != nil {
 		fatal(err)
 	}
 	if obs.Server != nil {
 		fmt.Fprintf(os.Stderr, "defusec: serving telemetry on http://%s\n", obs.Server.Addr())
 	}
-	// A SIGINT/SIGTERM flushes and dumps the telemetry artifacts before the
-	// process dies, so a partial trace file still ends on a complete line.
-	unflush := telemetry.FlushOnSignal(0, obs.Finish)
-	err = compile(o, obs)
-	unflush()
+	// Uniform two-stage signal discipline: the first SIGINT/SIGTERM cancels
+	// the run's context (the interpreter bails out at its next step check)
+	// and flushes the telemetry artifacts; a second forces immediate exit
+	// with everything flushed.
+	ctx, stop := telemetry.GracefulSignals(obs)
+	err = compile(ctx, o, obs)
+	stop()
 	if ferr := obs.Finish(); err == nil {
 		err = ferr
 	}
@@ -85,7 +78,7 @@ func main() {
 	}
 }
 
-func compile(o options, obs *telemetry.Obs) error {
+func compile(ctx context.Context, o options, obs *telemetry.Obs) error {
 	sink, reg := obs.Sink, obs.Metrics
 	src, err := readInput(o.file)
 	if err != nil {
@@ -126,6 +119,7 @@ func compile(o options, obs *telemetry.Obs) error {
 			return err
 		}
 	}
+	m.SetContext(ctx)
 	span := obs.Tracer.Start(telemetry.SpanContext{}, "run",
 		telemetry.String("program", prog.Name),
 		telemetry.Bool("injected", o.inject != ""))

@@ -75,10 +75,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"defuse/internal/checksum"
@@ -134,39 +132,24 @@ func main() {
 	flag.IntVar(&o.crash, "crash", 0, "run the process-level crash campaign with this many trials per cell (0 = disabled)")
 	flag.StringVar(&o.crashSel, "crash-cells", "kill,torn-write,disk-flip", "crash cells (comma list): kill, torn-write, disk-flip")
 	flag.StringVar(&o.walDir, "wal", "", "with -crash: scratch directory for the per-trial write-ahead logs (default: a removed temp dir)")
-	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
-	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
-	serve := flag.String("serve", "", "serve live telemetry (metrics, events, flight ring, pprof) on this host:port")
-	flight := flag.String("flight", "", "arm the flight recorder: dump the recent span/event ring to this file on fault or exit")
-	chrome := flag.String("chrome", "", "write recorded spans as Chrome trace-event JSON (Perfetto-loadable)")
+	obsFlags := telemetry.ObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	obs, err := telemetry.SetupObs(telemetry.ObsConfig{
-		TracePath:   *trace,
-		MetricsPath: *metrics,
-		FlightPath:  *flight,
-		ChromePath:  *chrome,
-		ServeAddr:   *serve,
-	})
+	obs, err := telemetry.SetupObs(obsFlags())
 	if err != nil {
 		fatal(err)
 	}
 	if obs.Server != nil {
 		fmt.Fprintf(os.Stderr, "faultcov: serving telemetry on http://%s\n", obs.Server.Addr())
 	}
-	// The first SIGINT/SIGTERM cancels the context for a graceful, resumable
-	// shutdown — and flushes the telemetry artifacts (JSONL buffer, flight
-	// ring, metrics, Chrome trace) so they survive even a later SIGKILL; a
-	// second signal finishes the sinks and exits immediately.
-	unflush := telemetry.FlushOnSignal(1, obs.Finish, func() {
-		if err := obs.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "faultcov: telemetry flush:", err)
-		}
-	})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Uniform two-stage signal discipline: the first SIGINT/SIGTERM cancels
+	// the context for a graceful, resumable shutdown — and flushes the
+	// telemetry artifacts (JSONL buffer, flight ring, metrics, Chrome trace)
+	// so they survive even a later SIGKILL; a second signal finishes the
+	// sinks and exits immediately.
+	ctx, stop := telemetry.GracefulSignals(obs)
 	err = run(ctx, o, obs)
 	stop()
-	unflush()
 	if ferr := obs.Finish(); err == nil {
 		err = ferr
 	}

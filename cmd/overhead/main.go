@@ -57,12 +57,8 @@ func main() {
 	jsonPath := flag.String("json-out", "BENCH_overhead.json", "path of the -json report")
 	wal := flag.String("wal", "", "measure durable-checkpoint overhead, writing per-benchmark WALs into this directory")
 	walEpochs := flag.Int("wal-epochs", 8, "with -wal: epochs (checkpoint seals) per benchmark run")
-	trace := flag.String("trace", "", "stream telemetry events to this JSON-lines file")
-	metrics := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
-	serve := flag.String("serve", "", "serve live telemetry (metrics, events, flight ring, pprof) on this host:port")
-	flight := flag.String("flight", "", "arm the flight recorder: dump the recent span/event ring to this file on fault or exit")
-	chrome := flag.String("chrome", "", "write recorded spans as Chrome trace-event JSON (Perfetto-loadable)")
 	linger := flag.Bool("linger", false, "with -serve: keep serving after the run until SIGINT/SIGTERM")
+	obsFlags := telemetry.ObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -73,30 +69,25 @@ func main() {
 		return
 	}
 
-	obs, err := telemetry.SetupObs(telemetry.ObsConfig{
-		TracePath:   *trace,
-		MetricsPath: *metrics,
-		FlightPath:  *flight,
-		ChromePath:  *chrome,
-		ServeAddr:   *serve,
-	})
+	obs, err := telemetry.SetupObs(obsFlags())
 	if err != nil {
 		fatal(err)
 	}
 	if obs.Server != nil {
 		fmt.Fprintf(os.Stderr, "overhead: serving telemetry on http://%s\n", obs.Server.Addr())
 	}
-	// A SIGINT/SIGTERM flushes and dumps every armed artifact (JSONL trace,
-	// flight ring, metrics, Chrome trace) before the process dies, so a
-	// partial run still leaves complete, parseable files behind.
-	unflush := telemetry.FlushOnSignal(0, obs.Finish)
+	// Uniform two-stage signal discipline: the first SIGINT/SIGTERM flushes
+	// every armed artifact (JSONL trace, flight ring, metrics, Chrome trace)
+	// and cancels the linger; a second forces immediate exit with everything
+	// flushed. A partial run still leaves complete, parseable files behind.
+	ctx, stop := telemetry.GracefulSignals(obs)
 	err = run(*fig, *scale, *one, *parallel, *jsonOut, *jsonPath, *wal, *walEpochs,
 		bench.Telemetry{Trace: obs.Sink, Metrics: obs.Metrics, Tracer: obs.Tracer})
 	if err == nil && *linger && obs.Server != nil {
 		fmt.Fprintln(os.Stderr, "overhead: lingering; interrupt to exit")
-		select {} // the signal handler owns shutdown from here
+		<-ctx.Done()
 	}
-	unflush()
+	stop()
 	if ferr := obs.Finish(); err == nil {
 		err = ferr
 	}

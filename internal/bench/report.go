@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"time"
 
 	"defuse/telemetry"
@@ -15,10 +17,17 @@ import (
 // format, so Figure 10/11 overhead claims can be regression-tracked across
 // PRs instead of living only in terminal scrollback.
 
-// OverheadSchema identifies the BENCH_overhead.json format version. v2 adds
+// OverheadSchema identifies the BENCH_overhead.json format version. v2 added
 // the optional quantiles block (epoch-verify latency and detection latency
-// distributions); every v1 field is carried forward unchanged.
-const OverheadSchema = "defuse/overhead/v2"
+// distributions); v3 adds the optional service block (sustained-load latency
+// and fault-recovery results from the resident defused service). Every
+// earlier field is carried forward unchanged, so v2 documents are still
+// accepted on read.
+const OverheadSchema = "defuse/overhead/v3"
+
+// overheadSchemaV2 is the previous format version, accepted on read: a v2
+// document is a valid v3 document with no service block.
+const overheadSchemaV2 = "defuse/overhead/v2"
 
 // OverheadRow is one benchmark's measurements across the three variants.
 type OverheadRow struct {
@@ -47,6 +56,45 @@ type OverheadQuantiles struct {
 	DetectionLatencyEpochs *telemetry.QuantileSummary `json:"detection_latency_epochs,omitempty"`
 }
 
+// ServiceRow is the sustained-load result block from a defused loadgen run:
+// request latency quantiles and verified throughput measured while a sampled
+// fraction of live requests had faults injected. The counts are the
+// robustness gate's evidence — Injected == Detected == Recovered and
+// CleanMismatches == 0 is what "detects and recovers without disturbing
+// clean traffic" means, measured. New in defuse/overhead/v3.
+type ServiceRow struct {
+	// Streams is the number of concurrent request streams the loadgen drove.
+	Streams int `json:"streams"`
+	// Requests is the number of requests that completed successfully
+	// (excluding shed and errored requests).
+	Requests int `json:"requests"`
+	// FaultRate is the configured sampled-injection fraction.
+	FaultRate float64 `json:"fault_rate"`
+	// Injected / Detected / Recovered count the sampled requests that
+	// received an injection, those whose fault was detected, and those that
+	// additionally recovered to the correct result.
+	Injected  int `json:"injected"`
+	Detected  int `json:"detected"`
+	Recovered int `json:"recovered"`
+	// Clean counts un-injected requests; CleanMismatches counts those whose
+	// result deviated from the locally computed reference (must be zero).
+	Clean           int `json:"clean"`
+	CleanMismatches int `json:"clean_mismatches"`
+	// Shed counts requests refused by admission control (429), Rejected
+	// counts requests refused because the server was draining (503), and
+	// Errors counts other failures.
+	Shed     int `json:"shed"`
+	Rejected int `json:"rejected"`
+	Errors   int `json:"errors"`
+	// Latency quantiles over successful requests, in seconds.
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	P999Seconds float64 `json:"p999_seconds"`
+	// ThroughputRPS is successful requests per wall-clock second.
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
 // OverheadReport is the full BENCH_overhead.json document.
 type OverheadReport struct {
 	Schema      string          `json:"schema"`
@@ -60,6 +108,9 @@ type OverheadReport struct {
 	// Quantiles is present when the run recorded the relevant histograms
 	// (cmd/overhead -json runs a small supervised fault probe to fill it).
 	Quantiles *OverheadQuantiles `json:"quantiles,omitempty"`
+	// Service is the resident-service load result (defused -loadgen
+	// -json-out merges it into the committed report). New in v3.
+	Service *ServiceRow `json:"service,omitempty"`
 }
 
 // AttachQuantiles pulls the epoch-verify and detection-latency families out
@@ -129,11 +180,36 @@ func ParseOverheadReport(r io.Reader) (OverheadReport, error) {
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return rep, fmt.Errorf("bench: parsing overhead report: %w", err)
 	}
-	if rep.Schema != OverheadSchema {
+	if rep.Schema != OverheadSchema && rep.Schema != overheadSchemaV2 {
 		return rep, fmt.Errorf("bench: unexpected schema %q (want %q)", rep.Schema, OverheadSchema)
 	}
 	if len(rep.Rows) == 0 {
 		return rep, fmt.Errorf("bench: overhead report has no rows")
 	}
 	return rep, nil
+}
+
+// MergeServiceRow installs a loadgen result into an existing report file:
+// the document at path is parsed (v2 or v3), its schema is bumped to the
+// current version, the service block is replaced, and the file is rewritten
+// atomically via the writeFile callback (pass wal.WriteFileAtomic or
+// os.WriteFile). This lets the committed BENCH_overhead.json accumulate the
+// service row without re-running the whole overhead suite.
+func MergeServiceRow(path string, row ServiceRow, writeFile func(string, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("bench: merging service row: %w", err)
+	}
+	rep, err := ParseOverheadReport(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep.Schema = OverheadSchema
+	rep.Service = &row
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return writeFile(path, buf.Bytes())
 }

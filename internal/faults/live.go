@@ -1,0 +1,91 @@
+package faults
+
+// Live sampled fault injection (the FastFlip-style deployment mode from
+// PAPERS.md): instead of dedicated offline campaigns, a resident service
+// injects faults into a small sampled fraction of its live requests and
+// checks that each one is detected and recovered in place. The sampler is a
+// pure function of (seed, request ID), so the server deciding *whether* to
+// inject and the load generator deciding *which requests to audit* agree
+// exactly without any side channel.
+
+// LiveSampler deterministically selects a fraction of request IDs for fault
+// injection. Selection hashes the ID with a seeded splitmix64 step and
+// compares against a fixed-point threshold, so the hit set is stable across
+// restarts, uniformly spread across the ID space, and reproducible by any
+// party that knows (rate, seed).
+type LiveSampler struct {
+	seed      uint64
+	threshold uint64 // hits are draws strictly below this
+}
+
+// NewLiveSampler returns a sampler hitting approximately rate (clamped to
+// [0,1]) of all request IDs under the given seed.
+func NewLiveSampler(rate float64, seed uint64) *LiveSampler {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	var th uint64
+	switch {
+	case rate == 1:
+		th = ^uint64(0)
+	default:
+		// rate * 2^64 without overflowing float64 conversion at the top end.
+		th = uint64(rate * float64(1<<63) * 2)
+	}
+	return &LiveSampler{seed: seed, threshold: th}
+}
+
+// splitmix64 is the finalizer used throughout the repo for deterministic
+// derivation (trial sub-seeds, snapshot digests).
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Draw returns the request's 64-bit hash draw. Callers that need more
+// deterministic randomness for a hit (which word, which bit, which epoch)
+// derive it from this draw with further splitmix64 steps rather than from a
+// shared RNG, keeping requests independent.
+func (s *LiveSampler) Draw(id uint64) uint64 {
+	return splitmix64(s.seed ^ splitmix64(id))
+}
+
+// Sample reports whether request id is selected for injection.
+func (s *LiveSampler) Sample(id uint64) bool {
+	if s == nil || s.threshold == 0 {
+		return false
+	}
+	return s.Draw(id) < s.threshold
+}
+
+// LivePlan is the concrete injection a sampled request receives: one bit
+// flip in one tracked word, mid-way through one epoch. All coordinates are
+// derived from the request's draw, so the same (rate, seed, id, words,
+// epochs) always yields the same plan.
+type LivePlan struct {
+	Epoch int // epoch during which the flip lands
+	Word  int // index of the struck word
+	Bit   int // bit position 0..63
+}
+
+// Plan derives the injection plan for a sampled request over a workload of
+// the given word count and epoch count. Both must be positive.
+func (s *LiveSampler) Plan(id uint64, words, epochs int) LivePlan {
+	d := s.Draw(id)
+	e := splitmix64(d)
+	w := splitmix64(e)
+	b := splitmix64(w)
+	return LivePlan{
+		Epoch: int(e % uint64(epochs)),
+		Word:  int(w % uint64(words)),
+		Bit:   int(b % 64),
+	}
+}

@@ -1,0 +1,74 @@
+package faults
+
+import "testing"
+
+func TestLiveSamplerDeterministic(t *testing.T) {
+	a := NewLiveSampler(0.05, 42)
+	b := NewLiveSampler(0.05, 42)
+	for id := uint64(0); id < 1000; id++ {
+		if a.Sample(id) != b.Sample(id) {
+			t.Fatalf("samplers with identical config disagree on id %d", id)
+		}
+		if a.Sample(id) {
+			p1 := a.Plan(id, 64, 8)
+			p2 := b.Plan(id, 64, 8)
+			if p1 != p2 {
+				t.Fatalf("plans disagree on id %d: %+v vs %+v", id, p1, p2)
+			}
+			if p1.Epoch < 0 || p1.Epoch >= 8 || p1.Word < 0 || p1.Word >= 64 || p1.Bit < 0 || p1.Bit > 63 {
+				t.Fatalf("plan out of range: %+v", p1)
+			}
+		}
+	}
+}
+
+func TestLiveSamplerRate(t *testing.T) {
+	const n = 100_000
+	for _, rate := range []float64{0.01, 0.05, 0.5} {
+		s := NewLiveSampler(rate, 7)
+		hits := 0
+		for id := uint64(0); id < n; id++ {
+			if s.Sample(id) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		// The hash is uniform; allow generous sampling noise.
+		if got < rate*0.7 || got > rate*1.3 {
+			t.Errorf("rate %v: observed %v (%d/%d hits)", rate, got, hits, n)
+		}
+	}
+}
+
+func TestLiveSamplerEdgeRates(t *testing.T) {
+	never := NewLiveSampler(0, 1)
+	always := NewLiveSampler(1, 1)
+	for id := uint64(0); id < 1000; id++ {
+		if never.Sample(id) {
+			t.Fatalf("rate 0 sampled id %d", id)
+		}
+		if !always.Sample(id) {
+			t.Fatalf("rate 1 skipped id %d", id)
+		}
+	}
+	var nilSampler *LiveSampler
+	if nilSampler.Sample(3) {
+		t.Error("nil sampler sampled")
+	}
+}
+
+func TestLiveSamplerSeedIndependence(t *testing.T) {
+	a := NewLiveSampler(0.5, 1)
+	b := NewLiveSampler(0.5, 2)
+	same := 0
+	for id := uint64(0); id < 1000; id++ {
+		if a.Sample(id) == b.Sample(id) {
+			same++
+		}
+	}
+	// Different seeds must produce different hit sets (statistically ~50%
+	// agreement at rate 0.5; identical streams would agree on all 1000).
+	if same > 950 {
+		t.Errorf("seeds 1 and 2 agree on %d/1000 ids — streams not independent", same)
+	}
+}

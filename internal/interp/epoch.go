@@ -62,6 +62,14 @@ func (m *Machine) PlanEpochs(n int) (*EpochPlan, error) {
 // Epochs returns the number of epochs in the plan.
 func (p *EpochPlan) Epochs() int { return p.n }
 
+// Reset clears the plan's cached loop bounds so a pooled machine's plan can
+// be reused for a fresh request: bounds may depend on scalars the prologue
+// computes, so they must be re-evaluated when epoch 0 next runs. Pair with
+// Machine.Reset.
+func (p *EpochPlan) Reset() {
+	p.lo, p.hi, p.haveBounds = 0, 0, false
+}
+
 // RunEpoch executes epoch k: the prologue (k == 0), the k-th block of
 // outermost-loop iterations, and the epilogue (k == n-1). Epochs must be
 // started in order the first time, but any epoch may be re-executed after

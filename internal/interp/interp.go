@@ -8,6 +8,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -57,6 +58,26 @@ func (e *DetectionError) Error() string {
 
 func (e *DetectionError) Unwrap() error { return e.Err }
 
+// CancelError reports that execution was abandoned because the machine's
+// context was cancelled (deadline exceeded or caller shutdown). It unwraps to
+// the context error, so errors.Is(err, context.DeadlineExceeded) works and
+// recovery's DefaultClassify treats it as terminal rather than as a
+// detectable memory fault.
+type CancelError struct {
+	Pos lang.Pos
+	Err error
+}
+
+func (e *CancelError) Error() string { return fmt.Sprintf("interp: %s: cancelled: %v", e.Pos, e.Err) }
+
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// ctxCheckInterval is how many executed statements pass between context
+// polls. Polling every statement would put an atomic load on the hottest
+// path; every 256th statement bounds cancellation latency to microseconds
+// while keeping the overhead unmeasurable.
+const ctxCheckInterval = 256
+
 // varInfo locates a program variable in simulated memory.
 type varInfo struct {
 	decl   *lang.VarDecl
@@ -82,6 +103,9 @@ type Machine struct {
 
 	stepHook   func(step uint64)
 	inChecksum bool
+
+	ctx      context.Context
+	ctxCheck uint64 // statement count at which to poll ctx next
 
 	trace   telemetry.Sink
 	metrics *telemetry.Registry
@@ -198,6 +222,34 @@ func (m *Machine) Pair() *checksum.Pair { return m.pair }
 // corrupt memory at a chosen point.
 func (m *Machine) SetStepHook(h func(step uint64)) { m.stepHook = h }
 
+// SetContext arms (or, with nil, disarms) deadline/cancellation propagation:
+// execution polls ctx every ctxCheckInterval statements and aborts with a
+// *CancelError once it is done. A service uses this to put a hard per-request
+// deadline on kernel execution without trusting the kernel to terminate.
+func (m *Machine) SetContext(ctx context.Context) {
+	m.ctx = ctx
+	m.ctxCheck = 0
+}
+
+// Reset returns a pooled machine to its post-New state so it can be reused
+// for a fresh request: memory zeroed, checksum accumulators re-derived,
+// iterators, operation counts, hooks, and context cleared. The program,
+// parameter bindings, and variable layout are preserved — Reset does not
+// re-run initialization, the next user does.
+func (m *Machine) Reset() {
+	m.mem.Zero()
+	m.mem.SetLoadHook(nil)
+	m.pair.Reset()
+	for k := range m.iters {
+		delete(m.iters, k)
+	}
+	m.Counts = OpCounts{}
+	m.stepHook = nil
+	m.inChecksum = false
+	m.ctx = nil
+	m.ctxCheck = 0
+}
+
 // addrOf resolves a variable reference to a memory address.
 func (m *Machine) addrOf(r *lang.Ref) (int, error) {
 	vi := m.vars[r.Name]
@@ -300,6 +352,12 @@ func (m *Machine) execStmt(s lang.Stmt, max uint64) error {
 	m.Counts.Stmts++
 	if m.Counts.Stmts > max {
 		return &RuntimeError{Pos: s.StmtPos(), Msg: fmt.Sprintf("step limit %d exceeded", max)}
+	}
+	if m.ctx != nil && m.Counts.Stmts >= m.ctxCheck {
+		m.ctxCheck = m.Counts.Stmts + ctxCheckInterval
+		if err := m.ctx.Err(); err != nil {
+			return &CancelError{Pos: s.StmtPos(), Err: err}
+		}
 	}
 	if m.stepHook != nil {
 		m.stepHook(m.Counts.Stmts)

@@ -248,6 +248,17 @@ func (m *Memory) Stores() uint64 { return m.stores }
 // ResetCounters zeroes the access counters.
 func (m *Memory) ResetCounters() { m.loads, m.stores = 0, 0 }
 
+// Zero clears every word and the access counters, returning the memory to
+// its freshly allocated state (the layout — capacity and any regions handed
+// out — is preserved). Pooled machines use it between requests so one
+// request's data can never leak into the next.
+func (m *Memory) Zero() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+	m.loads, m.stores = 0, 0
+}
+
 // Region is an allocated range of words.
 type Region struct {
 	Base, Size int

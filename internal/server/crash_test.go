@@ -1,0 +1,296 @@
+package server
+
+// The serving-mode cell of the crash campaign (internal/faults/crash.go runs
+// the batch cells): a real defused-shaped server process is SIGKILLed under
+// live fault-injected load, and the gate is the journal — VerifyJournal must
+// find zero silent corruption in whatever the dying process left behind, and
+// a restarted server must resume over it, absorb fresh traffic, and drain
+// cleanly. The child is this test binary re-executed with a JSON spec in
+// DEFUSE_SERVE_CRASH_CHILD, the same re-exec pattern the batch campaign uses.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"defuse/internal/wal"
+	"defuse/telemetry"
+)
+
+// serveCrashChildEnv carries the JSON-encoded serveChildSpec that re-routes
+// this test binary into serveChildMain.
+const serveCrashChildEnv = "DEFUSE_SERVE_CRASH_CHILD"
+
+type serveChildSpec struct {
+	WAL       string  `json:"wal"`
+	PortFile  string  `json:"port_file"`
+	DrainFile string  `json:"drain_file,omitempty"` // written after the WAL is sealed
+	Words     int     `json:"words"`
+	Epochs    int     `json:"epochs"`
+	Seed      uint64  `json:"seed"`
+	FaultRate float64 `json:"fault_rate"`
+	FaultSeed uint64  `json:"fault_seed"`
+	// HoldSeconds keeps the process alive after a completed drain — the
+	// shutdown window the kill-during-drain cell SIGKILLs into.
+	HoldSeconds int `json:"hold_seconds,omitempty"`
+}
+
+func TestMain(m *testing.M) {
+	if os.Getenv(serveCrashChildEnv) != "" {
+		serveChildMain()
+	}
+	os.Exit(m.Run())
+}
+
+// serveChildMain is the child process: a full service on a loopback port,
+// journaling to the shared WAL, draining on SIGTERM. Never returns.
+func serveChildMain() {
+	var spec serveChildSpec
+	if err := json.Unmarshal([]byte(os.Getenv(serveCrashChildEnv)), &spec); err != nil {
+		fmt.Fprintln(os.Stderr, "serve child: bad spec:", err)
+		os.Exit(3)
+	}
+	health := telemetry.NewHealth()
+	s, err := New(Config{
+		Words: spec.Words, Epochs: spec.Epochs, Seed: spec.Seed,
+		MaxInFlight: 4, FaultRate: spec.FaultRate, FaultSeed: spec.FaultSeed,
+		WALPath: spec.WAL,
+		Obs:     &telemetry.Obs{Health: health, Metrics: telemetry.NewRegistry()},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve child:", err)
+		os.Exit(3)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve child:", err)
+		os.Exit(3)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	// The port file doubles as the readiness signal: written only once the
+	// journal has been scanned and the listener is accepting.
+	if err := wal.WriteFileAtomic(spec.PortFile, []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "serve child:", err)
+		os.Exit(3)
+	}
+
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
+	<-term
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	derr := s.Drain(ctx)
+	cancel()
+	if derr != nil {
+		fmt.Fprintln(os.Stderr, "serve child: drain:", derr)
+		os.Exit(5)
+	}
+	if spec.DrainFile != "" {
+		_ = wal.WriteFileAtomic(spec.DrainFile, []byte("sealed"), 0o644)
+	}
+	if spec.HoldSeconds > 0 {
+		time.Sleep(time.Duration(spec.HoldSeconds) * time.Second)
+	}
+	_ = hs.Close()
+	os.Exit(0)
+}
+
+// startServeChild launches one child incarnation and returns its handle and
+// base URL once it is ready.
+func startServeChild(t *testing.T, spec serveChildSpec) (*exec.Cmd, string) {
+	t.Helper()
+	_ = os.Remove(spec.PortFile)
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), serveCrashChildEnv+"="+string(raw))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting serve child: %v", err)
+	}
+	var addr []byte
+	waitFor(t, "serve child readiness", func() bool {
+		addr, err = os.ReadFile(spec.PortFile)
+		return err == nil && len(addr) > 0
+	})
+	return cmd, "http://" + string(addr)
+}
+
+// TestServeCrashMidLoadResume: SIGKILL a server mid-load (sampled fault
+// injection active), verify the abandoned journal holds zero silent
+// corruption, then restart over the same journal, drive fresh audited load,
+// drain via SIGTERM, and verify the combined journal end to end.
+func TestServeCrashMidLoadResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec campaign cell")
+	}
+	dir := t.TempDir()
+	spec := serveChildSpec{
+		WAL:      filepath.Join(dir, "serve.wal"),
+		PortFile: filepath.Join(dir, "port"),
+		Words:    24, Epochs: 3, Seed: 19,
+		FaultRate: 0.25, FaultSeed: 7,
+	}
+	cmd, target := startServeChild(t, spec)
+
+	// Drive far more load than can complete before the kill; every request's
+	// journal append is fsynced, so the WAL grows in lockstep with completed
+	// requests.
+	loadCtx, stopLoad := context.WithCancel(context.Background())
+	defer stopLoad()
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		_, _ = RunLoad(loadCtx, LoadConfig{
+			Target: target, Streams: 4, Requests: 50000,
+			Words: 24, Epochs: 3, Seed: 19,
+			FaultRate: 0.25, FaultSeed: 7,
+			Timeout: 5 * time.Second,
+		})
+	}()
+	minBytes := int64(1024) // well past the header: dozens of records in flight
+	waitFor(t, "journal to accumulate records under load", func() bool {
+		fi, err := os.Stat(spec.WAL)
+		return err == nil && fi.Size() > minBytes
+	})
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = cmd.Wait()
+	stopLoad()
+	<-loadDone
+
+	// Gate 1: whatever the dying process left on disk contains no silent
+	// corruption — at worst a torn tail from a mid-append kill.
+	st1, err := VerifyJournal(spec.WAL)
+	if err != nil {
+		t.Fatalf("journal after SIGKILL: %v", err)
+	}
+	if st1.Total == 0 {
+		t.Fatal("SIGKILL landed before any request completed; kill threshold too low")
+	}
+	if st1.Injected != st1.Detected || st1.Injected != st1.Recovered {
+		t.Fatalf("journal after SIGKILL: %+v, want every injected fault detected and recovered", st1)
+	}
+
+	// Gate 2: a restarted server resumes over the survivor, serves fresh
+	// audited traffic, and drains cleanly.
+	cmd2, target2 := startServeChild(t, spec)
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Target: target2, Streams: 4, Requests: 60,
+		Words: 24, Epochs: 3, Seed: 19,
+		FaultRate: 0.25, FaultSeed: 7,
+		FirstID: 1 << 20, // disjoint from every pre-crash ID
+	})
+	if err != nil {
+		t.Fatalf("post-resume load: %v", err)
+	}
+	if err := res.Gate(); err != nil {
+		t.Fatalf("post-resume gate: %v (row %+v)", err, res.Row)
+	}
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("drained child exited uncleanly: %v", err)
+	}
+
+	st2, err := VerifyJournal(spec.WAL)
+	if err != nil {
+		t.Fatalf("journal after resume+drain: %v", err)
+	}
+	if want := st1.Total + res.Row.Requests; st2.Total != want {
+		t.Fatalf("journal holds %d records, want %d survivors + %d post-resume", st2.Total, st1.Total, res.Row.Requests)
+	}
+	if st2.Injected != st2.Detected || st2.Injected != st2.Recovered {
+		t.Fatalf("combined journal: %+v, want every injected fault detected and recovered", st2)
+	}
+	if st2.TornTail {
+		t.Fatal("resumed journal still reports a torn tail after a clean drain")
+	}
+}
+
+// TestServeKillDuringShutdownResumesByteIdentical: SIGKILL into the window
+// between WAL seal and process exit; a restart over the sealed journal and a
+// clean drain must leave the log byte-for-byte unchanged.
+func TestServeKillDuringShutdownResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec campaign cell")
+	}
+	dir := t.TempDir()
+	spec := serveChildSpec{
+		WAL:       filepath.Join(dir, "serve.wal"),
+		PortFile:  filepath.Join(dir, "port"),
+		DrainFile: filepath.Join(dir, "drained"),
+		Words:     16, Epochs: 2, Seed: 3,
+		FaultRate: 0.5, FaultSeed: 11,
+		HoldSeconds: 60,
+	}
+	cmd, target := startServeChild(t, spec)
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Target: target, Streams: 2, Requests: 12,
+		Words: 16, Epochs: 2, Seed: 3,
+		FaultRate: 0.5, FaultSeed: 11,
+	})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := res.Gate(); err != nil {
+		t.Fatalf("gate: %v (row %+v)", err, res.Row)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitFor(t, "drain to seal the WAL", func() bool {
+		_, err := os.Stat(spec.DrainFile)
+		return err == nil
+	})
+	if err := cmd.Process.Kill(); err != nil { // into the shutdown hold window
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = cmd.Wait()
+
+	before, err := os.ReadFile(spec.WAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec2 := spec
+	spec2.DrainFile = filepath.Join(dir, "drained2")
+	spec2.HoldSeconds = 0
+	cmd2, _ := startServeChild(t, spec2)
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("resumed child exited uncleanly: %v", err)
+	}
+
+	after, err := os.ReadFile(spec.WAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("journal changed across resume: %d bytes before, %d after", len(before), len(after))
+	}
+	st, err := VerifyJournal(spec.WAL)
+	if err != nil {
+		t.Fatalf("VerifyJournal: %v", err)
+	}
+	if st.Total != res.Row.Requests {
+		t.Fatalf("journal holds %d records, want %d", st.Total, res.Row.Requests)
+	}
+}

@@ -1,0 +1,301 @@
+// Package server is the resident detection service behind cmd/defused: a
+// long-running HTTP front end where every request executes under a
+// per-request epoch discipline on pooled detector state, supervised by
+// internal/recovery with per-request deadlines, bounded retry+backoff, and
+// three-way fault classification. The package provides the tracker and
+// machine pools, admission control with a bounded queue and load-shedding
+// (429s instead of collapse), SIGTERM-style graceful drain, a WAL journal of
+// completed requests with startup resume and re-verification, and the load
+// generator that measures the service's latency and fault-recovery behavior
+// under sustained concurrent traffic.
+//
+// Two request kinds map the paper's end-of-interval verification onto live
+// traffic (see DESIGN.md):
+//
+//   - verify jobs run the rt def/use word-update workload: every tracked
+//     word is used, advanced, and redefined each epoch, and finalized at
+//     every epoch boundary, so the checksums are quiescent exactly where
+//     verification happens. Within this discipline any single-bit data flip
+//     inside an epoch is detected at that epoch's own boundary, which is
+//     what lets the service inject faults into a sampled fraction of live
+//     verify requests and assert 100% detection + recovery.
+//   - kernel jobs execute an instrumented benchmark program on a pooled
+//     interpreter machine; the program's own checksum placement (the
+//     post-dominator of all defs and uses) verifies at the end of the run.
+//     Kernel traffic is always clean — its role under load is to prove that
+//     recovery activity on neighboring requests never disturbs it.
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"defuse/internal/bench"
+	"defuse/internal/faults"
+	"defuse/internal/interp"
+	"defuse/internal/memsim"
+	"defuse/internal/recovery"
+	"defuse/rt"
+	"defuse/telemetry"
+)
+
+// Request kinds.
+const (
+	KindVerify = "verify"
+	KindKernel = "kernel"
+)
+
+// update advances one word per epoch — the same bijective LCG step the fault
+// campaigns use, so any corruption propagates to a wrong final state instead
+// of coincidentally reconverging.
+func update(v uint64) uint64 { return v*2862933555777941757 + 3037000493 }
+
+// mix is the splitmix64 finalizer, used to derive per-request initial words
+// and to chain result digests.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// initWord derives word i's deterministic initial value for a verify job.
+func initWord(seed, id uint64, i int) uint64 {
+	return mix(seed ^ mix(id) ^ mix(uint64(i)+1))
+}
+
+// digestWords chains a word slice through splitmix64 — order- and
+// length-sensitive, like memsim's snapshot digest.
+func digestWords(words []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) + uint64(len(words))
+	for _, w := range words {
+		h = mix(h ^ w)
+	}
+	return h
+}
+
+// ReferenceDigest computes, without executing anything, the digest a clean
+// verify job must produce: every word advanced epochs times from its derived
+// initial value. Both the server (to detect silent corruption before
+// journaling) and the load generator (to audit responses independently)
+// compute it; a recovered request must land exactly here.
+func ReferenceDigest(words, epochs int, seed, id uint64) uint64 {
+	final := make([]uint64, words)
+	for i := range final {
+		v := initWord(seed, id, i)
+		for e := 0; e < epochs; e++ {
+			v = update(v)
+		}
+		final[i] = v
+	}
+	return digestWords(final)
+}
+
+// verifyJob is one verify request's resolved parameters.
+type verifyJob struct {
+	id     uint64
+	words  int
+	epochs int
+	seed   uint64
+}
+
+// verifySnap checkpoints everything a verify epoch mutates. The injection
+// plan lives outside the snapshot: a transient fault does not recur when the
+// epoch re-executes, which is what makes rollback recovery converge.
+type verifySnap struct {
+	mem      memsim.Snapshot
+	state    rt.EpochState
+	counters []rt.Counter
+}
+
+// jobResult is the outcome of one executed request.
+type jobResult struct {
+	digest    uint64
+	refDigest uint64
+	outcome   recovery.Outcome
+}
+
+// runVerify executes one verify job on a pooled sharded tracker under the
+// recovery supervisor. plan, when non-nil, arms a single transient bit flip
+// at the planned (epoch, word, bit) — injected once, mid-epoch, exactly as a
+// live memory fault would land. The tracker must arrive recycled.
+func runVerify(ctx context.Context, st *rt.ShardedTracker, job verifyJob, plan *faults.LivePlan, pol recovery.Policy, tel bench.Telemetry, span telemetry.SpanContext) (jobResult, error) {
+	words, epochs := job.words, job.epochs
+	mem := memsim.New(words)
+	sh := st.Shard()
+	defer sh.Close()
+	tr := sh.Tracker()
+	counters := sh.Counters(words)
+	for i := 0; i < words; i++ {
+		v := initWord(job.seed, job.id, i)
+		mem.Poke(i, v)
+		rt.DefDyn(tr, &counters[i], uint64(0), v)
+	}
+	injected := false
+
+	run := func(k int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := 0; i < words; i++ {
+			if plan != nil && !injected && k == plan.Epoch && i == plan.Word {
+				mem.FlipBit(plan.Word, plan.Bit)
+				injected = true
+				telemetry.Emit(tel.Trace, telemetry.EvFaultInjected, map[string]any{
+					"request": job.id, "epoch": k, "word": plan.Word, "bit": plan.Bit,
+					"mode": "live",
+				})
+			}
+			v := rt.Use(tr, &counters[i], mem.Load(i))
+			next := update(v)
+			mem.Store(i, next)
+			rt.DefDyn(tr, &counters[i], v, next)
+		}
+		return nil
+	}
+	verify := func(k int) error {
+		// Finalize every live word so the boundary is checksum-quiescent,
+		// scrub the detector's own state, verify the merged fold, then
+		// re-register the survivors for the next epoch.
+		for i := 0; i < words; i++ {
+			rt.Final(tr, &counters[i], mem.Peek(i))
+		}
+		if err := st.ScrubDetector(); err != nil {
+			return err
+		}
+		_, err := st.EndEpoch()
+		if err == nil && k != epochs-1 {
+			for i := 0; i < words; i++ {
+				rt.DefDyn(tr, &counters[i], uint64(0), mem.Peek(i))
+			}
+		}
+		return err
+	}
+
+	out, err := recovery.Supervise(ctx, recovery.Config{
+		Epochs: epochs,
+		Run:    run,
+		Verify: verify,
+		Checkpoint: func() any {
+			return verifySnap{
+				mem:      mem.Snapshot(),
+				state:    st.BeginEpoch(),
+				counters: append([]rt.Counter(nil), counters...),
+			}
+		},
+		Restore: func(snap any) error {
+			s := snap.(verifySnap)
+			if rerr := mem.Restore(s.mem); rerr != nil {
+				return rerr
+			}
+			if rerr := st.Rollback(s.state); rerr != nil {
+				return rerr
+			}
+			copy(counters, s.counters)
+			return nil
+		},
+		Policy:  pol,
+		Trace:   tel.Trace,
+		Metrics: tel.Metrics,
+		Tracer:  tel.Tracer,
+		Span:    span,
+	})
+	if err != nil {
+		return jobResult{}, err
+	}
+	final := make([]uint64, words)
+	for i := range final {
+		final[i] = mem.Peek(i)
+	}
+	return jobResult{
+		digest:    digestWords(final),
+		refDigest: ReferenceDigest(words, epochs, job.seed, job.id),
+		outcome:   out,
+	}, nil
+}
+
+// kernelRunner is one pooled interpreter machine preloaded with an
+// instrumented benchmark. The machine is built once and Reset between
+// requests; Init re-seeds the arrays, so every request executes the same
+// deterministic program and must reproduce the same digest.
+type kernelRunner struct {
+	bench  *bench.Benchmark
+	params map[string]int64
+	m      *interp.Machine
+	plan   *interp.EpochPlan
+}
+
+// newKernelRunner parses, instruments (Resilient variant — the program's own
+// assert verifies at its end), and allocates one machine.
+func newKernelRunner(b *bench.Benchmark, scale float64, tel bench.Telemetry) (*kernelRunner, error) {
+	prog, err := b.BuildVariantWith(bench.Resilient, tel)
+	if err != nil {
+		return nil, err
+	}
+	params := b.Params(scale)
+	m, err := interp.New(prog, params,
+		interp.WithTrace(tel.Trace), interp.WithMetrics(tel.Metrics), interp.WithTracer(tel.Tracer))
+	if err != nil {
+		return nil, err
+	}
+	b.Init(m, params)
+	// A single epoch spans the whole program: the checksum placement is the
+	// instrumenter's post-dominator, so the def/use fold is balanced exactly
+	// at the program's end — the paper's end-of-interval verification with
+	// the interval being the request.
+	plan, err := m.PlanEpochs(1)
+	if err != nil {
+		return nil, err
+	}
+	return &kernelRunner{bench: b, params: params, m: m, plan: plan}, nil
+}
+
+// reset returns the runner to a freshly initialized state for the next
+// request.
+func (kr *kernelRunner) reset() {
+	kr.m.Reset()
+	kr.plan.Reset()
+	kr.bench.Init(kr.m, kr.params)
+}
+
+// run executes the kernel under supervision with the request's deadline
+// propagated into the interpreter's step loop, and digests the machine's
+// final memory image.
+func (kr *kernelRunner) run(ctx context.Context, pol recovery.Policy) (uint64, recovery.Outcome, error) {
+	kr.m.SetContext(ctx)
+	out, err := kr.plan.Supervise(ctx, pol)
+	kr.m.SetContext(nil)
+	if err != nil {
+		return 0, out, err
+	}
+	return kr.digest(), out, nil
+}
+
+// digest chains the machine's entire memory image — every output array and
+// scalar — so two runs agree iff they are byte-identical.
+func (kr *kernelRunner) digest() uint64 {
+	mem := kr.m.Mem()
+	h := uint64(0x9e3779b97f4a7c15) + uint64(mem.Size())
+	for i := 0; i < mem.Size(); i++ {
+		h = mix(h ^ mem.Peek(i))
+	}
+	return h
+}
+
+// warmup runs the kernel once cleanly to establish its reference digest, and
+// fails if the instrumented program does not verify.
+func (kr *kernelRunner) warmup(ctx context.Context) (uint64, error) {
+	digest, out, err := kr.run(ctx, recovery.Policy{})
+	if err != nil {
+		return 0, fmt.Errorf("server: kernel warmup %s: %w", kr.bench.Name, err)
+	}
+	if out.Detected || out.Tainted {
+		return 0, fmt.Errorf("server: kernel warmup %s: clean run reported detected=%v tainted=%v",
+			kr.bench.Name, out.Detected, out.Tainted)
+	}
+	kr.reset()
+	return digest, nil
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"defuse/internal/wal"
+)
+
+// The journal is the service's durability layer: one CRC64-framed,
+// fsynced-on-append WAL record per completed request. A SIGKILLed server
+// restarts, scans the journal (tolerating a torn tail from a mid-append
+// kill), re-verifies the newest valid record by recomputing its reference
+// digest from first principles, and resumes appending after the valid
+// prefix. VerifyJournal re-executes that check over every record — the
+// crash-campaign gate for "zero silent corruption".
+
+// journalRecordSize is the fixed encoding: id(8) kind(1) flags(1) words(4)
+// epochs(4) seed(8) digest(8) refDigest(8).
+const journalRecordSize = 42
+
+// Flag bits in a journal record.
+const (
+	flagInjected = 1 << iota
+	flagDetected
+	flagRecovered
+	flagTainted
+)
+
+// JournalRecord is one completed request as persisted in the WAL.
+type JournalRecord struct {
+	ID        uint64
+	Kind      string // KindVerify or KindKernel
+	Injected  bool
+	Detected  bool
+	Recovered bool
+	Tainted   bool
+	Words     int
+	Epochs    int
+	Seed      uint64
+	Digest    uint64
+	RefDigest uint64
+}
+
+func (r JournalRecord) encode() []byte {
+	b := make([]byte, journalRecordSize)
+	binary.LittleEndian.PutUint64(b[0:], r.ID)
+	if r.Kind == KindKernel {
+		b[8] = 1
+	}
+	var flags byte
+	if r.Injected {
+		flags |= flagInjected
+	}
+	if r.Detected {
+		flags |= flagDetected
+	}
+	if r.Recovered {
+		flags |= flagRecovered
+	}
+	if r.Tainted {
+		flags |= flagTainted
+	}
+	b[9] = flags
+	binary.LittleEndian.PutUint32(b[10:], uint32(r.Words))
+	binary.LittleEndian.PutUint32(b[14:], uint32(r.Epochs))
+	binary.LittleEndian.PutUint64(b[18:], r.Seed)
+	binary.LittleEndian.PutUint64(b[26:], r.Digest)
+	binary.LittleEndian.PutUint64(b[34:], r.RefDigest)
+	return b
+}
+
+func decodeJournalRecord(b []byte) (JournalRecord, error) {
+	if len(b) != journalRecordSize {
+		return JournalRecord{}, fmt.Errorf("server: journal record is %d bytes, want %d", len(b), journalRecordSize)
+	}
+	r := JournalRecord{
+		ID:        binary.LittleEndian.Uint64(b[0:]),
+		Kind:      KindVerify,
+		Words:     int(binary.LittleEndian.Uint32(b[10:])),
+		Epochs:    int(binary.LittleEndian.Uint32(b[14:])),
+		Seed:      binary.LittleEndian.Uint64(b[18:]),
+		Digest:    binary.LittleEndian.Uint64(b[26:]),
+		RefDigest: binary.LittleEndian.Uint64(b[34:]),
+	}
+	if b[8] == 1 {
+		r.Kind = KindKernel
+	}
+	flags := b[9]
+	r.Injected = flags&flagInjected != 0
+	r.Detected = flags&flagDetected != 0
+	r.Recovered = flags&flagRecovered != 0
+	r.Tainted = flags&flagTainted != 0
+	return r, nil
+}
+
+// check re-verifies one record from first principles. For verify jobs the
+// reference digest is recomputable from (words, epochs, seed, id); a record
+// whose stored reference disagrees with the recomputation was corrupted at
+// rest, and a non-tainted record whose result digest disagrees with the
+// reference is a silent corruption the detector missed. Kernel references
+// are not recomputable here (they come from the server's warmup), so only
+// internal consistency is checked.
+func (r JournalRecord) check() error {
+	if r.Kind == KindVerify {
+		ref := ReferenceDigest(r.Words, r.Epochs, r.Seed, r.ID)
+		if r.RefDigest != ref {
+			return fmt.Errorf("server: journal record %d: stored reference %x, recomputed %x", r.ID, r.RefDigest, ref)
+		}
+	}
+	if !r.Tainted && r.Digest != r.RefDigest {
+		return fmt.Errorf("server: journal record %d: silent corruption: digest %x, reference %x", r.ID, r.Digest, r.RefDigest)
+	}
+	return nil
+}
+
+// journal serializes appends from concurrent request workers onto one WAL.
+type journal struct {
+	mu  sync.Mutex
+	log *wal.Log
+}
+
+// ResumeInfo reports what the startup scan of the journal found.
+type ResumeInfo struct {
+	// Records is the number of valid records that survived.
+	Records int
+	// TornTail reports a mid-append kill whose partial frame was discarded.
+	TornTail bool
+	// Corrupt reports a CRC-failed frame (scanning stopped there).
+	Corrupt bool
+	// Reverified reports that the newest valid record passed its
+	// from-first-principles re-verification.
+	Reverified bool
+	// LastID is the newest valid record's request ID (0 when none).
+	LastID uint64
+}
+
+// openJournal scans path, re-verifies the newest valid record, and returns
+// an appendable journal positioned after the valid prefix. A missing or
+// unrecoverable log starts fresh; a newest record that fails re-verification
+// is an error — the operator must not resume over silent corruption.
+func openJournal(path string) (*journal, ResumeInfo, error) {
+	info := ResumeInfo{}
+	scan, err := wal.Recover(path)
+	switch {
+	case err == nil:
+		info.Records = len(scan.Records)
+		info.TornTail = scan.TornTail
+		info.Corrupt = scan.Corrupt > 0
+		newest := scan.Newest()
+		rec, derr := decodeJournalRecord(newest.Payload)
+		if derr != nil {
+			return nil, info, derr
+		}
+		if cerr := rec.check(); cerr != nil {
+			return nil, info, cerr
+		}
+		info.Reverified = true
+		info.LastID = rec.ID
+		log, oerr := wal.Open(scan, wal.Options{})
+		if oerr != nil {
+			return nil, info, oerr
+		}
+		return &journal{log: log}, info, nil
+	case errors.Is(err, wal.ErrNoCheckpoint), errors.Is(err, wal.ErrCheckpointCorrupt):
+		info.TornTail = scan.TornTail
+		info.Corrupt = scan.Corrupt > 0
+		log, cerr := wal.Create(path, wal.Options{})
+		if cerr != nil {
+			return nil, info, cerr
+		}
+		return &journal{log: log}, info, nil
+	default:
+		return nil, info, err
+	}
+}
+
+// append seals one completed request into the WAL (fsynced before return).
+func (j *journal) append(r JournalRecord) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Append(r.encode())
+}
+
+// seal closes the WAL cleanly (the drain path's final act).
+func (j *journal) seal() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Close()
+}
+
+// records reports the number of live records.
+func (j *journal) records() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Records()
+}
+
+// JournalStats summarizes a full journal verification.
+type JournalStats struct {
+	// Total is the number of valid records scanned.
+	Total int
+	// Injected / Detected / Recovered tally the records' flags.
+	Injected  int
+	Detected  int
+	Recovered int
+	// Tainted counts degraded requests (reported as such — not silent).
+	Tainted int
+	// TornTail reports a discarded partial final frame.
+	TornTail bool
+}
+
+// VerifyJournal re-verifies every record in a journal from first principles
+// and fails on the first silent corruption: a record whose result digest
+// deviates from its (recomputed, for verify jobs) reference without being
+// flagged tainted. The crash campaign runs this against the WAL a SIGKILLed
+// server left behind and again after the restarted server resumed over it.
+func VerifyJournal(path string) (JournalStats, error) {
+	stats := JournalStats{}
+	scan, err := wal.Recover(path)
+	if errors.Is(err, wal.ErrNoCheckpoint) {
+		return stats, nil
+	}
+	if err != nil {
+		return stats, err
+	}
+	stats.TornTail = scan.TornTail
+	seen := map[uint64]bool{}
+	for _, raw := range scan.Records {
+		rec, derr := decodeJournalRecord(raw.Payload)
+		if derr != nil {
+			return stats, derr
+		}
+		if cerr := rec.check(); cerr != nil {
+			return stats, cerr
+		}
+		if seen[rec.ID] {
+			return stats, fmt.Errorf("server: journal records request %d twice", rec.ID)
+		}
+		seen[rec.ID] = true
+		stats.Total++
+		if rec.Injected {
+			stats.Injected++
+		}
+		if rec.Detected {
+			stats.Detected++
+		}
+		if rec.Recovered {
+			stats.Recovered++
+		}
+		if rec.Tainted {
+			stats.Tainted++
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"defuse/internal/bench"
+	"defuse/internal/faults"
+	"defuse/telemetry"
+)
+
+// The load generator is the service's adversarial client: it drives
+// configurable-concurrency request streams against a running defused,
+// independently recomputes which requests the server must have injected
+// (the sampler is a pure function of rate, seed, and request ID) and what
+// digest each must produce, and audits every response against that local
+// truth. The server never gets to grade its own homework.
+
+// LoadConfig drives one load generation run.
+type LoadConfig struct {
+	// Target is the service base URL, e.g. "http://127.0.0.1:9150".
+	Target string
+	// Streams is the number of concurrent client streams (>= 1).
+	Streams int
+	// Requests is the total request count across all streams.
+	Requests int
+	// Words/Epochs size each verify request (0: server defaults — but the
+	// auditor needs them to recompute references, so they must be explicit
+	// and must match the server's seed-derived workload).
+	Words  int
+	Epochs int
+	// Seed must equal the server's Config.Seed for reference recomputation.
+	Seed uint64
+	// FaultRate and FaultSeed must mirror the server's live sampler so the
+	// client knows which requests were injected.
+	FaultRate float64
+	FaultSeed uint64
+	// KernelEvery, when > 0, makes every Nth request a kernel job.
+	KernelEvery int
+	// FirstID offsets request IDs (so successive runs against one journal
+	// never reuse an ID).
+	FirstID uint64
+	// Timeout bounds each HTTP request (default 60s).
+	Timeout time.Duration
+}
+
+// LoadResult is the audited outcome of a load run.
+type LoadResult struct {
+	Row bench.ServiceRow
+	// Mismatches lists audit failures (injected-but-undetected,
+	// unrecovered, or wrong digest), at most 10, for the error message.
+	Mismatches []string
+}
+
+// Gate enforces the sustained-load robustness bar: every injected fault
+// detected and recovered to the exact reference result, zero clean-request
+// digest mismatches, zero transport/server errors. Shed (429) and rejected
+// (503) requests are legitimate admission-control outcomes, not failures.
+func (r LoadResult) Gate() error {
+	row := r.Row
+	switch {
+	case len(r.Mismatches) > 0:
+		return fmt.Errorf("loadgen: %d audit failures, first: %s", len(r.Mismatches), r.Mismatches[0])
+	case row.Errors > 0:
+		return fmt.Errorf("loadgen: %d requests errored", row.Errors)
+	case row.Injected != row.Detected || row.Injected != row.Recovered:
+		return fmt.Errorf("loadgen: injected %d, detected %d, recovered %d — want all equal",
+			row.Injected, row.Detected, row.Recovered)
+	case row.CleanMismatches > 0:
+		return fmt.Errorf("loadgen: %d clean requests returned wrong digests", row.CleanMismatches)
+	case row.Requests == 0:
+		return fmt.Errorf("loadgen: no requests completed")
+	}
+	return nil
+}
+
+// RunLoad drives the configured streams to completion and audits every
+// response. ctx cancels the run early (remaining requests count as errors
+// only if they were in flight).
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = cfg.Streams
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.Words <= 0 || cfg.Epochs <= 0 {
+		return LoadResult{}, fmt.Errorf("loadgen: words and epochs must be explicit (the auditor recomputes references from them)")
+	}
+	sampler := faults.NewLiveSampler(cfg.FaultRate, cfg.FaultSeed)
+
+	reg := telemetry.NewRegistry()
+	hist := reg.Histogram("loadgen_request_seconds", telemetry.DefBuckets())
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	var (
+		next       atomic.Uint64 // dispensed request ordinals
+		mu         sync.Mutex
+		row        = bench.ServiceRow{Streams: cfg.Streams, FaultRate: cfg.FaultRate}
+		mismatches []string
+	)
+	audit := func(req Request, resp Response) {
+		expectInjected := req.Kind == KindVerify && sampler.Sample(req.ID)
+		var fail string
+		switch {
+		case resp.Injected != expectInjected:
+			fail = fmt.Sprintf("request %d: server injected=%v, client expected %v", req.ID, resp.Injected, expectInjected)
+		case expectInjected && (!resp.Detected || !resp.Recovered):
+			fail = fmt.Sprintf("request %d: injected fault detected=%v recovered=%v", req.ID, resp.Detected, resp.Recovered)
+		case resp.Tainted:
+			fail = fmt.Sprintf("request %d: degraded to tainted", req.ID)
+		case req.Kind == KindVerify && resp.Digest != ReferenceDigest(req.Words, req.Epochs, cfg.Seed, req.ID):
+			fail = fmt.Sprintf("request %d: digest %x, local reference %x", req.ID, resp.Digest,
+				ReferenceDigest(req.Words, req.Epochs, cfg.Seed, req.ID))
+		case req.Kind == KindKernel && resp.Digest != resp.RefDigest:
+			fail = fmt.Sprintf("kernel request %d: digest %x, warmup reference %x", req.ID, resp.Digest, resp.RefDigest)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		row.Requests++
+		if expectInjected {
+			row.Injected++
+			if resp.Detected {
+				row.Detected++
+			}
+			if resp.Recovered {
+				row.Recovered++
+			}
+		} else {
+			row.Clean++
+			if fail != "" {
+				row.CleanMismatches++
+			}
+		}
+		if fail != "" && len(mismatches) < 10 {
+			mismatches = append(mismatches, fail)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Streams; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > uint64(cfg.Requests) {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				req := Request{ID: cfg.FirstID + n, Kind: KindVerify, Words: cfg.Words, Epochs: cfg.Epochs}
+				if cfg.KernelEvery > 0 && n%uint64(cfg.KernelEvery) == 0 {
+					req.Kind = KindKernel
+					req.Words, req.Epochs = 0, 0
+				}
+				t0 := time.Now()
+				resp, status, err := postRun(ctx, client, cfg.Target, req)
+				elapsed := time.Since(t0).Seconds()
+				mu.Lock()
+				switch {
+				case err != nil:
+					row.Errors++
+				case status == http.StatusTooManyRequests:
+					row.Shed++
+				case status == http.StatusServiceUnavailable:
+					row.Rejected++
+				case status != http.StatusOK:
+					row.Errors++
+				}
+				mu.Unlock()
+				if err == nil && status == http.StatusOK {
+					hist.Observe(elapsed)
+					audit(req, resp)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	row.DurationSeconds = time.Since(start).Seconds()
+	if row.DurationSeconds > 0 {
+		row.ThroughputRPS = float64(row.Requests) / row.DurationSeconds
+	}
+	if q, ok := reg.Snapshot().FamilyQuantiles("loadgen_request_seconds"); ok {
+		row.P50Seconds = q.P50
+		row.P99Seconds = q.P99
+		row.P999Seconds = q.P999
+	}
+	return LoadResult{Row: row, Mismatches: mismatches}, nil
+}
+
+// postRun issues one /run request and decodes the response when it is 200.
+func postRun(ctx context.Context, client *http.Client, target string, req Request) (Response, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/run", bytes.NewReader(body))
+	if err != nil {
+		return Response{}, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := client.Do(hreq)
+	if err != nil {
+		return Response{}, 0, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(hresp.Body, 4096))
+		return Response{}, hresp.StatusCode, nil
+	}
+	var resp Response
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return Response{}, hresp.StatusCode, err
+	}
+	return resp, hresp.StatusCode, nil
+}

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"defuse/internal/bench"
+	"defuse/internal/faults"
+	"defuse/telemetry"
+)
+
+// newTestServer builds a service with observable health and metrics.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = &telemetry.Obs{Health: telemetry.NewHealth(), Metrics: telemetry.NewRegistry()}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post issues one /run request and returns the decoded response and status.
+func post(t *testing.T, url string, req Request) (Response, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hresp, err := http.Post(url+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer hresp.Body.Close()
+	var resp Response
+	if hresp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, hresp.StatusCode
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestVerifyRoundTrip: a clean verify request produces exactly the digest
+// the client can compute without the server, and lands in the journal.
+func TestVerifyRoundTrip(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "serve.wal")
+	s, ts := newTestServer(t, Config{Words: 32, Epochs: 4, Seed: 77, WALPath: wal})
+	resp, status := post(t, ts.URL, Request{ID: 1})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	want := ReferenceDigest(32, 4, 77, 1)
+	if resp.Digest != want || resp.RefDigest != want {
+		t.Fatalf("digest = %x / ref %x, want %x", resp.Digest, resp.RefDigest, want)
+	}
+	if resp.Injected || resp.Detected || resp.Tainted {
+		t.Fatalf("clean request reported %+v", resp)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	stats, err := VerifyJournal(wal)
+	if err != nil {
+		t.Fatalf("VerifyJournal: %v", err)
+	}
+	if stats.Total != 1 || stats.Injected != 0 {
+		t.Fatalf("journal stats = %+v, want 1 clean record", stats)
+	}
+}
+
+// TestInjectedFaultDetectedAndRecovered: at fault rate 1 every verify request
+// is injected; the epoch discipline guarantees boundary detection, rollback
+// re-executes without the transient fault, and the final digest must land
+// exactly on the clean reference.
+func TestInjectedFaultDetectedAndRecovered(t *testing.T) {
+	s, ts := newTestServer(t, Config{Words: 32, Epochs: 4, Seed: 9, FaultRate: 1, FaultSeed: 31})
+	for id := uint64(1); id <= 4; id++ {
+		resp, status := post(t, ts.URL, Request{ID: id})
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", id, status)
+		}
+		if !resp.Injected || !resp.Detected || !resp.Recovered || resp.Tainted {
+			t.Fatalf("request %d: %+v, want injected+detected+recovered", id, resp)
+		}
+		if want := ReferenceDigest(32, 4, 9, id); resp.Digest != want {
+			t.Fatalf("request %d: recovered digest %x, want reference %x", id, resp.Digest, want)
+		}
+	}
+	st := s.Stats()
+	if st.Injected != 4 || st.Detected != 4 || st.Recovered != 4 {
+		t.Fatalf("stats = %+v, want 4/4/4", st)
+	}
+}
+
+// TestQueueOverflowSheds: with the single slot held and the one queue seat
+// taken, the next arrival is shed with 429 instead of piling up.
+func TestQueueOverflowSheds(t *testing.T) {
+	s, ts := newTestServer(t, Config{Words: 8, Epochs: 2, MaxInFlight: 1, QueueDepth: 1})
+	s.slots <- struct{}{} // occupy the only slot
+
+	first := make(chan int, 1)
+	go func() {
+		_, status := post(t, ts.URL, Request{ID: 1})
+		first <- status
+	}()
+	waitFor(t, "request 1 to queue", func() bool { return s.queued.Load() == 1 })
+
+	if _, status := post(t, ts.URL, Request{ID: 2}); status != http.StatusTooManyRequests {
+		t.Fatalf("overflow arrival: status %d, want 429", status)
+	}
+
+	<-s.slots // free the slot; the queued request proceeds
+	if status := <-first; status != http.StatusOK {
+		t.Fatalf("queued request: status %d, want 200", status)
+	}
+	if st := s.Stats(); st.Shed != 1 || st.Requests != 1 {
+		t.Fatalf("stats = %+v, want 1 shed, 1 completed", st)
+	}
+}
+
+// TestDrainCompletesInFlightAndRejectsNew: an admitted request runs to
+// verified completion across a drain; arrivals during the drain get 503; the
+// sealed journal holds exactly the completed request.
+func TestDrainCompletesInFlightAndRejectsNew(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "drain.wal")
+	health := telemetry.NewHealth()
+	s, ts := newTestServer(t, Config{
+		Words: 16, Epochs: 2, Seed: 5, MaxInFlight: 2, WALPath: wal,
+		Obs: &telemetry.Obs{Health: health, Metrics: telemetry.NewRegistry()},
+	})
+
+	// Steal every pooled tracker so the admitted request parks inside
+	// execute — in flight, deterministically, for as long as we choose.
+	t1 := <-s.trackers.ch
+	t2 := <-s.trackers.ch
+
+	inFlight := make(chan Response, 1)
+	go func() {
+		resp, status := post(t, ts.URL, Request{ID: 1})
+		if status != http.StatusOK {
+			t.Errorf("in-flight request: status %d, want 200", status)
+		}
+		inFlight <- resp
+	}()
+	waitFor(t, "request to be admitted", func() bool { return health.InFlight() == 1 })
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+	waitFor(t, "drain to start", func() bool { return s.Draining() })
+
+	if !health.Draining() || health.Ready() {
+		t.Fatal("health not flipped to draining/unready")
+	}
+	if _, status := post(t, ts.URL, Request{ID: 2}); status != http.StatusServiceUnavailable {
+		t.Fatalf("arrival during drain: status %d, want 503", status)
+	}
+
+	// Hand the trackers back: the in-flight request completes and verifies.
+	s.trackers.ch <- t1
+	s.trackers.ch <- t2
+	resp := <-inFlight
+	if want := ReferenceDigest(16, 2, 5, 1); resp.Digest != want {
+		t.Fatalf("in-flight digest %x, want %x", resp.Digest, want)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	stats, err := VerifyJournal(wal)
+	if err != nil || stats.Total != 1 {
+		t.Fatalf("sealed journal: stats %+v, err %v, want exactly the in-flight record", stats, err)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 rejected", st)
+	}
+}
+
+// TestDrainReleasesQueuedWaiters: a request waiting for a slot is released
+// with 503 the moment the drain starts — its work has not begun, so nothing
+// is lost by refusing it.
+func TestDrainReleasesQueuedWaiters(t *testing.T) {
+	s, ts := newTestServer(t, Config{Words: 8, Epochs: 2, MaxInFlight: 1, QueueDepth: 4})
+	s.slots <- struct{}{} // occupy the only slot so the request queues
+
+	queued := make(chan int, 1)
+	go func() {
+		_, status := post(t, ts.URL, Request{ID: 1})
+		queued <- status
+	}()
+	waitFor(t, "request to queue", func() bool { return s.queued.Load() == 1 })
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if status := <-queued; status != http.StatusServiceUnavailable {
+		t.Fatalf("queued waiter: status %d, want 503", status)
+	}
+}
+
+// TestDeadlineExceededIsTerminal: an already-expired per-request deadline
+// propagates through supervision as a terminal error, reported as 504.
+func TestDeadlineExceededIsTerminal(t *testing.T) {
+	_, ts := newTestServer(t, Config{Words: 8, Epochs: 2, Timeout: time.Nanosecond})
+	_, status := post(t, ts.URL, Request{ID: 1})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", status)
+	}
+}
+
+// TestJournalResume: a drained journal reopens with its records intact and
+// re-verified, accepts appends for fresh request IDs, and the final journal
+// verifies end to end.
+func TestJournalResume(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "resume.wal")
+	cfg := Config{Words: 16, Epochs: 3, Seed: 11, FaultRate: 0.5, FaultSeed: 42, WALPath: wal}
+
+	s1, ts1 := newTestServer(t, cfg)
+	for id := uint64(1); id <= 5; id++ {
+		if _, status := post(t, ts1.URL, Request{ID: id}); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", id, status)
+		}
+	}
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	s2, ts2 := newTestServer(t, cfg)
+	info := s2.Resume()
+	if info.Records != 5 || !info.Reverified || info.LastID != 5 {
+		t.Fatalf("resume info = %+v, want 5 re-verified records ending at ID 5", info)
+	}
+	for id := uint64(6); id <= 8; id++ {
+		if _, status := post(t, ts2.URL, Request{ID: id}); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", id, status)
+		}
+	}
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	stats, err := VerifyJournal(wal)
+	if err != nil {
+		t.Fatalf("VerifyJournal: %v", err)
+	}
+	if stats.Total != 8 {
+		t.Fatalf("journal holds %d records, want 8", stats.Total)
+	}
+	if stats.Injected != stats.Detected || stats.Injected != stats.Recovered {
+		t.Fatalf("stats = %+v, want injected == detected == recovered", stats)
+	}
+}
+
+// TestResumeRefusesSilentCorruption: a journal whose newest record claims a
+// clean result that disagrees with the recomputed reference must not be
+// resumed over.
+func TestResumeRefusesSilentCorruption(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "bad.wal")
+	j, _, err := openJournal(wal)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	rec := JournalRecord{
+		ID: 1, Kind: KindVerify, Words: 8, Epochs: 2, Seed: 3,
+		RefDigest: ReferenceDigest(8, 2, 3, 1),
+	}
+	rec.Digest = rec.RefDigest ^ 1 // silent corruption: wrong result, not flagged
+	if err := j.append(rec); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := j.seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	if _, _, err := openJournal(wal); err == nil {
+		t.Fatal("openJournal resumed over silent corruption")
+	}
+	if _, err := VerifyJournal(wal); err == nil {
+		t.Fatal("VerifyJournal accepted silent corruption")
+	}
+}
+
+// TestKernelRequestsAreDeterministic: pooled kernel runners reproduce the
+// warmup reference digest on every request, including after reset.
+func TestKernelRequestsAreDeterministic(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Words: 8, Epochs: 2, Kernel: "jacobi1d", Scale: 0.001, MaxInFlight: 2,
+	})
+	ref := s.KernelRef()
+	if ref == 0 {
+		t.Fatal("kernel pool has no warmup reference")
+	}
+	for id := uint64(1); id <= 3; id++ {
+		resp, status := post(t, ts.URL, Request{ID: id, Kind: KindKernel})
+		if status != http.StatusOK {
+			t.Fatalf("kernel request %d: status %d", id, status)
+		}
+		if resp.Digest != ref || resp.RefDigest != ref {
+			t.Fatalf("kernel request %d: digest %x, want warmup reference %x", id, resp.Digest, ref)
+		}
+		if resp.Detected || resp.Tainted {
+			t.Fatalf("clean kernel request %d reported %+v", id, resp)
+		}
+	}
+}
+
+// TestLoadGenAuditsServer: the load generator drives concurrent streams with
+// mirrored fault sampling and its gate passes against an honest server.
+func TestLoadGenAuditsServer(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "load.wal")
+	s, ts := newTestServer(t, Config{
+		Words: 24, Epochs: 3, Seed: 19, MaxInFlight: 4,
+		FaultRate: 0.25, FaultSeed: 7, WALPath: wal,
+	})
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Target: ts.URL, Streams: 4, Requests: 40,
+		Words: 24, Epochs: 3, Seed: 19,
+		FaultRate: 0.25, FaultSeed: 7,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if err := res.Gate(); err != nil {
+		t.Fatalf("Gate: %v (row %+v)", err, res.Row)
+	}
+	if res.Row.Injected == 0 {
+		t.Fatalf("row = %+v, want at least one injected request at rate 0.25", res.Row)
+	}
+	if res.Row.P50Seconds <= 0 || res.Row.P999Seconds < res.Row.P50Seconds {
+		t.Fatalf("quantiles p50=%v p999=%v look wrong", res.Row.P50Seconds, res.Row.P999Seconds)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	stats, err := VerifyJournal(wal)
+	if err != nil {
+		t.Fatalf("VerifyJournal: %v", err)
+	}
+	if stats.Total != 40 || stats.Injected != res.Row.Injected {
+		t.Fatalf("journal %+v disagrees with loadgen row %+v", stats, res.Row)
+	}
+}
+
+// cleanRow is a passing loadgen result for gate tests.
+func cleanRow() bench.ServiceRow {
+	return bench.ServiceRow{
+		Streams: 4, Requests: 100, FaultRate: 0.1,
+		Injected: 10, Detected: 10, Recovered: 10,
+		Clean: 90, Shed: 3, Rejected: 1,
+		P50Seconds: 0.001, P99Seconds: 0.01, P999Seconds: 0.02,
+	}
+}
+
+// TestGateRejections: the gate refuses every failure class and accepts the
+// clean row.
+func TestGateRejections(t *testing.T) {
+	clean := LoadResult{Row: cleanRow()}
+	if err := clean.Gate(); err != nil {
+		t.Fatalf("clean row rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*LoadResult)
+		want string
+	}{
+		{"audit", func(r *LoadResult) { r.Mismatches = []string{"request 3: wrong digest"} }, "audit"},
+		{"errors", func(r *LoadResult) { r.Row.Errors = 2 }, "errored"},
+		{"undetected", func(r *LoadResult) { r.Row.Detected = r.Row.Injected - 1 }, "detected"},
+		{"unrecovered", func(r *LoadResult) { r.Row.Recovered = r.Row.Injected - 1 }, "recovered"},
+		{"cleanMismatch", func(r *LoadResult) { r.Row.CleanMismatches = 1 }, "clean"},
+		{"empty", func(r *LoadResult) { r.Row = cleanRow(); r.Row.Requests = 0 }, "no requests"},
+	}
+	for _, tc := range cases {
+		r := LoadResult{Row: cleanRow()}
+		tc.mut(&r)
+		err := r.Gate()
+		if err == nil {
+			t.Errorf("%s: gate passed, want failure", tc.name)
+			continue
+		}
+		if !contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestLiveSamplerAgreesWithServer: the server and an independent sampler with
+// the same parameters pick the same requests — the property the loadgen
+// audit rests on.
+func TestLiveSamplerAgreesWithServer(t *testing.T) {
+	_, ts := newTestServer(t, Config{Words: 8, Epochs: 2, Seed: 1, FaultRate: 0.5, FaultSeed: 99})
+	local := faults.NewLiveSampler(0.5, 99)
+	for id := uint64(1); id <= 20; id++ {
+		resp, status := post(t, ts.URL, Request{ID: id})
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", id, status)
+		}
+		if resp.Injected != local.Sample(id) {
+			t.Fatalf("request %d: server injected=%v, local sampler says %v", id, resp.Injected, local.Sample(id))
+		}
+	}
+}
+
+// TestRequestSizeCaps: oversized verify requests are refused rather than
+// letting one client monopolize a slot.
+func TestRequestSizeCaps(t *testing.T) {
+	_, ts := newTestServer(t, Config{Words: 16, Epochs: 2})
+	if _, status := post(t, ts.URL, Request{ID: 1, Words: 1 << 20}); status == http.StatusOK {
+		t.Fatal("oversized request accepted")
+	}
+}
+
+func contains(s, sub string) bool {
+	return strings.Contains(s, sub)
+}

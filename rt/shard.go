@@ -337,3 +337,25 @@ func (s *ShardedTracker) Reset() {
 		}
 	}
 }
+
+// Recycle returns the tracker to its post-NewSharded state for pool reuse:
+// the root is reset (accumulators, shadow copies, epoch counter, any latched
+// detector fault) and every outstanding shard is forcibly retired — not
+// merged, since a previous request's unmerged residue must never leak into
+// the next request's checksums. Retired shards' owners are gone (the request
+// completed or was abandoned), so discarding is safe where merging would be
+// wrong. Telemetry hooks and the observer survive recycling; the live-shard
+// gauge drops to zero.
+func (s *ShardedTracker) Recycle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.closed = true
+	}
+	s.shards = s.shards[:0]
+	s.live = 0
+	if s.liveGauge != nil {
+		s.liveGauge.Set(0)
+	}
+	s.root.Reset()
+}

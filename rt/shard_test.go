@@ -335,3 +335,49 @@ func TestShardKindMismatchPanics(t *testing.T) {
 	p := checksum.NewPair(checksum.ModAdd)
 	p.Merge(checksum.NewPair(checksum.XOR))
 }
+
+// TestShardedRecycle: Recycle returns a tracker to its post-NewSharded
+// state — unmerged shard residue is discarded (never merged), open shard
+// handles are dead, the live-shard gauge drops to zero, and the recycled
+// tracker behaves exactly like a fresh one for the next owner.
+func TestShardedRecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := NewSharded().SetTelemetry(nil, reg)
+
+	// Leave the tracker mid-request: an unbalanced fold on a still-open
+	// shard, an advanced epoch counter, and a latched detector verdict
+	// would each poison the next request if they survived.
+	sh := st.Shard()
+	UseKnown(sh.Tracker(), 4.25) // unbalanced: no matching def
+	if _, err := st.EndEpoch(); err == nil {
+		t.Fatal("EndEpoch verified clean despite an unbalanced fold")
+	}
+
+	st.Recycle()
+
+	if got := st.LiveShards(); got != 0 {
+		t.Fatalf("LiveShards after Recycle = %d, want 0", got)
+	}
+	if g := reg.Gauge("defuse_rt_live_shards"); g.Value() != 0 {
+		t.Fatalf("live gauge after Recycle = %v, want 0", g.Value())
+	}
+	if def, use, _, _ := st.Checksums(); def != 0 || use != 0 {
+		t.Fatalf("residue survived Recycle: def=%#x use=%#x", def, use)
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatalf("recycled tracker failed verify: %v", err)
+	}
+
+	// The pre-recycle shard handle must be inert: folding into it must not
+	// reach the next request's merge.
+	Def(sh.Tracker(), 9.5, 1)
+	sh.Close()
+
+	sh2 := st.Shard()
+	Def(sh2.Tracker(), 2.5, 1)
+	UseKnown(sh2.Tracker(), 2.5)
+	sh2.Close()
+	if _, err := st.EndEpoch(); err != nil {
+		t.Fatalf("recycled tracker's first epoch failed verify: %v", err)
+	}
+}

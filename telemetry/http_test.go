@@ -53,7 +53,7 @@ func TestServeEndpoints(t *testing.T) {
 	tr.Start(s.Context(), "epoch").End()
 	s.End()
 
-	srv, err := Serve("127.0.0.1:0", reg, flight, spans)
+	srv, err := Serve("127.0.0.1:0", reg, flight, spans, NewHealth())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,19 +118,111 @@ func TestServeEndpoints(t *testing.T) {
 }
 
 func TestServeNilComponents(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", nil, nil, nil)
+	srv, err := Serve("127.0.0.1:0", nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 	base := "http://" + srv.Addr()
-	for _, path := range []string{"/metrics", "/flight", "/events", "/trace"} {
+	for _, path := range []string{"/metrics", "/flight", "/events", "/trace", "/healthz", "/readyz"} {
 		if code, _, _ := get(t, base+path); code != 404 {
 			t.Errorf("%s with nil component: %d, want 404", path, code)
 		}
 	}
 	if code, _, _ := get(t, base+"/"); code != 200 {
 		t.Errorf("index: %d", code)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	health := NewHealth()
+	health.BindGauge(reg)
+	srv, err := Serve("127.0.0.1:0", reg, nil, nil, health)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body, ct := get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(ct, "application/json") {
+		t.Fatalf("/healthz: %d %q", code, ct)
+	}
+	var hz healthzBody
+	if err := json.Unmarshal([]byte(body), &hz); err != nil || hz.Status != "ok" {
+		t.Fatalf("/healthz body %q: %v", body, err)
+	}
+
+	// Ready with two requests in flight.
+	health.Add(2)
+	code, body, ct = get(t, base+"/readyz")
+	if code != 200 || !strings.Contains(ct, "application/json") {
+		t.Fatalf("/readyz ready: %d %q", code, ct)
+	}
+	var rz readyzBody
+	if err := json.Unmarshal([]byte(body), &rz); err != nil {
+		t.Fatal(err)
+	}
+	if !rz.Ready || rz.Draining || rz.InFlight != 2 {
+		t.Errorf("/readyz = %+v, want ready with 2 in flight", rz)
+	}
+
+	// The in-flight gauge must track the counter.
+	if got := reg.Gauge("defuse_server_in_flight").Value(); got != 2 {
+		t.Errorf("in-flight gauge = %v, want 2", got)
+	}
+
+	// Draining flips readiness to 503 while reporting the in-flight count
+	// still completing, so a drain is observable from the outside.
+	health.SetDraining()
+	health.Add(-1)
+	code, body, _ = get(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz draining: %d, want 503", code)
+	}
+	if err := json.Unmarshal([]byte(body), &rz); err != nil {
+		t.Fatal(err)
+	}
+	if rz.Ready || !rz.Draining || rz.InFlight != 1 {
+		t.Errorf("/readyz draining = %+v", rz)
+	}
+
+	// /healthz stays 200 throughout: the process is alive even while unready.
+	if code, _, _ := get(t, base+"/healthz"); code != 200 {
+		t.Errorf("/healthz during drain: %d, want 200", code)
+	}
+}
+
+func TestServerHandleMountsRoutes(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Handle("/custom", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "mounted")
+	}))
+	code, body, _ := get(t, "http://"+srv.Addr()+"/custom")
+	if code != 200 || body != "mounted" {
+		t.Errorf("/custom = %d %q", code, body)
+	}
+}
+
+func TestObsFinishIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	obs, err := SetupObs(ObsConfig{TracePath: filepath.Join(dir, "events.jsonl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Emit(obs.Sink, EvVerifyOK, nil)
+	if err := obs.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Finish (e.g. a signal handler racing the normal exit path)
+	// must not double-close the sink or error.
+	if err := obs.Finish(); err != nil {
+		t.Fatalf("second Finish: %v", err)
 	}
 }
 

@@ -1,6 +1,9 @@
 package telemetry
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ObsConfig selects the observability outputs a CLI was asked for. Every
 // field is optional; the zero config yields a fully inert Obs whose
@@ -23,6 +26,11 @@ type ObsConfig struct {
 	FlightSize int
 	// SpanCap overrides the span buffer capacity (default DefaultSpanCap).
 	SpanCap int
+	// Health supplies the liveness/readiness state served at /healthz and
+	// /readyz. Nil with ServeAddr set creates a default (immediately ready)
+	// Health — right for batch CLIs; a resident service passes its own,
+	// marked unready, and flips it after warmup.
+	Health *Health
 }
 
 // Obs bundles the observability components behind a CLI's flags: the event
@@ -36,9 +44,12 @@ type Obs struct {
 	Flight  *FlightRecorder
 	Spans   *SpanBuffer
 	Server  *Server
+	Health  *Health
 
-	cfg   ObsConfig
-	jsonl *JSONLSink
+	cfg        ObsConfig
+	jsonl      *JSONLSink
+	finishOnce sync.Once
+	finishErr  error
 }
 
 // SetupObs opens everything cfg asks for. On error nothing is left open.
@@ -88,8 +99,13 @@ func SetupObs(cfg ObsConfig) (*Obs, error) {
 	if spanSink := MultiSpan(spanJSONL, spanBuf, spanFlight); spanSink != nil {
 		o.Tracer = NewTracer(spanSink)
 	}
+	o.Health = cfg.Health
 	if cfg.ServeAddr != "" {
-		srv, err := Serve(cfg.ServeAddr, o.Metrics, o.Flight, o.Spans)
+		if o.Health == nil {
+			o.Health = NewHealth()
+		}
+		o.Health.BindGauge(o.Metrics)
+		srv, err := Serve(cfg.ServeAddr, o.Metrics, o.Flight, o.Spans, o.Health)
 		if err != nil {
 			if o.jsonl != nil {
 				o.jsonl.Close()
@@ -136,11 +152,18 @@ func (o *Obs) Flush() error {
 // Finish drains and closes everything: the flight ring is dumped (trigger
 // "exit") unless an automatic trigger already wrote the postmortem, the
 // Chrome trace and metrics files are written, the event sink is closed, and
-// the HTTP server is shut down. Call it on every exit path.
+// the HTTP server is shut down. It is idempotent — the first call does the
+// work and later calls return its result — so the normal exit path and a
+// racing signal handler can both call it without double-closing sinks.
 func (o *Obs) Finish() error {
 	if o == nil {
 		return nil
 	}
+	o.finishOnce.Do(func() { o.finishErr = o.finish() })
+	return o.finishErr
+}
+
+func (o *Obs) finish() error {
 	var first error
 	keep := func(err error) {
 		if first == nil {

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"os"
 	"os/signal"
 	"sync"
@@ -54,5 +55,23 @@ func FlushOnSignal(skip int, finish func() error, onSkip ...func()) (stop func()
 			signal.Stop(ch)
 			close(done)
 		})
+	}
+}
+
+// GracefulSignals is the uniform two-stage signal discipline shared by every
+// CLI and by the resident service. The first SIGINT/SIGTERM cancels the
+// returned context (the graceful path: a batch CLI aborts its run, a service
+// starts draining) and non-destructively flushes the telemetry artifacts plus
+// any onFirst hooks; a second signal gives up on grace, runs obs.Finish (safe
+// to race with the normal exit path — Finish is idempotent) and exits with
+// the conventional 128+signo status. The returned stop uninstalls both
+// handlers; call it once the normal exit path owns flushing.
+func GracefulSignals(obs *Obs, onFirst ...func()) (ctx context.Context, stop func()) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	hooks := append([]func(){func() { _ = obs.Flush() }}, onFirst...)
+	unflush := FlushOnSignal(1, obs.Finish, hooks...)
+	return ctx, func() {
+		cancel()
+		unflush()
 	}
 }
