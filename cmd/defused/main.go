@@ -73,6 +73,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	faultRate := flag.Float64("fault-rate", 0, "inject a transient fault into this fraction of verify requests")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault sampler")
+	faultAddrFrac := flag.Float64("fault-addr-frac", 0, "fraction of injected faults that are wrong-location loads instead of bit flips")
 	walPath := flag.String("wal", "", "journal completed requests to this WAL for crash-consistent resume")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain")
 
@@ -91,7 +92,7 @@ func main() {
 
 	if *loadgen {
 		if err := runLoadgen(*target, *streams, *requests, *words, *epochs, *seed,
-			*faultRate, *faultSeed, *kernelEvery, *firstID, *timeout, *gate, *jsonOut); err != nil {
+			*faultRate, *faultSeed, *faultAddrFrac, *kernelEvery, *firstID, *timeout, *gate, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -119,7 +120,7 @@ func main() {
 		Words: *words, Epochs: *epochs, Seed: *seed,
 		Kernel: *kernel, Scale: *scale,
 		MaxInFlight: *maxInFlight, QueueDepth: *queue, Timeout: *timeout,
-		FaultRate: *faultRate, FaultSeed: *faultSeed,
+		FaultRate: *faultRate, FaultSeed: *faultSeed, FaultAddrFraction: *faultAddrFrac,
 		WALPath: *walPath,
 		Obs:     obs,
 	})
@@ -165,7 +166,7 @@ func main() {
 }
 
 func runLoadgen(target string, streams, requests, words, epochs int, seed uint64,
-	faultRate float64, faultSeed uint64, kernelEvery int, firstID uint64,
+	faultRate float64, faultSeed uint64, faultAddrFrac float64, kernelEvery int, firstID uint64,
 	timeout time.Duration, gate bool, jsonOut string) error {
 	// The loadgen shares the CLI-wide signal discipline: first interrupt
 	// cancels the run (partial results still reported), second forces exit.
@@ -175,7 +176,7 @@ func runLoadgen(target string, streams, requests, words, epochs int, seed uint64
 	res, err := server.RunLoad(ctx, server.LoadConfig{
 		Target: target, Streams: streams, Requests: requests,
 		Words: words, Epochs: epochs, Seed: seed,
-		FaultRate: faultRate, FaultSeed: faultSeed,
+		FaultRate: faultRate, FaultSeed: faultSeed, FaultAddrFraction: faultAddrFrac,
 		KernelEvery: kernelEvery, FirstID: firstID, Timeout: timeout,
 	})
 	if err != nil {

@@ -43,6 +43,17 @@
 // false positive, a degraded (tainted) trial, or a detected corruption that
 // recovery failed to repair.
 //
+// -backend switches to the backend-comparison mode: the named detection
+// backends (comma list of checksum, addrsum, dme — or "all") race an
+// identical matrix of fault cells (a data bit flip plus the three address
+// faults, including the valid-word-aliasing redirect that data checksums
+// provably cannot see), and each (backend, cell) pair is judged against its
+// structural expectation — Detect cells must show zero escapes, Blind cells
+// zero detections. Uses the first -sizes entry as the word count and -epochs
+// (default 4) epochs; -gate exits non-zero on any expectation violation, and
+// -bench-out merges the per-backend overhead/latency rows into an existing
+// BENCH_overhead.json.
+//
 // -trace streams one fault.injected event per trial per cell (with the
 // flipped word/bit coordinates) plus verification outcomes; select a single
 // cell (one size, one flip count, one pattern, one scheme) to get exactly
@@ -79,8 +90,10 @@ import (
 	"strings"
 	"time"
 
+	"defuse/internal/bench"
 	"defuse/internal/checksum"
 	"defuse/internal/faults"
+	"defuse/internal/wal"
 	"defuse/telemetry"
 )
 
@@ -105,6 +118,8 @@ type options struct {
 	crash    int
 	crashSel string
 	walDir   string
+	backend  string
+	benchOut string
 }
 
 func main() {
@@ -132,6 +147,8 @@ func main() {
 	flag.IntVar(&o.crash, "crash", 0, "run the process-level crash campaign with this many trials per cell (0 = disabled)")
 	flag.StringVar(&o.crashSel, "crash-cells", "kill,torn-write,disk-flip", "crash cells (comma list): kill, torn-write, disk-flip")
 	flag.StringVar(&o.walDir, "wal", "", "with -crash: scratch directory for the per-trial write-ahead logs (default: a removed temp dir)")
+	flag.StringVar(&o.backend, "backend", "", "run the backend comparison over these detection backends (comma list: checksum, addrsum, dme; or all)")
+	flag.StringVar(&o.benchOut, "bench-out", "", "with -backend: merge the per-backend rows into this existing BENCH_overhead.json")
 	obsFlags := telemetry.ObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -191,6 +208,9 @@ func run(ctx context.Context, o options, obs *telemetry.Obs) error {
 	if o.crash > 0 {
 		return runCrash(ctx, o, kind, sizeList[0], sink, reg)
 	}
+	if o.backend != "" {
+		return runCompare(ctx, o, kind, sizeList[0])
+	}
 	if o.epochs > 0 {
 		// Epoch mode measures the single def/use checksum pair; the dual
 		// rotated scheme belongs to the array-sum experiment.
@@ -238,6 +258,88 @@ func run(ctx context.Context, o options, obs *telemetry.Obs) error {
 		runErr = res.Gate()
 	}
 	return runErr
+}
+
+// runCompare races the detection backends over the shared fault matrix and
+// renders the comparison artifact (stdout table, -json document, and
+// optionally the -bench-out merge into BENCH_overhead.json).
+func runCompare(ctx context.Context, o options, kind checksum.Kind, words int) error {
+	epochs := o.epochs
+	if epochs <= 0 {
+		epochs = 4
+	}
+	var backends []faults.Backend
+	if strings.TrimSpace(o.backend) != "all" {
+		for _, name := range strings.Split(o.backend, ",") {
+			b, err := faults.ParseBackend(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			backends = append(backends, b)
+		}
+	}
+	res, err := faults.RunComparison(ctx, faults.CompareConfig{
+		Words: words, Epochs: epochs, Trials: o.trials, Seed: o.seed,
+		Kind: kind, Backends: backends, Workers: o.workers,
+	})
+	if err != nil {
+		return err
+	}
+	if o.jsonOut != "" {
+		raw, jerr := json.MarshalIndent(res, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		raw = append(raw, '\n')
+		if o.jsonOut == "-" {
+			if _, werr := os.Stdout.Write(raw); werr != nil {
+				return werr
+			}
+		} else if werr := os.WriteFile(o.jsonOut, raw, 0o644); werr != nil {
+			return werr
+		}
+	} else {
+		fmt.Printf("backend comparison: %d words, %d epochs, %d trials per cell\n\n", words, epochs, o.trials)
+		fmt.Printf("%-9s %-10s %-7s %9s %11s %8s %5s\n", "backend", "cell", "expect", "detected", "undetected", "skipped", "ok")
+		for _, c := range res.Cells {
+			fmt.Printf("%-9s %-10s %-7s %9d %11d %8d %5v\n",
+				c.Backend, c.Cell, c.Expectation, c.Detected, c.Undetected, c.Skipped, c.OK)
+		}
+		fmt.Println()
+		for _, r := range res.Rows {
+			fmt.Printf("%-9s %10.0f ns/trial  mean detection latency %.2f epochs  all-expected=%v\n",
+				r.Backend, r.NsPerTrial, r.MeanDetectionLatency, r.AllExpected)
+		}
+	}
+	if o.benchOut != "" {
+		rows := make([]bench.BackendRow, 0, len(res.Rows))
+		for _, r := range res.Rows {
+			row := bench.BackendRow{
+				Backend:              r.Backend,
+				NsPerTrial:           r.NsPerTrial,
+				MeanDetectionLatency: r.MeanDetectionLatency,
+				AllExpected:          r.AllExpected,
+			}
+			for _, c := range res.Cells {
+				if c.Backend == r.Backend && c.Cell == "addr-alias" {
+					row.AliasEscapes = c.Undetected
+					row.AliasDetected = c.Detected
+				}
+			}
+			rows = append(rows, row)
+		}
+		err := bench.MergeBackendRows(o.benchOut, rows, func(path string, data []byte) error {
+			return wal.WriteFileAtomic(path, data, 0o644)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "faultcov: merged %d backend rows into %s\n", len(rows), o.benchOut)
+	}
+	if o.gate {
+		return res.Gate()
+	}
+	return nil
 }
 
 // runCrash executes the process-level crash campaign: faultcov re-executes

@@ -68,14 +68,19 @@ type ServiceRow struct {
 	// Requests is the number of requests that completed successfully
 	// (excluding shed and errored requests).
 	Requests int `json:"requests"`
-	// FaultRate is the configured sampled-injection fraction.
-	FaultRate float64 `json:"fault_rate"`
+	// FaultRate is the configured sampled-injection fraction, and
+	// FaultAddrFraction the fraction of hits injected as address faults
+	// (wrong-location loads) rather than bit flips.
+	FaultRate         float64 `json:"fault_rate"`
+	FaultAddrFraction float64 `json:"fault_addr_fraction,omitempty"`
 	// Injected / Detected / Recovered count the sampled requests that
 	// received an injection, those whose fault was detected, and those that
-	// additionally recovered to the correct result.
-	Injected  int `json:"injected"`
-	Detected  int `json:"detected"`
-	Recovered int `json:"recovered"`
+	// additionally recovered to the correct result. InjectedAddr is the
+	// subset of Injected that received an address fault.
+	Injected     int `json:"injected"`
+	InjectedAddr int `json:"injected_addr,omitempty"`
+	Detected     int `json:"detected"`
+	Recovered    int `json:"recovered"`
 	// Clean counts un-injected requests; CleanMismatches counts those whose
 	// result deviated from the locally computed reference (must be zero).
 	Clean           int `json:"clean"`
@@ -95,6 +100,28 @@ type ServiceRow struct {
 	DurationSeconds float64 `json:"duration_seconds"`
 }
 
+// BackendRow is one detection backend's summary from the faultcov backend
+// comparison (cmd/faultcov -backend all -bench-out): per-trial cost, mean
+// detection latency, and the valid-word-aliasing cell's outcome — the fault
+// shape that separates the backends, since data checksums provably cannot
+// see it while the address-stream and dual-execution backends must. Optional
+// block under the v3 schema.
+type BackendRow struct {
+	Backend string `json:"backend"`
+	// NsPerTrial is the measured wall time per injection trial — the
+	// comparison's overhead column.
+	NsPerTrial float64 `json:"ns_per_trial"`
+	// MeanDetectionLatency averages epochs-to-detection over detected trials.
+	MeanDetectionLatency float64 `json:"mean_detection_latency_epochs"`
+	// AliasEscapes and AliasDetected are the addr-alias cell's tallies:
+	// escapes > 0 with zero detections for the checksum backend (structural
+	// blindness), zero escapes for addrsum and dme.
+	AliasEscapes  int `json:"alias_escapes"`
+	AliasDetected int `json:"alias_detected"`
+	// AllExpected is true when every comparison cell met its expectation.
+	AllExpected bool `json:"all_expected"`
+}
+
 // OverheadReport is the full BENCH_overhead.json document.
 type OverheadReport struct {
 	Schema      string          `json:"schema"`
@@ -111,6 +138,9 @@ type OverheadReport struct {
 	// Service is the resident-service load result (defused -loadgen
 	// -json-out merges it into the committed report). New in v3.
 	Service *ServiceRow `json:"service,omitempty"`
+	// Backends holds the detection-backend comparison rows (cmd/faultcov
+	// -backend ... -bench-out merges them). Optional under v3.
+	Backends []BackendRow `json:"backends,omitempty"`
 }
 
 // AttachQuantiles pulls the epoch-verify and detection-latency families out
@@ -207,6 +237,28 @@ func MergeServiceRow(path string, row ServiceRow, writeFile func(string, []byte)
 	}
 	rep.Schema = OverheadSchema
 	rep.Service = &row
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return writeFile(path, buf.Bytes())
+}
+
+// MergeBackendRows installs the detection-backend comparison block into an
+// existing report file, replacing any previous block, following the same
+// parse-replace-rewrite discipline as MergeServiceRow.
+func MergeBackendRows(path string, rows []BackendRow, writeFile func(string, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("bench: merging backend rows: %w", err)
+	}
+	rep, err := ParseOverheadReport(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep.Schema = OverheadSchema
+	rep.Backends = rows
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		return err

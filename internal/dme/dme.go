@@ -1,0 +1,254 @@
+// Package dme implements divergent dual execution: the same kernel runs
+// twice over structurally decorrelated memory layouts, and the two runs are
+// cross-checked at epoch boundaries.
+//
+// Checksums (internal/checksum, internal/addrsum) detect faults by balancing
+// a ledger over one execution. DME instead removes the single point of
+// failure: variant A and variant B place every logical word at *different*
+// physical locations (a rotated layout), so no single physical fault — a
+// stuck bit, a corrupted cache line, a wrong-address store — can corrupt
+// both variants into the same wrong logical state. A fault that strikes one
+// variant diverges it from the other, and the boundary cross-check (cheap
+// output accumulators first, then a full logical sweep) reports exactly
+// which logical word disagrees. This mirrors the DME design in PAPERS.md:
+// duplicated execution with diversified data placement, verified at
+// synchronization points.
+//
+// The package offers two levels: Variant is the campaign-facing simulated
+// memory with a rotated layout and a fold-on-store output accumulator, used
+// by internal/faults' DME backend; Pair runs one lang program on two forked
+// interp machines whose allocations are shifted apart (interp.WithBaseOffset)
+// and cross-checks named results — the same idea at the interpreter level.
+package dme
+
+import (
+	"fmt"
+	"math"
+
+	"defuse/internal/interp"
+	"defuse/internal/lang"
+	"defuse/internal/memsim"
+	"defuse/internal/recovery"
+)
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// foldKey binds a store's logical index to the value it wrote. Folding the
+// bound pair (not just the value) makes the output accumulator sensitive to
+// *where* results landed, so two variants that computed the same multiset of
+// values in the wrong places still diverge.
+func foldKey(index int, value uint64) uint64 {
+	return mix64(uint64(int64(index))*0x9e3779b97f4a7c15 ^ mix64(value))
+}
+
+// DivergenceError reports the two variants disagreeing at a cross-check.
+type DivergenceError struct {
+	// Site is "output" for the store-stream accumulators, "word" for the
+	// full-sweep comparison, or a variable name for Pair cross-checks.
+	Site string
+	// Word is the logical index that diverged (full sweep and Pair only).
+	Word int
+	// A and B are the disagreeing values (raw bits for Pair floats).
+	A, B uint64
+}
+
+// RecoveryClass classifies a divergence as protected-data corruption for the
+// recovery supervisor: roll both variants back and re-execute the epoch.
+func (e *DivergenceError) RecoveryClass() recovery.FaultClass { return recovery.ClassData }
+
+func (e *DivergenceError) Error() string {
+	if e.Site == "output" {
+		return fmt.Sprintf("dme: output accumulators diverged: A %#x != B %#x", e.A, e.B)
+	}
+	return fmt.Sprintf("dme: variants diverged at %s[%d]: A %#x != B %#x", e.Site, e.Word, e.A, e.B)
+}
+
+// Variant is one execution replica: a simulated memory whose logical indices
+// are rotated to distinct physical locations, plus an output accumulator
+// folding every store. Two variants with different shifts never co-locate a
+// logical word (for shifts distinct mod words), which is the decorrelation
+// DME's fault-independence argument rests on.
+type Variant struct {
+	words  int
+	shift  int
+	mem    *memsim.Memory
+	out    uint64
+	stores uint64
+}
+
+// NewVariant returns a variant over words logical words with the given
+// layout rotation. Shift 0 is the identity layout.
+func NewVariant(words, shift int) *Variant {
+	if words <= 0 {
+		panic(fmt.Sprintf("dme: variant needs at least 1 word, got %d", words))
+	}
+	return &Variant{words: words, shift: ((shift % words) + words) % words, mem: memsim.New(words)}
+}
+
+// phys maps a logical index to its physical location in this variant.
+func (v *Variant) phys(i int) int { return (i + v.shift) % v.words }
+
+// Words returns the logical region size.
+func (v *Variant) Words() int { return v.words }
+
+// Shift returns the layout rotation.
+func (v *Variant) Shift() int { return v.shift }
+
+// Load reads logical word i through the counted access path.
+func (v *Variant) Load(i int) uint64 { return v.mem.Load(v.phys(i)) }
+
+// Store writes logical word i and folds the (index, value) pair into the
+// output accumulator.
+func (v *Variant) Store(i int, val uint64) {
+	v.mem.Store(v.phys(i), val)
+	v.out += foldKey(i, val)
+	v.stores++
+}
+
+// Peek reads logical word i without counting an access or folding.
+func (v *Variant) Peek(i int) uint64 { return v.mem.Peek(v.phys(i)) }
+
+// Poke initializes logical word i without counting or folding.
+func (v *Variant) Poke(i int, val uint64) { v.mem.Poke(v.phys(i), val) }
+
+// FlipBit corrupts one bit of logical word i in place — the injection hook
+// for fault campaigns. The flip lands at this variant's physical location,
+// so the same logical coordinates strike different physical words in A and B.
+func (v *Variant) FlipBit(i, bit int) { v.mem.FlipBit(v.phys(i), bit) }
+
+// Accumulator returns the output accumulator.
+func (v *Variant) Accumulator() uint64 { return v.out }
+
+// Stores returns the number of folded stores.
+func (v *Variant) Stores() uint64 { return v.stores }
+
+// ErrSnapshotCorrupt is returned when a sealed variant snapshot fails its
+// integrity digest.
+var errSnapshotCorrupt = fmt.Errorf("dme: variant snapshot failed integrity check")
+
+// Snapshot is a sealed copy of a variant's state at an epoch boundary.
+type Snapshot struct {
+	mem    memsim.Snapshot
+	out    uint64
+	stores uint64
+	digest uint64
+}
+
+// Snapshot seals the variant's current state for rollback.
+func (v *Variant) Snapshot() Snapshot {
+	s := Snapshot{mem: v.mem.Snapshot(), out: v.out, stores: v.stores}
+	s.digest = mix64(s.out) ^ mix64(s.stores^0x5bd1e995)
+	return s
+}
+
+// Restore rolls the variant back to a sealed snapshot, verifying both the
+// accumulator seal and the memory snapshot's own integrity check.
+func (v *Variant) Restore(s Snapshot) error {
+	if s.digest != mix64(s.out)^mix64(s.stores^0x5bd1e995) {
+		return errSnapshotCorrupt
+	}
+	if err := v.mem.Restore(s.mem); err != nil {
+		return err
+	}
+	v.out, v.stores = s.out, s.stores
+	return nil
+}
+
+// RestoreUnchecked rolls back without integrity checks — the unhardened
+// baseline the detector-fault campaigns compare against.
+func (v *Variant) RestoreUnchecked(s Snapshot) error {
+	if err := v.mem.RestoreUnchecked(s.mem); err != nil {
+		return err
+	}
+	v.out, v.stores = s.out, s.stores
+	return nil
+}
+
+// CrossCheck compares two variants at a synchronization point: the output
+// accumulators first (one comparison covering every store since the last
+// check), then a full sweep of the logical contents so a divergence is
+// pinned to a word. The variants' layouts may differ; only logical content
+// is compared.
+func CrossCheck(a, b *Variant) error {
+	if a.words != b.words {
+		return fmt.Errorf("dme: cross-check over mismatched regions: %d vs %d words", a.words, b.words)
+	}
+	if a.out != b.out {
+		return &DivergenceError{Site: "output", A: a.out, B: b.out}
+	}
+	for i := 0; i < a.words; i++ {
+		if va, vb := a.Peek(i), b.Peek(i); va != vb {
+			return &DivergenceError{Site: "word", Word: i, A: va, B: vb}
+		}
+	}
+	return nil
+}
+
+// Pair runs one program on two interp machines whose allocations are offset
+// from each other, so every variable lands at different simulated addresses
+// in A and B — interpreter-level divergent dual execution.
+type Pair struct {
+	A, B *interp.Machine
+}
+
+// NewPair builds the two machines. pad is the allocation offset separating
+// B's layout from A's; it must be positive so the layouts actually differ.
+func NewPair(prog *lang.Program, params map[string]int64, pad int, opts ...interp.Option) (*Pair, error) {
+	if pad <= 0 {
+		return nil, fmt.Errorf("dme: pair needs a positive layout offset, got %d", pad)
+	}
+	a, err := interp.New(prog, params, opts...)
+	if err != nil {
+		return nil, err
+	}
+	b, err := interp.New(prog, params, append(append([]interp.Option(nil), opts...), interp.WithBaseOffset(pad))...)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{A: a, B: b}, nil
+}
+
+// Run executes both machines to completion.
+func (p *Pair) Run() error {
+	if err := p.A.Run(); err != nil {
+		return fmt.Errorf("dme: variant A: %w", err)
+	}
+	if err := p.B.Run(); err != nil {
+		return fmt.Errorf("dme: variant B: %w", err)
+	}
+	return nil
+}
+
+// CrossCheckFloats compares the named float arrays element-wise across the
+// two machines, returning a *DivergenceError naming the variable and index
+// on the first disagreement.
+func (p *Pair) CrossCheckFloats(names ...string) error {
+	for _, name := range names {
+		av, err := p.A.SnapshotFloats(name)
+		if err != nil {
+			return err
+		}
+		bv, err := p.B.SnapshotFloats(name)
+		if err != nil {
+			return err
+		}
+		if len(av) != len(bv) {
+			return fmt.Errorf("dme: %s has %d elements in A, %d in B", name, len(av), len(bv))
+		}
+		for i := range av {
+			if ab, bb := math.Float64bits(av[i]), math.Float64bits(bv[i]); ab != bb {
+				return &DivergenceError{Site: name, Word: i, A: ab, B: bb}
+			}
+		}
+	}
+	return nil
+}

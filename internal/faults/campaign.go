@@ -33,9 +33,11 @@ const DefaultChunkSize = 256
 const CampaignSchema = "defuse/faultcov/v2"
 
 // checkpointSchema identifies the resume checkpoint JSON document. v2 added
-// the per-chunk detection-latency histogram; a v1 checkpoint would silently
-// undercount the merged distribution, so it is refused rather than resumed.
-const checkpointSchema = "defuse/faultcov-checkpoint/v2"
+// the per-chunk detection-latency histogram; v3 added the skipped-trial count
+// and folded the cell backend and address-fault kind into the fingerprint, so
+// a checkpoint written against a different cell matrix (or by an older binary
+// that tallied skips as detections) is refused rather than resumed.
+const checkpointSchema = "defuse/faultcov-checkpoint/v3"
 
 // Campaign runs a set of coverage cells on a worker pool.
 type Campaign struct {
@@ -149,6 +151,9 @@ type CellReport struct {
 	Recover              bool    `json:"recover,omitempty"`
 	Target               string  `json:"target,omitempty"`
 	Hardened             bool    `json:"hardened,omitempty"`
+	Backend              string  `json:"backend,omitempty"`
+	AddrFault            string  `json:"addr_fault,omitempty"`
+	Skipped              int     `json:"skipped,omitempty"`
 	Undetected           int     `json:"undetected"`
 	UndetectedPercent    float64 `json:"undetected_percent"`
 	Detected             int     `json:"detected"`
@@ -244,6 +249,13 @@ func (r CoverageResult) Report() CellReport {
 		rep.Target = r.Target.String()
 		rep.Hardened = r.Hardened
 	}
+	if r.Backend != BackendChecksum {
+		rep.Backend = r.Backend.String()
+	}
+	if r.AddrFault != AddrNone {
+		rep.AddrFault = r.AddrFault.String()
+	}
+	rep.Skipped = r.Skipped
 	if r.Epochs > 0 {
 		rep.DetectionLatency = latencyReport(r.LatencyHist)
 	}
@@ -296,6 +308,7 @@ func trialSeed(seed int64, trial int) int64 {
 type trialTally struct {
 	undetected       bool
 	detected         bool
+	skipped          bool
 	latency          int
 	recovered        bool
 	tainted          bool
@@ -320,6 +333,7 @@ type chunkTally struct {
 	// (plus a trailing overflow bucket), so the merged campaign report can
 	// carry the full distribution, not just mean and max.
 	LatencyHist      []int64 `json:"latency_hist,omitempty"`
+	Skipped          int     `json:"skipped,omitempty"`
 	Recovered        int     `json:"recovered,omitempty"`
 	Tainted          int     `json:"tainted,omitempty"`
 	Retries          int64   `json:"retries,omitempty"`
@@ -346,6 +360,9 @@ func (t *chunkTally) add(o trialTally) {
 			t.LatencyHist = make([]int64, len(bounds)+1)
 		}
 		t.LatencyHist[sort.SearchFloat64s(bounds, float64(o.latency))]++
+	}
+	if o.skipped {
+		t.Skipped++
 	}
 	if o.recovered {
 		t.Recovered++
@@ -383,10 +400,10 @@ func (c *Campaign) fingerprint(chunkSize int) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "chunk=%d;", chunkSize)
 	for _, cfg := range c.Cells {
-		fmt.Fprintf(h, "%d|%d|%d|%d|%v|%d|%d|%d|%v|%v|%d|%d|%v;",
+		fmt.Fprintf(h, "%d|%d|%d|%d|%v|%d|%d|%d|%v|%v|%d|%d|%v|%d|%d;",
 			cfg.Kind, cfg.Words, cfg.BitFlips, cfg.Pattern, cfg.Dual,
 			cfg.Trials, cfg.Seed, cfg.Epochs, cfg.EndOnlyVerify, cfg.Recover,
-			cfg.MaxRetries, cfg.Target, cfg.Hardened)
+			cfg.MaxRetries, cfg.Target, cfg.Hardened, cfg.Backend, cfg.AddrFault)
 	}
 	return h.Sum64()
 }
@@ -533,6 +550,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 					r.LatencyHist[bi] += n
 				}
 			}
+			r.Skipped += t.Skipped
 			r.Recovered += t.Recovered
 			r.Tainted += t.Tainted
 			r.Retries += t.Retries
@@ -576,7 +594,12 @@ func (c *Campaign) runChunk(ctx context.Context, job chunkJob, ws *workerState) 
 		append([]telemetry.Attr{telemetry.Int("start", job.start), telemetry.Int("count", job.count)}, cellAttrs...)...)
 	defer chunk.End()
 	if cfg.Epochs > 0 {
-		sh := ws.shard(cfg.Kind)
+		// The DME backend runs forked interpreter variants, not the worker's
+		// checksum shard; only take a shard from the pool when it will fold.
+		var sh *rt.Shard
+		if cfg.Backend != BackendDME {
+			sh = ws.shard(cfg.Kind)
+		}
 		for i := 0; i < job.count; i++ {
 			if err := ctx.Err(); err != nil {
 				return tally, err
@@ -588,7 +611,13 @@ func (c *Campaign) runChunk(ctx context.Context, job chunkJob, ws *workerState) 
 			}
 			tspan := cfg.Tracer.Start(chunk.Context(), "trial",
 				append([]telemetry.Attr{telemetry.Int("trial", trial)}, cellAttrs...)...)
-			out, err := runEpochTrial(tctx, cfg, trial, sh, inst, tspan.Context())
+			var out trialTally
+			var err error
+			if cfg.Backend == BackendDME {
+				out, err = runDMETrial(tctx, cfg, trial, inst, tspan.Context())
+			} else {
+				out, err = runEpochTrial(tctx, cfg, trial, sh, inst, tspan.Context())
+			}
 			tcancel()
 			if err != nil {
 				tspan.EndErr(err)
@@ -697,6 +726,12 @@ func cellLabels(cfg CoverageConfig) []telemetry.Label {
 		labels = append(labels,
 			telemetry.Label{Key: "target", Value: cfg.Target.String()},
 			telemetry.Label{Key: "detector", Value: detector})
+	}
+	if cfg.Backend != BackendChecksum {
+		labels = append(labels, telemetry.Label{Key: "backend", Value: cfg.Backend.String()})
+	}
+	if cfg.AddrFault != AddrNone {
+		labels = append(labels, telemetry.Label{Key: "fault", Value: cfg.AddrFault.String()})
 	}
 	return labels
 }

@@ -1,0 +1,236 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"defuse/internal/checksum"
+)
+
+// This file races the detection backends against a shared fault matrix. Each
+// backend has a structural blind spot, so a single "zero escapes" gate (the
+// ordinary CampaignResult.Gate) cannot judge a comparison: the data-checksum
+// backend provably cannot see a valid-word aliasing redirect (the whole
+// read-modify-write lands on another tracked word and the def/use ledger
+// balances over it), and the address-stream backend deliberately ignores
+// data values. The comparison therefore gates each (backend, cell) pair
+// against an expectation matrix — Detect cells must show zero escapes, Blind
+// cells must show zero detections — turning the blind spots themselves into
+// regression-checked facts. The same (seed, trial) schedule races identical
+// fault coordinates on every backend, so rows differ only in the detector.
+
+// CompareSchema identifies the backend-comparison JSON document.
+const CompareSchema = "defuse/backend-compare/v1"
+
+// Expectation says what a backend must do with a cell's fault shape.
+type Expectation int
+
+const (
+	// ExpectDetect: the backend must catch every modeled fault in the cell.
+	ExpectDetect Expectation = iota
+	// ExpectBlind: the fault shape is structurally invisible to the backend;
+	// every modeled fault must escape. A detection here means the model (or
+	// the backend's claimed scope) is wrong.
+	ExpectBlind
+)
+
+func (e Expectation) String() string {
+	if e == ExpectBlind {
+		return "blind"
+	}
+	return "detect"
+}
+
+// compareCellSpec is one fault shape in the comparison matrix.
+type compareCellSpec struct {
+	name     string
+	bitFlips int
+	addr     AddrFault
+	expect   map[Backend]Expectation
+}
+
+// compareCells is the shared matrix. Address cells run under the random
+// pattern (Validate enforces it — constant patterns make redirected loads
+// benign no-ops); the data cell uses a single-bit flip, which the checksum
+// backend detects with certainty (Section 6.1) so Detect expectations stay
+// deterministic.
+var compareCells = []compareCellSpec{
+	{
+		name: "data-flip", bitFlips: 1, addr: AddrNone,
+		expect: map[Backend]Expectation{
+			BackendChecksum: ExpectDetect,
+			BackendAddrsum:  ExpectBlind, // address streams never see values
+			BackendDME:      ExpectDetect,
+		},
+	},
+	{
+		name: "addr-wrong", bitFlips: 1, addr: AddrWrong,
+		expect: map[Backend]Expectation{
+			BackendChecksum: ExpectDetect, // wrong value folds into use
+			BackendAddrsum:  ExpectDetect,
+			BackendDME:      ExpectDetect,
+		},
+	},
+	{
+		name: "addr-bit", bitFlips: 1, addr: AddrIndexBit,
+		expect: map[Backend]Expectation{
+			BackendChecksum: ExpectDetect,
+			BackendAddrsum:  ExpectDetect,
+			BackendDME:      ExpectDetect,
+		},
+	},
+	{
+		name: "addr-alias", bitFlips: 1, addr: AddrAlias,
+		expect: map[Backend]Expectation{
+			// The masking case: load and store both redirect to a valid
+			// tracked word, the ledger balances, the final state is wrong.
+			BackendChecksum: ExpectBlind,
+			BackendAddrsum:  ExpectDetect,
+			BackendDME:      ExpectDetect,
+		},
+	},
+}
+
+// CompareConfig drives one backend comparison.
+type CompareConfig struct {
+	// Words and Epochs shape every trial; Trials is per (backend, cell).
+	Words, Epochs, Trials int
+	Seed                  int64
+	// Kind is the data-checksum operator (default ModAdd).
+	Kind checksum.Kind
+	// Backends to race; empty means all three.
+	Backends []Backend
+	// Workers is the campaign pool size per backend; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// CompareCellResult is one (backend, cell) outcome with its verdict.
+type CompareCellResult struct {
+	Backend        string  `json:"backend"`
+	Cell           string  `json:"cell"`
+	Fault          string  `json:"fault"`
+	Expectation    string  `json:"expectation"`
+	Trials         int     `json:"trials"`
+	Detected       int     `json:"detected"`
+	Undetected     int     `json:"undetected"`
+	Skipped        int     `json:"skipped,omitempty"`
+	FalseNegatives int     `json:"false_negatives,omitempty"`
+	MeanLatency    float64 `json:"mean_detection_latency_epochs"`
+	OK             bool    `json:"ok"`
+}
+
+// BackendSummary aggregates one backend's row: how it fared across the
+// matrix and what it cost.
+type BackendSummary struct {
+	Backend string `json:"backend"`
+	// NsPerTrial is the measured wall time per trial across the backend's
+	// cells — the comparison's overhead column.
+	NsPerTrial float64 `json:"ns_per_trial"`
+	// MeanDetectionLatency averages over the backend's detected trials.
+	MeanDetectionLatency float64 `json:"mean_detection_latency_epochs"`
+	// AllExpected is true when every cell met its expectation.
+	AllExpected bool `json:"all_expected"`
+}
+
+// BackendComparison is the full comparison artifact.
+type BackendComparison struct {
+	Schema string              `json:"schema"`
+	Words  int                 `json:"words"`
+	Epochs int                 `json:"epochs"`
+	Trials int                 `json:"trials"`
+	Seed   int64               `json:"seed"`
+	Rows   []BackendSummary    `json:"rows"`
+	Cells  []CompareCellResult `json:"cells"`
+}
+
+// RunComparison races the configured backends over the shared cell matrix.
+func RunComparison(ctx context.Context, cfg CompareConfig) (*BackendComparison, error) {
+	if cfg.Words < 2 {
+		return nil, fmt.Errorf("faults: comparison needs at least 2 words (address faults need a wrong location), got %d", cfg.Words)
+	}
+	if cfg.Epochs <= 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("faults: comparison needs positive Epochs and Trials, got %d and %d", cfg.Epochs, cfg.Trials)
+	}
+	backends := cfg.Backends
+	if len(backends) == 0 {
+		backends = []Backend{BackendChecksum, BackendAddrsum, BackendDME}
+	}
+	out := &BackendComparison{
+		Schema: CompareSchema,
+		Words:  cfg.Words, Epochs: cfg.Epochs, Trials: cfg.Trials, Seed: cfg.Seed,
+	}
+	for _, be := range backends {
+		cells := make([]CoverageConfig, 0, len(compareCells))
+		for _, spec := range compareCells {
+			cells = append(cells, CoverageConfig{
+				Kind: cfg.Kind, Words: cfg.Words, BitFlips: spec.bitFlips,
+				Pattern: Random, Trials: cfg.Trials, Seed: cfg.Seed,
+				Epochs: cfg.Epochs, Backend: be, AddrFault: spec.addr,
+			})
+		}
+		camp := &Campaign{Cells: cells, Workers: cfg.Workers}
+		start := time.Now()
+		res, err := camp.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("faults: comparison backend %v: %w", be, err)
+		}
+		elapsed := time.Since(start)
+
+		row := BackendSummary{Backend: be.String(), AllExpected: true}
+		var latSum int64
+		var detected, trials int
+		for i, r := range res.Results {
+			spec := compareCells[i]
+			want := spec.expect[be]
+			modeled := r.Detected + r.Undetected
+			ok := false
+			switch want {
+			case ExpectDetect:
+				ok = modeled > 0 && r.Undetected == 0
+			case ExpectBlind:
+				ok = modeled > 0 && r.Detected == 0 && r.Undetected > 0
+			}
+			if !ok {
+				row.AllExpected = false
+			}
+			out.Cells = append(out.Cells, CompareCellResult{
+				Backend:        be.String(),
+				Cell:           spec.name,
+				Fault:          spec.addr.String(),
+				Expectation:    want.String(),
+				Trials:         r.Trials,
+				Detected:       r.Detected,
+				Undetected:     r.Undetected,
+				Skipped:        r.Skipped,
+				FalseNegatives: r.FalseNegatives,
+				MeanLatency:    r.MeanDetectionLatency(),
+				OK:             ok,
+			})
+			latSum += r.LatencySum
+			detected += r.Detected
+			trials += r.Trials
+		}
+		if trials > 0 {
+			row.NsPerTrial = float64(elapsed.Nanoseconds()) / float64(trials)
+		}
+		if detected > 0 {
+			row.MeanDetectionLatency = float64(latSum) / float64(detected)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Gate returns a non-nil error when any (backend, cell) pair violated its
+// expectation: a Detect cell that let a fault escape, or a Blind cell that
+// claimed a detection its backend cannot structurally make.
+func (c *BackendComparison) Gate() error {
+	for _, cell := range c.Cells {
+		if !cell.OK {
+			return fmt.Errorf("faults: gate: backend %s cell %s (expect %s): %d detected, %d undetected of %d trials",
+				cell.Backend, cell.Cell, cell.Expectation, cell.Detected, cell.Undetected, cell.Trials)
+		}
+	}
+	return nil
+}

@@ -73,6 +73,101 @@ func ParseTarget(s string) (Target, error) {
 	return 0, fmt.Errorf("faults: unknown target %q (data, accumulator, counter, checkpoint, masking)", s)
 }
 
+// Backend selects which detector an epoch trial arms. The backends are
+// deliberately run in isolation — each trial's verdict comes from exactly
+// one detector — so the comparison campaign (compare.go) can attribute
+// every escape and every detection to a specific mechanism.
+type Backend int
+
+const (
+	// BackendChecksum is the paper's data def/use checksum detector.
+	BackendChecksum Backend = iota
+	// BackendAddrsum is the PRESAGE-style address-stream detector
+	// (internal/addrsum): it checksums where accesses went, not what they
+	// carried, so it catches wrong-location accesses that observe valid
+	// data and misses pure data corruption.
+	BackendAddrsum
+	// BackendDME is divergent dual execution (internal/dme): two
+	// structurally decorrelated variants of the workload cross-checked at
+	// every epoch boundary.
+	BackendDME
+)
+
+var backendNames = map[Backend]string{
+	BackendChecksum: "checksum",
+	BackendAddrsum:  "addrsum",
+	BackendDME:      "dme",
+}
+
+// String returns the lower-case name of the backend.
+func (b Backend) String() string {
+	if s, ok := backendNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("faults.Backend(%d)", int(b))
+}
+
+// ParseBackend resolves a backend name as used by cmd/faultcov -backend.
+func ParseBackend(s string) (Backend, error) {
+	for b, name := range backendNames {
+		if name == s {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown backend %q (checksum, addrsum, dme)", s)
+}
+
+// AddrFault selects the address-generation fault shape an epoch trial
+// injects instead of data bit flips. All three corrupt the index of one
+// iteration's accesses inside the injection epoch.
+type AddrFault int
+
+const (
+	// AddrNone injects no address fault (the data/detector targets apply).
+	AddrNone AddrFault = iota
+	// AddrWrong redirects one iteration's load to a uniformly chosen other
+	// word — the classic wrong-address load. The stale intended word is
+	// still finalized from memory, so data checksums catch this whp.
+	AddrWrong
+	// AddrIndexBit flips one bit of one iteration's load index (the
+	// redirect stays in range) — the single-event-upset form of AddrWrong.
+	AddrIndexBit
+	// AddrAlias redirects one iteration's entire read-modify-write — load
+	// AND store — to the same wrong word, modeling an index register
+	// corrupted once and used for both accesses. Every value the detector
+	// observes is a valid tracked word and the fold balances exactly at
+	// every boundary, so data checksums are *structurally* blind to it
+	// (100% escape, any operator, any data pattern; see DESIGN.md), while
+	// the final state is wrong: the intended word is stale and the aliased
+	// word was advanced twice.
+	AddrAlias
+)
+
+var addrFaultNames = map[AddrFault]string{
+	AddrNone:     "none",
+	AddrWrong:    "addr-wrong",
+	AddrIndexBit: "addr-bit",
+	AddrAlias:    "addr-alias",
+}
+
+// String returns the lower-case name of the address-fault shape.
+func (a AddrFault) String() string {
+	if s, ok := addrFaultNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("faults.AddrFault(%d)", int(a))
+}
+
+// ParseAddrFault resolves an address-fault name.
+func ParseAddrFault(s string) (AddrFault, error) {
+	for a, name := range addrFaultNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown address fault %q (none, addr-wrong, addr-bit, addr-alias)", s)
+}
+
 // CoverageConfig describes one cell of Table 1, optionally extended with
 // epoch-scoped verification and recovery.
 type CoverageConfig struct {
@@ -109,6 +204,17 @@ type CoverageConfig struct {
 	// register-residency assumption silently costs when the accumulators are
 	// ordinary memory.
 	Hardened bool
+	// Backend selects the armed detector for epoch trials (default: the
+	// paper's data checksums). Non-checksum backends run the identical
+	// workload and injection schedule, so per-backend escape counts are
+	// directly comparable cell by cell.
+	Backend Backend
+	// AddrFault, when not AddrNone, replaces the data bit flips with an
+	// address-generation fault on one iteration of the injection epoch.
+	// Epoch mode only, data target only. Cells over 1-word regions tally
+	// the trial as skipped (there is no wrong location) instead of
+	// crashing.
+	AddrFault AddrFault
 
 	// Trace, when non-nil, receives one fault.injected event per trial
 	// (with the flipped word/bit coordinates) and a detection or verify.ok
@@ -165,6 +271,25 @@ func (cfg CoverageConfig) Validate() error {
 			return fmt.Errorf("faults: target masking supports modadd and xor, not %v", cfg.Kind)
 		}
 	}
+	if cfg.Backend != BackendChecksum {
+		if cfg.Epochs == 0 {
+			return fmt.Errorf("faults: backend %v requires Epochs > 0 (it is an epoch-boundary detector)", cfg.Backend)
+		}
+		if cfg.Target != TargetData {
+			return fmt.Errorf("faults: backend %v supports the data target only (detector-targeted strikes aim at the checksum machinery)", cfg.Backend)
+		}
+	}
+	if cfg.AddrFault != AddrNone {
+		if cfg.Epochs == 0 {
+			return fmt.Errorf("faults: address fault %v requires Epochs > 0 (the fault strikes a live access stream)", cfg.AddrFault)
+		}
+		if cfg.Target != TargetData {
+			return fmt.Errorf("faults: address fault %v combines with the data target only, not %v", cfg.AddrFault, cfg.Target)
+		}
+		if cfg.Pattern != Random {
+			return fmt.Errorf("faults: address fault %v requires the random pattern: under a constant pattern a redirected load observes the same value it would have read, a benign no-op no backend could or should flag", cfg.AddrFault)
+		}
+	}
 	return nil
 }
 
@@ -185,6 +310,10 @@ type CoverageResult struct {
 	Undetected int
 	// Detected counts trials whose corruption was flagged by verification.
 	Detected int
+	// Skipped counts trials whose fault could not be modeled (an address
+	// fault over a 1-word region has no wrong location); they ran clean and
+	// count toward neither Detected nor Undetected.
+	Skipped int
 	// LatencySum accumulates, over detected trials, the number of epochs
 	// between injection and detection (0 = caught at the injection epoch's
 	// own boundary). Always 0 for the classic single-shot experiment.
@@ -253,6 +382,15 @@ func (r CoverageResult) String() string {
 	}
 	s := fmt.Sprintf("%d flips, N=%d, %v, %s: %.3f%% undetected",
 		r.BitFlips, r.Words, r.Pattern, scheme, r.UndetectedPercent())
+	if r.Backend != BackendChecksum {
+		s += fmt.Sprintf(", backend=%v", r.Backend)
+	}
+	if r.AddrFault != AddrNone {
+		s += fmt.Sprintf(", fault=%v", r.AddrFault)
+		if r.Skipped > 0 {
+			s += fmt.Sprintf(" (%d skipped)", r.Skipped)
+		}
+	}
 	if r.Epochs > 0 {
 		s += fmt.Sprintf(", %d epochs: mean latency %.2f, recovery %.1f%%",
 			r.Epochs, r.MeanDetectionLatency(), 100*r.RecoveryRate())

@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"context"
+
+	"defuse/internal/dme"
+	"defuse/internal/recovery"
+	"defuse/telemetry"
+)
+
+// This file runs one injection trial against the DME backend: the same
+// epoch-structured kernel as epochtrial.go, executed twice per epoch on two
+// dme.Variants with rotated layouts, cross-checked at every verified
+// boundary. The fault — data flips or an address fault — strikes variant A
+// only (a transient strikes one execution, and the rotated layout means even
+// a recurring physical fault would corrupt different logical words in each
+// variant), so any divergence between the variants is evidence of it.
+
+// dmeTrialSnap checkpoints both variants; the supervisor's rollback restores
+// them together so the pair re-enters the epoch synchronized.
+type dmeTrialSnap struct {
+	a, b dme.Snapshot
+}
+
+// runDMETrial executes one supervised DME trial and tallies its outcome,
+// mirroring runEpochTrial's draw schedule exactly: the same (seed, trial)
+// races the same fault coordinates on every backend, so per-backend
+// comparison cells differ only in the detector.
+func runDMETrial(ctx context.Context, cfg CoverageConfig, trial int, inst cellInstruments, span telemetry.SpanContext) (trialTally, error) {
+	words, epochs := cfg.Words, cfg.Epochs
+	in := NewInjector(trialSeed(cfg.Seed, trial))
+
+	init := make([]uint64, words)
+	in.Fill(init, cfg.Pattern)
+	injEpoch := in.Intn(epochs)
+	injWord := in.Intn(words)
+	flips := in.PickBits(words, cfg.BitFlips)
+	// Detector-target draws, consumed unused for stream parity with the
+	// checksum backend (DME cells are data-target only).
+	in.Intn(4)
+	in.Intn(64)
+	in.Intn(64)
+	in.Intn(words + 4)
+	in.Intn(64)
+	addrTarget, addrSkip := drawAddrFault(in, cfg.AddrFault, injWord, words)
+
+	// Variant A keeps the identity layout; B's rotation places every logical
+	// word at a different physical location (any nonzero shift mod words).
+	shiftB := words / 2
+	if shiftB == 0 {
+		shiftB = 1
+	}
+	a := dme.NewVariant(words, 0)
+	b := dme.NewVariant(words, shiftB)
+	for i := 0; i < words; i++ {
+		a.Poke(i, init[i])
+		b.Poke(i, init[i])
+	}
+
+	injected := false
+	dataInjected := !(cfg.AddrFault != AddrNone && addrSkip)
+
+	run := func(k int) error {
+		for i := 0; i < words; i++ {
+			loadIdx, storeIdx := i, i
+			if !injected && k == injEpoch && i == injWord {
+				injected = true
+				if cfg.AddrFault != AddrNone {
+					if !addrSkip {
+						loadIdx = addrTarget
+						if cfg.AddrFault == AddrAlias {
+							storeIdx = addrTarget
+						}
+						telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, map[string]any{
+							"trial": trial, "epoch": k, "scheme": "epoch", "backend": "dme",
+							"fault": cfg.AddrFault.String(), "intent": i, "effective": addrTarget,
+						})
+					}
+				} else {
+					for _, f := range flips {
+						a.FlipBit(f.Word, f.Bit)
+					}
+					telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, map[string]any{
+						"trial": trial, "epoch": k, "scheme": "epoch", "backend": "dme",
+						"words": words, "target": cfg.Target.String(),
+					})
+				}
+			}
+			a.Store(storeIdx, update(a.Load(loadIdx)))
+		}
+		// Variant B runs the same epoch clean, after A — sequential dual
+		// execution, as a single-core deployment would schedule it.
+		for i := 0; i < words; i++ {
+			b.Store(i, update(b.Load(i)))
+		}
+		return nil
+	}
+
+	verify := func(k int) error {
+		if cfg.EndOnlyVerify && k != epochs-1 {
+			return nil
+		}
+		return dme.CrossCheck(a, b)
+	}
+
+	pol := recovery.Policy{}
+	if cfg.Recover {
+		retries := cfg.MaxRetries
+		if retries <= 0 {
+			retries = 2
+		}
+		pol = recovery.Policy{MaxRetries: retries, MaxRestarts: 1}
+	}
+
+	out, err := recovery.Supervise(ctx, recovery.Config{
+		Epochs: epochs,
+		Run:    run,
+		Verify: verify,
+		Checkpoint: func() any {
+			return dmeTrialSnap{a: a.Snapshot(), b: b.Snapshot()}
+		},
+		Restore: func(snap any) error {
+			s := snap.(dmeTrialSnap)
+			if cfg.Hardened {
+				if rerr := a.Restore(s.a); rerr != nil {
+					return rerr
+				}
+				return b.Restore(s.b)
+			}
+			if rerr := a.RestoreUnchecked(s.a); rerr != nil {
+				return rerr
+			}
+			return b.RestoreUnchecked(s.b)
+		},
+		Policy:  pol,
+		Trace:   cfg.Trace,
+		Metrics: cfg.Metrics,
+		Tracer:  cfg.Tracer,
+		Span:    span,
+	})
+	if err != nil {
+		return trialTally{}, err
+	}
+
+	skipped := cfg.AddrFault != AddrNone && addrSkip
+	tally := trialTally{
+		skipped:          skipped,
+		undetected:       !out.Detected && !skipped,
+		detected:         out.Detected,
+		tainted:          out.Tainted,
+		retries:          out.Retries,
+		restarts:         out.Restarts,
+		rebuilds:         out.Rebuilds,
+		detectorFaults:   out.DetectorFaults,
+		checkpointFaults: out.CheckpointFaults,
+	}
+	if out.Detected {
+		tally.latency = out.FirstDetection - injEpoch
+	}
+	finalOK := dmeFinalCorrect(a, init, epochs) && dmeFinalCorrect(b, init, epochs)
+	if out.Recovered && finalOK {
+		tally.recovered = true
+	}
+	tally.falseNegative = !out.Detected && !finalOK
+	tally.falsePositive = !dataInjected && out.DataFaults > 0
+
+	if !skipped {
+		inst.record(tally.undetected)
+	}
+	if tally.detected {
+		inst.latency.Observe(float64(tally.latency))
+	}
+	if tally.recovered {
+		inst.recovered.Inc()
+	}
+	return tally, nil
+}
+
+// dmeFinalCorrect reports whether a variant's logical content is exactly the
+// fault-free final state.
+func dmeFinalCorrect(v *dme.Variant, init []uint64, epochs int) bool {
+	for i, val := range init {
+		for e := 0; e < epochs; e++ {
+			val = update(val)
+		}
+		if v.Peek(i) != val {
+			return false
+		}
+	}
+	return true
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/bits"
 
+	"defuse/internal/addrsum"
 	"defuse/internal/checksum"
 	"defuse/internal/memsim"
 	"defuse/internal/recovery"
@@ -43,7 +44,47 @@ func update(v uint64) uint64 { return v*2862933555777941757 + 3037000493 }
 type epochTrialSnap struct {
 	mem      memsim.Snapshot
 	state    rt.EpochState
+	addr     addrsum.EpochState // sealed address streams (addrsum backend only)
 	counters []rt.Counter
+}
+
+// drawAddrFault resolves an address-fault cell's effective target index. Both
+// underlying draws are consumed unconditionally and in a fixed order so every
+// AddrFault value sees the same downstream random stream. The bool reports a
+// skip: the region is too small to model the fault (tallied, not an error).
+func drawAddrFault(in *Injector, af AddrFault, injWord, words int) (int, bool) {
+	wrongIdx, wrongErr := in.WrongAddress(injWord, words)
+	idxBitDraw := in.Intn(64)
+	switch af {
+	case AddrWrong, AddrAlias:
+		if wrongErr != nil {
+			return injWord, true
+		}
+		return wrongIdx, false
+	case AddrIndexBit:
+		return indexBitFlip(injWord, words, idxBitDraw)
+	default: // AddrNone
+		return injWord, false
+	}
+}
+
+// indexBitFlip models a single bit flip in the index register: it flips one
+// bit of idx, chosen from the draw, cycling positions until the result stays
+// inside the region. For words >= 2 a valid bit always exists (the lowest set
+// bit of idx maps downward; for idx 0, bit 0 maps to 1), so the only skip is
+// the degenerate 1-word region.
+func indexBitFlip(idx, words, draw int) (int, bool) {
+	if words < 2 {
+		return idx, true
+	}
+	nbits := bits.Len(uint(words - 1))
+	for t := 0; t < nbits; t++ {
+		b := (draw + t) % nbits
+		if j := idx ^ (1 << uint(b)); j < words {
+			return j, false
+		}
+	}
+	return idx, true
 }
 
 // runEpochTrial executes one supervised epoch trial and tallies its outcome.
@@ -70,19 +111,40 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Sh
 	ctrBit := uint(in.Intn(64))
 	ckPos := in.Intn(words + 4)
 	ckBit := in.Intn(64)
+	// Address-fault coordinates, appended after every earlier draw (same
+	// discipline: new draws last, so pre-existing cells stay byte-stable).
+	addrTarget, addrSkip := drawAddrFault(in, cfg.AddrFault, injWord, words)
 
 	mem := memsim.New(words)
 	tr := sh.Tracker()
 	tr.Reset()
 	counters := sh.Counters(words)
+	// The addrsum backend folds address streams through the shard tracker's
+	// attached addrsum.Tracker (one allocation per worker, reused across
+	// trials) and never touches the data accumulators, so every verdict is
+	// attributable to the address detector alone.
+	isAddrBackend := cfg.Backend == BackendAddrsum
+	var at *addrsum.Tracker
+	if isAddrBackend {
+		at = tr.Addr()
+		if at == nil {
+			at = addrsum.NewTracker()
+			tr.AttachAddr(at)
+		}
+		at.Reset()
+	}
 	for i := 0; i < words; i++ {
 		mem.Poke(i, init[i])
-		rt.DefDyn(tr, &counters[i], uint64(0), init[i])
+		if !isAddrBackend {
+			rt.DefDyn(tr, &counters[i], uint64(0), init[i])
+		}
 	}
 	injected := false
 	// dataInjected records whether the trial corrupts the protected array at
-	// all; detector-only targets must not count detections as data faults.
-	dataInjected := cfg.Target == TargetData || cfg.Target == TargetMasking || cfg.Target == TargetCheckpoint
+	// all; detector-only targets must not count detections as data faults,
+	// and a skipped address fault injects nothing.
+	dataInjected := (cfg.Target == TargetData || cfg.Target == TargetMasking || cfg.Target == TargetCheckpoint) &&
+		!(cfg.AddrFault != AddrNone && addrSkip)
 	maskTried, masked := false, false
 	sawInitial, ckDone := false, false
 
@@ -122,14 +184,42 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Sh
 
 	run := func(k int) error {
 		for i := 0; i < words; i++ {
+			// loadIdx/storeIdx are the *effective* addresses; an address
+			// fault diverges them from the intended index i for exactly one
+			// iteration (the transient corrupted-register model).
+			loadIdx, storeIdx := i, i
 			if !injected && k == injEpoch && i == injWord {
-				inject(k)
 				injected = true
+				if cfg.AddrFault != AddrNone {
+					if !addrSkip {
+						loadIdx = addrTarget
+						if cfg.AddrFault == AddrAlias {
+							// The register was corrupted before the load and
+							// reused for the store: the whole read-modify-write
+							// lands on the wrong (valid) word.
+							storeIdx = addrTarget
+						}
+						telemetry.Emit(cfg.Trace, telemetry.EvFaultInjected, map[string]any{
+							"trial": trial, "epoch": k, "scheme": "epoch",
+							"fault": cfg.AddrFault.String(), "intent": i, "effective": addrTarget,
+						})
+					}
+				} else {
+					inject(k)
+				}
 			}
-			v := rt.Use(tr, &counters[i], mem.Load(i))
-			next := update(v)
-			mem.Store(i, next)
-			rt.DefDyn(tr, &counters[i], v, next)
+			if isAddrBackend {
+				v := mem.Load(loadIdx)
+				at.Load(i, loadIdx)
+				next := update(v)
+				mem.Store(storeIdx, next)
+				at.Store(i, storeIdx)
+			} else {
+				v := rt.Use(tr, &counters[i], mem.Load(loadIdx))
+				next := update(v)
+				mem.Store(storeIdx, next)
+				rt.DefDyn(tr, &counters[i], v, next)
+			}
 		}
 		return nil
 	}
@@ -138,6 +228,19 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Sh
 		last := k == epochs-1
 		if cfg.EndOnlyVerify && !last {
 			return nil
+		}
+		if isAddrBackend {
+			// The address streams are quiescent at any boundary (no
+			// finalize needed: every fold is complete when its access is).
+			if cfg.Hardened {
+				if serr := tr.ScrubDetector(); serr != nil {
+					inst.scrubFail.Inc()
+					return serr
+				}
+				inst.scrubPass.Inc()
+			}
+			_, err := at.EndEpoch()
+			return err
 		}
 		// Finalize every live variable so the boundary is checksum-quiescent,
 		// verify, then re-register the survivors for the next epoch.
@@ -196,6 +299,9 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Sh
 				state:    tr.BeginEpoch(),
 				counters: append([]rt.Counter(nil), counters...),
 			}
+			if at != nil {
+				snap.addr = at.BeginEpoch()
+			}
 			if cfg.Target == TargetCheckpoint {
 				// The supervisor's very first Checkpoint call captures the
 				// initial (whole-run) state; the fault targets the per-epoch
@@ -230,6 +336,15 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Sh
 					return rerr
 				}
 			}
+			if at != nil {
+				if cfg.Hardened {
+					if rerr := at.Rollback(s.addr); rerr != nil {
+						return rerr
+					}
+				} else {
+					at.RollbackUnchecked(s.addr)
+				}
+			}
 			copy(counters, s.counters)
 			return nil
 		},
@@ -243,8 +358,12 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Sh
 		return trialTally{}, err
 	}
 
+	// A skipped address fault injected nothing: the trial ran clean and
+	// counts as neither detected nor undetected.
+	skipped := cfg.AddrFault != AddrNone && addrSkip
 	tally := trialTally{
-		undetected:       !out.Detected,
+		skipped:          skipped,
+		undetected:       !out.Detected && !skipped,
 		detected:         out.Detected,
 		tainted:          out.Tainted,
 		retries:          out.Retries,
@@ -267,7 +386,9 @@ func runEpochTrial(ctx context.Context, cfg CoverageConfig, trial int, sh *rt.Sh
 	tally.falsePositive = !dataInjected && out.DataFaults > 0
 	_ = masked // the mask either held (false negative) or was caught; tallies above cover both
 
-	inst.record(tally.undetected)
+	if !skipped {
+		inst.record(tally.undetected)
+	}
 	if tally.detected {
 		inst.latency.Observe(float64(tally.latency))
 	}

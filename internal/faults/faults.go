@@ -127,17 +127,29 @@ func (in *Injector) FlipBitsInWord(v uint64, k int) uint64 {
 	return v
 }
 
-// WrongAddress models an address-generation error: a load intended for index
-// idx instead observes a different uniformly chosen index in [0, n). n must
-// be at least 2.
-func (in *Injector) WrongAddress(idx, n int) int {
+// ErrRegionTooSmall reports that an address fault cannot be modeled because
+// the region has no second location to redirect to. Campaign cells over
+// 1-word regions tally the skip instead of crashing a worker.
+type ErrRegionTooSmall struct {
+	Words int
+}
+
+func (e *ErrRegionTooSmall) Error() string {
+	return fmt.Sprintf("faults: address fault needs at least 2 locations, region has %d", e.Words)
+}
+
+// WrongAddress models an address-generation error: an access intended for
+// index idx instead touches a different uniformly chosen index in [0, n).
+// With n < 2 there is no wrong location to pick, and a *ErrRegionTooSmall
+// is returned instead of an index.
+func (in *Injector) WrongAddress(idx, n int) (int, error) {
 	if n < 2 {
-		panic("faults: WrongAddress needs at least 2 locations")
+		return idx, &ErrRegionTooSmall{Words: n}
 	}
 	for {
 		j := in.rng.Intn(n)
 		if j != idx {
-			return j
+			return j, nil
 		}
 	}
 }

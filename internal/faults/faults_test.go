@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"math/bits"
 	"testing"
 
@@ -107,19 +108,33 @@ func TestWrongAddressNeverReturnsSameIndex(t *testing.T) {
 	in := NewInjector(6)
 	for i := 0; i < 1000; i++ {
 		idx := in.Intn(10)
-		if j := in.WrongAddress(idx, 10); j == idx {
+		j, err := in.WrongAddress(idx, 10)
+		if err != nil {
+			t.Fatalf("WrongAddress: %v", err)
+		}
+		if j == idx {
 			t.Fatal("WrongAddress returned the intended index")
 		}
 	}
 }
 
-func TestWrongAddressPanicsOnTinyMemory(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+// TestWrongAddressTinyMemory: a 1-word region has no wrong location; the
+// injector reports a typed error (tallied as a skip by campaign cells)
+// instead of panicking a worker.
+func TestWrongAddressTinyMemory(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		j, err := NewInjector(7).WrongAddress(0, n)
+		var tooSmall *ErrRegionTooSmall
+		if !errors.As(err, &tooSmall) {
+			t.Fatalf("n=%d: error %v, want *ErrRegionTooSmall", n, err)
 		}
-	}()
-	NewInjector(7).WrongAddress(0, 1)
+		if tooSmall.Words != n {
+			t.Fatalf("n=%d: error reports %d words", n, tooSmall.Words)
+		}
+		if j != 0 {
+			t.Fatalf("n=%d: index %d, want the intended index back", n, j)
+		}
+	}
 }
 
 func TestInjectorDeterminism(t *testing.T) {

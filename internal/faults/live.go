@@ -16,6 +16,7 @@ package faults
 type LiveSampler struct {
 	seed      uint64
 	threshold uint64 // hits are draws strictly below this
+	addrTh    uint64 // hits whose kind draw is below this get an address fault
 }
 
 // NewLiveSampler returns a sampler hitting approximately rate (clamped to
@@ -36,6 +37,26 @@ func NewLiveSampler(rate float64, seed uint64) *LiveSampler {
 		th = uint64(rate * float64(1<<63) * 2)
 	}
 	return &LiveSampler{seed: seed, threshold: th}
+}
+
+// WithAddrFraction makes approximately frac (clamped to [0,1]) of sampled
+// hits address faults (a wrong-location load) instead of data bit flips.
+// Both parties deriving plans must use the same fraction — it is part of the
+// sampler's shared (rate, seed, frac) contract. The kind draw extends the
+// plan's derivation chain, so frac 0 reproduces the original plans exactly.
+func (s *LiveSampler) WithAddrFraction(frac float64) *LiveSampler {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if frac == 1 {
+		s.addrTh = ^uint64(0)
+	} else {
+		s.addrTh = uint64(frac * float64(1<<63) * 2)
+	}
+	return s
 }
 
 // splitmix64 is the finalizer used throughout the repo for deterministic
@@ -66,26 +87,67 @@ func (s *LiveSampler) Sample(id uint64) bool {
 	return s.Draw(id) < s.threshold
 }
 
-// LivePlan is the concrete injection a sampled request receives: one bit
-// flip in one tracked word, mid-way through one epoch. All coordinates are
-// derived from the request's draw, so the same (rate, seed, id, words,
-// epochs) always yields the same plan.
+// LiveKind selects the fault shape a sampled request receives.
+type LiveKind int
+
+const (
+	// LiveFlip is a single transient bit flip in one tracked word.
+	LiveFlip LiveKind = iota
+	// LiveAddrWrong is a transient address-generation error: one load
+	// observes a different valid tracked word (the plan's Partner) instead
+	// of its intended Word.
+	LiveAddrWrong
+)
+
+// String returns the wire label for the kind.
+func (k LiveKind) String() string {
+	if k == LiveAddrWrong {
+		return "addr-wrong"
+	}
+	return "flip"
+}
+
+// LivePlan is the concrete injection a sampled request receives: one
+// transient fault — a bit flip or a wrong-location load — mid-way through
+// one epoch. All coordinates are derived from the request's draw, so the
+// same (rate, seed, addr-fraction, id, words, epochs) always yields the
+// same plan.
 type LivePlan struct {
-	Epoch int // epoch during which the flip lands
-	Word  int // index of the struck word
-	Bit   int // bit position 0..63
+	Epoch int      // epoch during which the fault lands
+	Word  int      // index of the struck (intended) word
+	Bit   int      // bit position 0..63 (LiveFlip only)
+	Kind  LiveKind // fault shape
+	// Partner is the valid word a LiveAddrWrong load observes instead of
+	// Word; equal to Word for LiveFlip plans.
+	Partner int
 }
 
 // Plan derives the injection plan for a sampled request over a workload of
-// the given word count and epoch count. Both must be positive.
+// the given word count and epoch count. Both must be positive. The kind and
+// partner draws extend the derivation chain after the flip coordinates, so
+// every earlier coordinate is unchanged from the flip-only sampler — two
+// parties disagreeing only on the address fraction still agree on where a
+// flip would land.
 func (s *LiveSampler) Plan(id uint64, words, epochs int) LivePlan {
 	d := s.Draw(id)
 	e := splitmix64(d)
 	w := splitmix64(e)
 	b := splitmix64(w)
-	return LivePlan{
+	p := LivePlan{
 		Epoch: int(e % uint64(epochs)),
 		Word:  int(w % uint64(words)),
 		Bit:   int(b % 64),
 	}
+	p.Partner = p.Word
+	kd := splitmix64(b)
+	if kd < s.addrTh && words > 1 {
+		p.Kind = LiveAddrWrong
+		pd := splitmix64(kd)
+		j := int(pd % uint64(words-1))
+		if j >= p.Word {
+			j++ // skip the intended word: the partner must be a wrong location
+		}
+		p.Partner = j
+	}
+	return p
 }

@@ -57,6 +57,68 @@ func TestLiveSamplerEdgeRates(t *testing.T) {
 	}
 }
 
+// TestLiveSamplerAddrFractionZeroBackCompat: the kind draw extends the
+// derivation chain, so a zero address fraction reproduces the flip-only
+// sampler's plans exactly — two parties disagreeing only on the fraction
+// still agree on every flip coordinate.
+func TestLiveSamplerAddrFractionZeroBackCompat(t *testing.T) {
+	plain := NewLiveSampler(0.2, 5)
+	frac0 := NewLiveSampler(0.2, 5).WithAddrFraction(0)
+	for id := uint64(0); id < 2000; id++ {
+		if !plain.Sample(id) {
+			continue
+		}
+		p, q := plain.Plan(id, 64, 8), frac0.Plan(id, 64, 8)
+		if p != q {
+			t.Fatalf("id %d: frac-0 plan %+v != plain plan %+v", id, q, p)
+		}
+		if p.Kind != LiveFlip || p.Partner != p.Word {
+			t.Fatalf("id %d: flip-only sampler produced %+v", id, p)
+		}
+	}
+}
+
+// TestLiveSamplerAddrFractionPlans: address-fault plans keep every flip
+// coordinate unchanged, pick a valid partner that is never the intended
+// word, and appear at roughly the configured fraction of hits.
+func TestLiveSamplerAddrFractionPlans(t *testing.T) {
+	const words, epochs = 64, 8
+	plain := NewLiveSampler(1, 5)
+	s := NewLiveSampler(1, 5).WithAddrFraction(0.5)
+	addr := 0
+	const n = 4000
+	for id := uint64(0); id < n; id++ {
+		p := s.Plan(id, words, epochs)
+		q := plain.Plan(id, words, epochs)
+		if p.Epoch != q.Epoch || p.Word != q.Word || p.Bit != q.Bit {
+			t.Fatalf("id %d: kind draw disturbed flip coordinates: %+v vs %+v", id, p, q)
+		}
+		if p.Kind == LiveAddrWrong {
+			addr++
+			if p.Partner < 0 || p.Partner >= words || p.Partner == p.Word {
+				t.Fatalf("id %d: invalid partner %d for word %d", id, p.Partner, p.Word)
+			}
+		} else if p.Partner != p.Word {
+			t.Fatalf("id %d: flip plan carries partner %d != word %d", id, p.Partner, p.Word)
+		}
+	}
+	frac := float64(addr) / n
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("address fraction 0.5: observed %v (%d/%d)", frac, addr, n)
+	}
+}
+
+// TestLiveSamplerAddrFractionSingleWord: a one-word region has no wrong
+// location, so every plan must degrade to a flip even at fraction 1.
+func TestLiveSamplerAddrFractionSingleWord(t *testing.T) {
+	s := NewLiveSampler(1, 9).WithAddrFraction(1)
+	for id := uint64(0); id < 200; id++ {
+		if p := s.Plan(id, 1, 4); p.Kind != LiveFlip {
+			t.Fatalf("id %d: address fault planned over a 1-word region: %+v", id, p)
+		}
+	}
+}
+
 func TestLiveSamplerSeedIndependence(t *testing.T) {
 	a := NewLiveSampler(0.5, 1)
 	b := NewLiveSampler(0.5, 2)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"defuse/internal/addrsum"
 	"defuse/internal/checksum"
 	"defuse/internal/lang"
 	"defuse/internal/memsim"
@@ -110,6 +111,15 @@ type Machine struct {
 	trace   telemetry.Sink
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
+
+	// addr, when non-nil, receives the (intent, effective) index pair of
+	// every memory access the program performs — the instrumenter's data
+	// checksums and the address-stream checksums are emitted side by side.
+	addr *addrsum.Tracker
+	// basePad shifts every array's base address by allocating unused guard
+	// words first; internal/dme runs two machines with different pads so a
+	// physical-address fault lands at different logical coordinates.
+	basePad int
 }
 
 // Option configures a Machine.
@@ -144,6 +154,23 @@ func WithTracer(t *telemetry.Tracer) Option {
 	return func(m *Machine) { m.tracer = t }
 }
 
+// WithAddrStream folds every memory access's (intended, effective) address
+// pair into at, emitting the PRESAGE-style address-stream checksums
+// alongside the program's data checksums. The caller verifies at at its
+// chosen boundaries (at.Verify / at.EndEpoch).
+func WithAddrStream(at *addrsum.Tracker) Option {
+	return func(m *Machine) { m.addr = at }
+}
+
+// WithBaseOffset shifts every declared array's base address by pad unused
+// words. Two machines running the same program with different offsets are
+// structurally decorrelated: a fault at one physical address corrupts
+// different logical elements in each, which is what lets internal/dme
+// cross-check them.
+func WithBaseOffset(pad int) Option {
+	return func(m *Machine) { m.basePad = pad }
+}
+
 // New builds a machine for prog with the given integer parameter values,
 // type-checking the program and allocating all declared variables.
 func New(prog *lang.Program, params map[string]int64, opts ...Option) (*Machine, error) {
@@ -169,6 +196,9 @@ func New(prog *lang.Program, params map[string]int64, opts ...Option) (*Machine,
 		opt(m)
 	}
 	alloc := memsim.NewAllocator(m.mem)
+	if m.basePad > 0 {
+		alloc.Alloc(m.basePad)
+	}
 	for _, d := range prog.Decls {
 		vi := &varInfo{decl: d}
 		size := int64(1)
@@ -185,6 +215,16 @@ func New(prog *lang.Program, params map[string]int64, opts ...Option) (*Machine,
 		}
 		vi.region = alloc.Alloc(int(size))
 		m.vars[d.Name] = vi
+	}
+	if m.addr != nil {
+		at := m.addr
+		m.mem.SetAccessHook(func(store bool, intent, effective int) {
+			if store {
+				at.Store(intent, effective)
+			} else {
+				at.Load(intent, effective)
+			}
+		})
 	}
 	if m.trace != nil {
 		// Stream every bit flip the harness injects, with both the raw
@@ -217,6 +257,9 @@ func (m *Machine) Mem() *memsim.Memory { return m.mem }
 // Pair exposes the checksum accumulators.
 func (m *Machine) Pair() *checksum.Pair { return m.pair }
 
+// Addr exposes the address-stream tracker armed via WithAddrStream, or nil.
+func (m *Machine) Addr() *addrsum.Tracker { return m.addr }
+
 // SetStepHook installs a callback invoked before each executed statement
 // with the running statement count; fault-injection experiments use it to
 // corrupt memory at a chosen point.
@@ -239,7 +282,11 @@ func (m *Machine) SetContext(ctx context.Context) {
 func (m *Machine) Reset() {
 	m.mem.Zero()
 	m.mem.SetLoadHook(nil)
+	m.mem.SetRedirect(nil)
 	m.pair.Reset()
+	if m.addr != nil {
+		m.addr.Reset()
+	}
 	for k := range m.iters {
 		delete(m.iters, k)
 	}

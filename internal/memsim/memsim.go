@@ -26,6 +26,17 @@ type Memory struct {
 	// harnesses can stream fault-injection telemetry without wrapping
 	// every injection site.
 	faultHook func(addr, bit int)
+
+	// redirect, when set, maps an access's intended address to the one it
+	// actually touches — modeling an address-generation fault (a corrupted
+	// index register) rather than a data fault. The returned address must
+	// be in bounds.
+	redirect func(store bool, addr int) int
+
+	// accessHook, when set, observes every Load/Store with both the
+	// intended and the effective address; internal/addrsum folds the pair
+	// into its address-stream checksums through this hook.
+	accessHook func(store bool, intent, effective int)
 }
 
 // New returns a memory with the given capacity in 64-bit words.
@@ -41,10 +52,20 @@ func (m *Memory) Load(addr int) uint64 {
 	if addr < 0 || addr >= len(m.words) {
 		panic(fmt.Sprintf("memsim: load out of bounds: %d of %d", addr, len(m.words)))
 	}
+	eff := addr
+	if m.redirect != nil {
+		eff = m.redirect(false, addr)
+		if eff < 0 || eff >= len(m.words) {
+			panic(fmt.Sprintf("memsim: redirected load out of bounds: %d of %d", eff, len(m.words)))
+		}
+	}
 	m.loads++
-	raw := m.words[addr]
+	raw := m.words[eff]
+	if m.accessHook != nil {
+		m.accessHook(false, addr, eff)
+	}
 	if m.loadHook != nil {
-		raw = m.loadHook(addr, raw)
+		raw = m.loadHook(eff, raw)
 	}
 	return raw
 }
@@ -54,8 +75,18 @@ func (m *Memory) Store(addr int, v uint64) {
 	if addr < 0 || addr >= len(m.words) {
 		panic(fmt.Sprintf("memsim: store out of bounds: %d of %d", addr, len(m.words)))
 	}
+	eff := addr
+	if m.redirect != nil {
+		eff = m.redirect(true, addr)
+		if eff < 0 || eff >= len(m.words) {
+			panic(fmt.Sprintf("memsim: redirected store out of bounds: %d of %d", eff, len(m.words)))
+		}
+	}
 	m.stores++
-	m.words[addr] = v
+	if m.accessHook != nil {
+		m.accessHook(true, addr, eff)
+	}
+	m.words[eff] = v
 }
 
 // Peek reads a word without counting it as a program load (experiment
@@ -238,6 +269,16 @@ func (m *Memory) SetLoadHook(h func(addr int, raw uint64) uint64) { m.loadHook =
 // SetFaultHook installs (or clears, with nil) the fault observation hook
 // invoked after every FlipBit.
 func (m *Memory) SetFaultHook(h func(addr, bit int)) { m.faultHook = h }
+
+// SetRedirect installs (or clears, with nil) the address-fault hook: every
+// Load/Store passes its intended address through h and touches the address
+// h returns. Harnesses model wrong-address and aliasing faults with it; a
+// hook that returns its argument is a (slower) identity.
+func (m *Memory) SetRedirect(h func(store bool, addr int) int) { m.redirect = h }
+
+// SetAccessHook installs (or clears, with nil) the address-stream observer,
+// invoked on every Load/Store with the intended and effective addresses.
+func (m *Memory) SetAccessHook(h func(store bool, intent, effective int)) { m.accessHook = h }
 
 // Loads returns the number of Load calls.
 func (m *Memory) Loads() uint64 { return m.loads }

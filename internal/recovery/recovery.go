@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"defuse/internal/addrsum"
 	"defuse/internal/checksum"
 	"defuse/internal/memsim"
 	"defuse/rt"
@@ -64,6 +65,15 @@ func (c FaultClass) String() string {
 	}
 }
 
+// SelfClassifying lets fault types defined above the runtime core (e.g. the
+// dme package's divergence errors, which sit above interp and hence above
+// this package) declare their own class without recovery importing them.
+// DefaultClassify consults it after the core error types.
+type SelfClassifying interface {
+	error
+	RecoveryClass() FaultClass
+}
+
 // DefaultClassify maps the runtime's error types onto the three failure
 // modes. Checkpoint sentinels are checked first: a corrupt-checkpoint error
 // wrapping a rollback failure must escalate even if other evidence is
@@ -73,17 +83,24 @@ func DefaultClassify(err error) FaultClass {
 	if err == nil {
 		return ClassNone
 	}
-	if errors.Is(err, rt.ErrCheckpointCorrupt) || errors.Is(err, memsim.ErrCheckpointCorrupt) {
+	if errors.Is(err, rt.ErrCheckpointCorrupt) || errors.Is(err, memsim.ErrCheckpointCorrupt) ||
+		errors.Is(err, addrsum.ErrCheckpointCorrupt) {
 		return ClassCheckpoint
 	}
 	var df *rt.DetectorFaultError
 	var se *checksum.ScrubError
-	if errors.As(err, &df) || errors.As(err, &se) {
+	var ase *addrsum.ScrubError
+	if errors.As(err, &df) || errors.As(err, &se) || errors.As(err, &ase) {
 		return ClassDetector
 	}
 	var mm *checksum.MismatchError
-	if errors.As(err, &mm) {
+	var am *addrsum.MismatchError
+	if errors.As(err, &mm) || errors.As(err, &am) {
 		return ClassData
+	}
+	var sc SelfClassifying
+	if errors.As(err, &sc) {
+		return sc.RecoveryClass()
 	}
 	return ClassNone
 }

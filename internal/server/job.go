@@ -141,15 +141,24 @@ func runVerify(ctx context.Context, st *rt.ShardedTracker, job verifyJob, plan *
 			return err
 		}
 		for i := 0; i < words; i++ {
+			loadIdx := i
 			if plan != nil && !injected && k == plan.Epoch && i == plan.Word {
-				mem.FlipBit(plan.Word, plan.Bit)
 				injected = true
+				if plan.Kind == faults.LiveAddrWrong {
+					// A corrupted index register: this one load observes a
+					// different valid word. The use fold sees the wrong value
+					// (distinct with overwhelming probability — words derive
+					// from splitmix64), so the boundary check flags it.
+					loadIdx = plan.Partner
+				} else {
+					mem.FlipBit(plan.Word, plan.Bit)
+				}
 				telemetry.Emit(tel.Trace, telemetry.EvFaultInjected, map[string]any{
 					"request": job.id, "epoch": k, "word": plan.Word, "bit": plan.Bit,
-					"mode": "live",
+					"kind": plan.Kind.String(), "partner": plan.Partner, "mode": "live",
 				})
 			}
-			v := rt.Use(tr, &counters[i], mem.Load(i))
+			v := rt.Use(tr, &counters[i], mem.Load(loadIdx))
 			next := update(v)
 			mem.Store(i, next)
 			rt.DefDyn(tr, &counters[i], v, next)

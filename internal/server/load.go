@@ -38,10 +38,12 @@ type LoadConfig struct {
 	Epochs int
 	// Seed must equal the server's Config.Seed for reference recomputation.
 	Seed uint64
-	// FaultRate and FaultSeed must mirror the server's live sampler so the
-	// client knows which requests were injected.
-	FaultRate float64
-	FaultSeed uint64
+	// FaultRate, FaultSeed, and FaultAddrFraction must mirror the server's
+	// live sampler so the client knows which requests were injected and with
+	// which fault shape.
+	FaultRate         float64
+	FaultSeed         uint64
+	FaultAddrFraction float64
 	// KernelEvery, when > 0, makes every Nth request a kernel job.
 	KernelEvery int
 	// FirstID offsets request IDs (so successive runs against one journal
@@ -97,7 +99,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	if cfg.Words <= 0 || cfg.Epochs <= 0 {
 		return LoadResult{}, fmt.Errorf("loadgen: words and epochs must be explicit (the auditor recomputes references from them)")
 	}
-	sampler := faults.NewLiveSampler(cfg.FaultRate, cfg.FaultSeed)
+	sampler := faults.NewLiveSampler(cfg.FaultRate, cfg.FaultSeed).
+		WithAddrFraction(cfg.FaultAddrFraction)
 
 	reg := telemetry.NewRegistry()
 	hist := reg.Histogram("loadgen_request_seconds", telemetry.DefBuckets())
@@ -106,7 +109,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	var (
 		next       atomic.Uint64 // dispensed request ordinals
 		mu         sync.Mutex
-		row        = bench.ServiceRow{Streams: cfg.Streams, FaultRate: cfg.FaultRate}
+		row        = bench.ServiceRow{Streams: cfg.Streams, FaultRate: cfg.FaultRate, FaultAddrFraction: cfg.FaultAddrFraction}
 		mismatches []string
 	)
 	audit := func(req Request, resp Response) {
@@ -130,6 +133,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 		row.Requests++
 		if expectInjected {
 			row.Injected++
+			// Recompute the full plan the server must have derived — the
+			// sampler contract covers the fault shape, not just the hit set.
+			if sampler.Plan(req.ID, req.Words, req.Epochs).Kind == faults.LiveAddrWrong {
+				row.InjectedAddr++
+			}
 			if resp.Detected {
 				row.Detected++
 			}

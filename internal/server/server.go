@@ -41,6 +41,10 @@ type Config struct {
 	// verify requests. Rate 0 disables injection.
 	FaultRate float64
 	FaultSeed uint64
+	// FaultAddrFraction is the fraction of sampled hits injected as address
+	// faults (a wrong-location load) instead of data bit flips. Part of the
+	// sampler's shared contract: the load generator must mirror it to audit.
+	FaultAddrFraction float64
 	// WALPath, when non-empty, journals every completed request for
 	// crash-consistent resume.
 	WALPath string
@@ -151,7 +155,8 @@ func New(cfg Config) (*Server, error) {
 		drainCh: make(chan struct{}),
 	}
 	if cfg.FaultRate > 0 {
-		s.sampler = faults.NewLiveSampler(cfg.FaultRate, cfg.FaultSeed)
+		s.sampler = faults.NewLiveSampler(cfg.FaultRate, cfg.FaultSeed).
+			WithAddrFraction(cfg.FaultAddrFraction)
 	}
 	s.trackers = newTrackerPool(cfg.MaxInFlight, obs.Sink, obs.Metrics)
 	if cfg.Kernel != "" {
