@@ -93,7 +93,7 @@ func BenchmarkFig10(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					bm.Init(m, params)
+					bm.InitDefault(m, params)
 					b.StartTimer()
 					if err := m.Run(); err != nil {
 						b.Fatal(err)
@@ -121,7 +121,7 @@ func BenchmarkFig11Estimator(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		bm.Init(m, params)
+		bm.InitDefault(m, params)
 		if err := m.Run(); err != nil {
 			b.Fatal(err)
 		}

@@ -44,7 +44,7 @@
 // verified throughput. -gate exits non-zero unless every injected fault was
 // detected and recovered and every clean request returned the exact
 // reference digest. -json-out merges the result into an existing
-// BENCH_overhead.json as its service block (schema defuse/overhead/v3).
+// BENCH_overhead.json as its service block (current defuse/overhead schema).
 package main
 
 import (

@@ -5,11 +5,19 @@
 //
 // Usage:
 //
-//	overhead [-fig 10|11|all] [-scale 0.01] [-bench name] [-list] \
+//	overhead [-backend interp|native] [-fig 10|11|all] [-scale 0.01] \
+//	         [-bench name] [-list] \
 //	         [-parallel N] [-json] [-json-out BENCH_overhead.json] \
 //	         [-wal dir] [-wal-epochs 8] \
 //	         [-trace events.jsonl] [-metrics out] \
 //	         [-serve addr] [-flight dump.json] [-chrome trace.json] [-linger]
+//
+// -backend native switches from the instruction-counting interpreter to the
+// committed compiled kernels (internal/codegen/gennative): real wall-clock
+// overheads of the defuse compiler's output under the Go compiler, merged
+// into the -json report as the native block. -parallel requires N within the
+// host's CPU count — oversubscribed workers would report wall parity that
+// measures the scheduler, not the executor.
 //
 // -wal switches to the durability measurement: each kernel runs once under
 // plain epoch supervision and once with crash-consistent WAL checkpoints
@@ -20,7 +28,7 @@
 // Scale multiplies the paper's problem sizes; the kernels execute on the
 // package's instruction-counting interpreter, so the op-count columns are
 // deterministic and machine-independent. -json additionally writes the
-// machine-readable overhead report (schema defuse/overhead/v2) for
+// machine-readable overhead report (schema defuse/overhead/v4) for
 // regression tracking across commits, including histogram-derived
 // p50/p99/p999 quantiles for epoch-verification cost and detection latency
 // (measured by a small supervised fault-injection probe). -parallel N runs
@@ -40,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"defuse/internal/bench"
 	"defuse/internal/checksum"
@@ -48,6 +57,7 @@ import (
 )
 
 func main() {
+	backend := flag.String("backend", "interp", "execution backend: interp (cost-model interpreter) or native (compiled gennative kernels)")
 	fig := flag.String("fig", "all", "which figure to regenerate: 10, 11, or all")
 	scale := flag.Float64("scale", 0.004, "problem-size scale relative to the paper's sizes")
 	one := flag.String("bench", "", "run a single benchmark by Table 2 name")
@@ -67,6 +77,24 @@ func main() {
 			fmt.Printf("%-10s %-46s %s\n", b.Name, b.Description, b.PaperSize)
 		}
 		return
+	}
+
+	if err := validateParallel(*parallel, runtime.NumCPU()); err != nil {
+		fatal(err)
+	}
+	if *backend == "native" {
+		// The native path times compiled code: the interpreter-only modes
+		// (sharded executor, WAL measurement) do not apply to it.
+		if *parallel > 0 || *wal != "" {
+			fatal(fmt.Errorf("-backend native does not support -parallel or -wal"))
+		}
+		if err := runNative(*scale, *one, *jsonOut, *jsonPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *backend != "interp" {
+		fatal(fmt.Errorf("unknown -backend %q (want interp or native)", *backend))
 	}
 
 	obs, err := telemetry.SetupObs(obsFlags())
@@ -94,6 +122,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// validateParallel rejects worker counts beyond the host's CPUs. The sharded
+// executor's wall-clock column is the point of -parallel; oversubscribed
+// workers time-slice on the same cores and silently report wall parity, a
+// measurement that looks valid and isn't — so asking for it is an error, not
+// a degraded run.
+func validateParallel(n, cpus int) error {
+	if n > cpus {
+		return fmt.Errorf("-parallel %d exceeds the %d available CPUs; "+
+			"oversubscribed workers produce meaningless wall-clock parity rows", n, cpus)
+	}
+	return nil
 }
 
 // workerLadder returns the doubling ladder 1, 2, 4, ... capped at n, always

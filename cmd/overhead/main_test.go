@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"defuse/internal/bench"
+)
+
+// -parallel beyond the host's CPUs must be an error before any measurement
+// runs: oversubscribed workers time-slice on the same cores and emit
+// wall-parity scaling rows that look like valid measurements.
+func TestValidateParallel(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, cpus int
+		wantErr bool
+	}{
+		{"disabled", 0, 8, false},
+		{"one", 1, 8, false},
+		{"at-limit", 8, 8, false},
+		{"over-by-one", 9, 8, true},
+		{"way-over", 64, 4, true},
+		{"single-cpu-host", 2, 1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateParallel(c.n, c.cpus)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("validateParallel(%d, %d) = %v, want error=%v", c.n, c.cpus, err, c.wantErr)
+			}
+			if err != nil && !strings.Contains(err.Error(), "-parallel") {
+				t.Fatalf("error does not name the flag: %v", err)
+			}
+		})
+	}
+}
+
+// The ladder must double up to and always end exactly at the requested
+// count, so the requested worker count is itself measured.
+func TestWorkerLadder(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{7, []int{1, 2, 4, 7}},
+		{8, []int{1, 2, 4, 8}},
+	}
+	for _, c := range cases {
+		got := workerLadder(c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("workerLadder(%d) = %v, want %v", c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("workerLadder(%d) = %v, want %v", c.n, got, c.want)
+			}
+		}
+	}
+}
+
+// A quick native measurement of one benchmark exercises the whole compiled
+// path: gennative lookup, machine construction, timing loop, output
+// equivalence across variants, and the normalized row.
+func TestMeasureNativeOneBench(t *testing.T) {
+	b, err := bench.ByName("jacobi1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := measureNative(b, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Bench != "jacobi1d" || row.Reps < 1 {
+		t.Fatalf("bad row: %+v", row)
+	}
+	if row.OriginalSeconds <= 0 || row.ResilientTime <= 0 || row.OptimizedTime <= 0 {
+		t.Fatalf("non-positive measurements: %+v", row)
+	}
+}

@@ -55,7 +55,7 @@ func RunDurable(b *Benchmark, scale float64, epochs int, walDir string, tel Tele
 		if err != nil {
 			return nil, nil, err
 		}
-		b.Init(m, params)
+		b.InitDefault(m, params)
 		p, err := m.PlanEpochs(epochs)
 		return m, p, err
 	}

@@ -98,7 +98,7 @@ func runScalingOnce(b *Benchmark, prog *lang.Program, scale float64, workers int
 	if err != nil {
 		return nil, err
 	}
-	b.Init(m, params)
+	b.InitDefault(m, params)
 	plan, err := m.PlanParallel(workers)
 	if err != nil {
 		return nil, err

@@ -19,15 +19,19 @@ import (
 
 // OverheadSchema identifies the BENCH_overhead.json format version. v2 added
 // the optional quantiles block (epoch-verify latency and detection latency
-// distributions); v3 adds the optional service block (sustained-load latency
-// and fault-recovery results from the resident defused service). Every
-// earlier field is carried forward unchanged, so v2 documents are still
-// accepted on read.
-const OverheadSchema = "defuse/overhead/v3"
+// distributions); v3 added the optional service block (sustained-load latency
+// and fault-recovery results from the resident defused service); v4 adds the
+// optional native block (wall-clock overheads of the compiled codegen
+// backend). Every earlier field is carried forward unchanged, so v2 and v3
+// documents are still accepted on read.
+const OverheadSchema = "defuse/overhead/v4"
 
-// overheadSchemaV2 is the previous format version, accepted on read: a v2
-// document is a valid v3 document with no service block.
-const overheadSchemaV2 = "defuse/overhead/v2"
+// Earlier format versions, accepted on read: each is a valid v4 document
+// with the later optional blocks absent.
+const (
+	overheadSchemaV2 = "defuse/overhead/v2"
+	overheadSchemaV3 = "defuse/overhead/v3"
+)
 
 // OverheadRow is one benchmark's measurements across the three variants.
 type OverheadRow struct {
@@ -122,6 +126,55 @@ type BackendRow struct {
 	AllExpected bool `json:"all_expected"`
 }
 
+// NativeRow is one benchmark's wall-clock measurement on the compiled
+// native backend (cmd/overhead -backend native): the committed generated
+// kernels in internal/codegen/gennative, built by the Go compiler and run
+// against codegen.Machine. Unlike OverheadRow there are no op-count columns —
+// native code has no interpreter to count ops; wall clock on compiled code is
+// the measurement, the closest analogue of the paper's icc numbers. Optional
+// block, new in defuse/overhead/v4.
+type NativeRow struct {
+	Bench string `json:"bench"`
+	// OriginalSeconds is the mean per-run wall time of the uninstrumented
+	// kernel; Resilient/Optimized are normalized to it (Original = 1.0).
+	OriginalSeconds float64 `json:"original_seconds"`
+	ResilientTime   float64 `json:"resilient_time"`
+	OptimizedTime   float64 `json:"optimized_time"`
+	// Reps is how many timed repetitions each variant's mean averages over
+	// (fresh machine and data per rep; only the kernel call is timed).
+	Reps int `json:"reps"`
+}
+
+// NativeGeoMeans summarizes native rows the way GeoMeans summarizes the
+// interpreter's Figure 10 rows.
+func NativeGeoMeans(rows []NativeRow) (resilient, optimized float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	rs, os := 0.0, 0.0
+	for _, r := range rows {
+		rs += math.Log(r.ResilientTime)
+		os += math.Log(r.OptimizedTime)
+	}
+	n := float64(len(rows))
+	return math.Exp(rs / n), math.Exp(os / n)
+}
+
+// FormatNative renders native rows as the compiled-code analogue of the
+// Figure 10 table.
+func FormatNative(rows []NativeRow) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%-10s %14s %12s %12s %8s\n",
+		"Benchmark", "Orig(s/run)", "Resil(wall)", "Opt(wall)", "Reps")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %14.6f %12.3f %12.3f %8d\n",
+			r.Bench, r.OriginalSeconds, r.ResilientTime, r.OptimizedTime, r.Reps)
+	}
+	rg, og := NativeGeoMeans(rows)
+	fmt.Fprintf(&b, "%-10s %14s %12.3f %12.3f %8s\n", "geomean", "", rg, og, "")
+	return b.String()
+}
+
 // OverheadReport is the full BENCH_overhead.json document.
 type OverheadReport struct {
 	Schema      string          `json:"schema"`
@@ -141,6 +194,9 @@ type OverheadReport struct {
 	// Backends holds the detection-backend comparison rows (cmd/faultcov
 	// -backend ... -bench-out merges them). Optional under v3.
 	Backends []BackendRow `json:"backends,omitempty"`
+	// Native holds the compiled-backend wall-clock rows (cmd/overhead
+	// -backend native -json merges them). Optional, new in v4.
+	Native []NativeRow `json:"native,omitempty"`
 }
 
 // AttachQuantiles pulls the epoch-verify and detection-latency families out
@@ -210,7 +266,7 @@ func ParseOverheadReport(r io.Reader) (OverheadReport, error) {
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return rep, fmt.Errorf("bench: parsing overhead report: %w", err)
 	}
-	if rep.Schema != OverheadSchema && rep.Schema != overheadSchemaV2 {
+	if rep.Schema != OverheadSchema && rep.Schema != overheadSchemaV3 && rep.Schema != overheadSchemaV2 {
 		return rep, fmt.Errorf("bench: unexpected schema %q (want %q)", rep.Schema, OverheadSchema)
 	}
 	if len(rep.Rows) == 0 {
@@ -259,6 +315,30 @@ func MergeBackendRows(path string, rows []BackendRow, writeFile func(string, []b
 	}
 	rep.Schema = OverheadSchema
 	rep.Backends = rows
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return writeFile(path, buf.Bytes())
+}
+
+// MergeNativeRows installs the compiled-backend measurement block into an
+// existing report file, replacing any previous block, following the same
+// parse-replace-rewrite discipline as MergeServiceRow. The interpreter run
+// remains the document's owner; the native backend only annotates it, so the
+// service, backend, and quantile blocks survive a native re-measurement.
+func MergeNativeRows(path string, rows []NativeRow, writeFile func(string, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("bench: merging native rows: %w", err)
+	}
+	rep, err := ParseOverheadReport(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep.Schema = OverheadSchema
+	rep.Native = rows
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		return err

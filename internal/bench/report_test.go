@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -60,6 +62,75 @@ func TestBuildOverheadReportValidation(t *testing.T) {
 	bad[1].Bench = "other"
 	if _, err := BuildOverheadReport(rows10, bad, 1); err == nil {
 		t.Error("mismatched bench names not rejected")
+	}
+}
+
+// Earlier schema versions remain readable: a v2 or v3 document is a valid
+// v4 document with the later optional blocks absent.
+func TestParseOverheadReportAcceptsOldSchemas(t *testing.T) {
+	for _, schema := range []string{overheadSchemaV2, overheadSchemaV3} {
+		in := `{"schema":"` + schema + `","rows":[{"bench":"x"}]}`
+		rep, err := ParseOverheadReport(strings.NewReader(in))
+		if err != nil {
+			t.Errorf("%s rejected: %v", schema, err)
+			continue
+		}
+		if rep.Native != nil || rep.Service != nil {
+			t.Errorf("%s: phantom optional blocks: %+v", schema, rep)
+		}
+	}
+}
+
+// MergeNativeRows must bump the schema and install the native block while
+// leaving every other block of the document untouched.
+func TestMergeNativeRows(t *testing.T) {
+	path := t.TempDir() + "/report.json"
+	doc := `{"schema":"` + overheadSchemaV3 + `","scale":0.004,` +
+		`"rows":[{"bench":"x","resilient_ops":1.5}],` +
+		`"service":{"streams":4,"requests":100}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows := []NativeRow{{Bench: "x", OriginalSeconds: 0.001, ResilientTime: 4.5, OptimizedTime: 5.0, Reps: 50}}
+	if err := MergeNativeRows(path, rows, func(p string, b []byte) error {
+		return os.WriteFile(p, b, 0o644)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := ParseOverheadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != OverheadSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, OverheadSchema)
+	}
+	if len(rep.Native) != 1 || rep.Native[0].ResilientTime != 4.5 || rep.Native[0].Reps != 50 {
+		t.Errorf("native block not installed: %+v", rep.Native)
+	}
+	if rep.Service == nil || rep.Service.Streams != 4 {
+		t.Errorf("service block lost in merge: %+v", rep.Service)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].ResilientOps != 1.5 {
+		t.Errorf("interp rows lost in merge: %+v", rep.Rows)
+	}
+}
+
+func TestNativeGeoMeans(t *testing.T) {
+	rows := []NativeRow{
+		{Bench: "a", ResilientTime: 2, OptimizedTime: 4},
+		{Bench: "b", ResilientTime: 8, OptimizedTime: 16},
+	}
+	rg, og := NativeGeoMeans(rows)
+	if math.Abs(rg-4) > 1e-9 || math.Abs(og-8) > 1e-9 {
+		t.Errorf("geomeans = %v/%v, want 4/8", rg, og)
+	}
+	if rg, og := NativeGeoMeans(nil); rg != 0 || og != 0 {
+		t.Errorf("empty geomeans = %v/%v, want 0/0", rg, og)
 	}
 }
 

@@ -10,9 +10,19 @@ import (
 	"fmt"
 	"math/rand"
 
-	"defuse/internal/interp"
 	"defuse/internal/lang"
 )
+
+// DataHost is the backend-independent data-initialization surface: the
+// subset of the machine API a benchmark's Init needs, satisfied by both
+// interp.Machine and codegen.Machine so the same seeding code feeds the
+// interpreter and the native backend with bit-identical inputs.
+type DataHost interface {
+	SetFloat(name string, v float64, idx ...int64) error
+	SetInt(name string, v int64, idx ...int64) error
+	FillFloat(name string, gen func(flat int64) float64) error
+	FillInt(name string, gen func(flat int64) int64) error
+}
 
 // Benchmark describes one Table 2 entry.
 type Benchmark struct {
@@ -31,8 +41,12 @@ type Benchmark struct {
 	// scale 1 approximates the paper's problem sizes, the default harness
 	// scale keeps interpreter runs fast.
 	Params func(scale float64) map[string]int64
-	// Init seeds the machine's arrays and scalars deterministically.
-	Init func(m *interp.Machine, params map[string]int64)
+	// Init seeds the machine's arrays and scalars from rng; InitDefault
+	// supplies the benchmark's historical Seed for reproducible defaults,
+	// and differential harnesses pass their own streams to vary the data.
+	Init func(m DataHost, params map[string]int64, rng *rand.Rand)
+	// Seed is the benchmark's default data seed (used by InitDefault).
+	Seed int64
 	// PaperSize is Table 2's problem-size string.
 	PaperSize string
 }
@@ -245,8 +259,8 @@ func Suite() []*Benchmark {
 			Params: func(s float64) map[string]int64 {
 				return map[string]int64{"tsteps": scaleInt(500, s, 2), "n": scaleInt(3000, s, 8)}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(101))
+			Seed: 101,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				must(m.FillFloat("X", func(i int64) float64 { return rng.Float64() }))
 				must(m.FillFloat("A", func(i int64) float64 { return 0.1 + 0.1*rng.Float64() }))
 				must(m.FillFloat("B", func(i int64) float64 { return 2.0 + rng.Float64() }))
@@ -258,8 +272,8 @@ func Suite() []*Benchmark {
 			Params: func(s float64) map[string]int64 {
 				return map[string]int64{"n": scaleInt(3000, s, 8), "k": 8, "maxiter": scaleInt(1500, s, 2)}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(102))
+			Seed: 102,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				n, k := p["n"], p["k"]
 				must(m.FillFloat("Aval", func(i int64) float64 { return 0.5 + rng.Float64() }))
 				must(m.FillInt("cols", func(i int64) int64 { return rng.Int63n(n) }))
@@ -280,8 +294,8 @@ func Suite() []*Benchmark {
 			Params: func(s float64) map[string]int64 {
 				return map[string]int64{"n": scaleInt(3000, s, 8)}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(103))
+			Seed: 103,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				n := p["n"]
 				must(m.FillFloat("A", func(i int64) float64 { return 0.2 * rng.Float64() }))
 				for d := int64(0); d < n; d++ {
@@ -296,8 +310,8 @@ func Suite() []*Benchmark {
 				n := scaleInt(3000, s, 8)
 				return map[string]int64{"n": n, "m": n}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(104))
+			Seed: 104,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				must(m.FillFloat("C", func(i int64) float64 { return rng.Float64() }))
 				must(m.FillFloat("A", func(i int64) float64 { return rng.Float64() }))
 			},
@@ -308,8 +322,8 @@ func Suite() []*Benchmark {
 			Params: func(s float64) map[string]int64 {
 				return map[string]int64{"tsteps": scaleInt(100000, s, 2), "n": scaleInt(400000, s, 8)}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(105))
+			Seed: 105,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				must(m.FillFloat("A", func(i int64) float64 { return rng.Float64() * 100 }))
 			},
 		},
@@ -319,8 +333,8 @@ func Suite() []*Benchmark {
 			Params: func(s float64) map[string]int64 {
 				return map[string]int64{"n": scaleInt(3000, s, 8)}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(106))
+			Seed: 106,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				n := p["n"]
 				must(m.FillFloat("A", func(i int64) float64 { return 0.1 * rng.Float64() }))
 				for d := int64(0); d < n; d++ {
@@ -334,8 +348,8 @@ func Suite() []*Benchmark {
 			Params: func(s float64) map[string]int64 {
 				return map[string]int64{"n": scaleInt(400000, s, 8), "k": 6, "maxiter": scaleInt(100, s, 5)}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(107))
+			Seed: 107,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				must(m.FillFloat("x", func(i int64) float64 { return rng.Float64() * 10 }))
 				must(m.SetFloat("cutoff", 2.5))
 				must(m.SetFloat("dt", 0.0001))
@@ -347,8 +361,8 @@ func Suite() []*Benchmark {
 			Params: func(s float64) map[string]int64 {
 				return map[string]int64{"tsteps": scaleInt(500, s, 2), "n": scaleInt(3000, s, 8)}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(108))
+			Seed: 108,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				must(m.FillFloat("A", func(i int64) float64 { return rng.Float64() * 50 }))
 			},
 		},
@@ -359,8 +373,8 @@ func Suite() []*Benchmark {
 				n := scaleInt(3000, s, 8)
 				return map[string]int64{"n": n, "m": n}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(109))
+			Seed: 109,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				n := p["n"]
 				must(m.FillFloat("L", func(i int64) float64 { return 0.05 * rng.Float64() }))
 				for d := int64(0); d < n; d++ {
@@ -375,8 +389,8 @@ func Suite() []*Benchmark {
 			Params: func(s float64) map[string]int64 {
 				return map[string]int64{"n": scaleInt(3000, s, 8)}
 			},
-			Init: func(m *interp.Machine, p map[string]int64) {
-				rng := rand.New(rand.NewSource(110))
+			Seed: 110,
+			Init: func(m DataHost, p map[string]int64, rng *rand.Rand) {
 				n := p["n"]
 				must(m.FillFloat("L", func(i int64) float64 { return 0.05 * rng.Float64() }))
 				for d := int64(0); d < n; d++ {
@@ -400,6 +414,12 @@ func ByName(name string) (*Benchmark, error) {
 
 // Program parses the benchmark's source.
 func (b *Benchmark) Program() *lang.Program { return lang.MustParse(b.Source) }
+
+// InitDefault seeds the machine with the benchmark's default data stream —
+// the historical fixed-seed initialization every measurement path uses.
+func (b *Benchmark) InitDefault(m DataHost, params map[string]int64) {
+	b.Init(m, params, rand.New(rand.NewSource(b.Seed)))
+}
 
 func must(err error) {
 	if err != nil {

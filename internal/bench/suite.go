@@ -98,7 +98,7 @@ func (b *Benchmark) RunWith(v Variant, scale float64, tel Telemetry) (*RunResult
 	if err != nil {
 		return nil, err
 	}
-	b.Init(m, params)
+	b.InitDefault(m, params)
 	span := tel.Tracer.Start(telemetry.SpanContext{}, "bench.run",
 		telemetry.String("bench", b.Name), telemetry.String("variant", string(v)))
 	start := time.Now()

@@ -1,0 +1,155 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Host-side data interface, method-for-method compatible with interp's
+// (bench.DataHost is the shared abstraction): initializing program variables
+// before a run and reading results after. These accessors use Peek/Poke so
+// they do not perturb the program's load/store accounting.
+
+func (m *Machine) info(name string) (*varInfo, error) {
+	vi := m.vars[name]
+	if vi == nil {
+		return nil, fmt.Errorf("codegen: no variable %q", name)
+	}
+	return vi, nil
+}
+
+func (m *Machine) flatIndex(name string, vi *varInfo, idx []int64) (int, error) {
+	if len(idx) != len(vi.dims) {
+		return 0, fmt.Errorf("codegen: %q has %d dims, got %d indices", name, len(vi.dims), len(idx))
+	}
+	addr := int64(0)
+	for k, ix := range idx {
+		if ix < 0 || ix >= vi.dims[k] {
+			return 0, fmt.Errorf("codegen: index %d out of bounds for dim %d of %q", ix, k, name)
+		}
+		addr = addr*vi.dims[k] + ix
+	}
+	return vi.region.Base + int(addr), nil
+}
+
+// SetFloat initializes a float variable element.
+func (m *Machine) SetFloat(name string, v float64, idx ...int64) error {
+	vi, err := m.info(name)
+	if err != nil {
+		return err
+	}
+	if vi.isInt {
+		return fmt.Errorf("codegen: %q is not float", name)
+	}
+	addr, err := m.flatIndex(name, vi, idx)
+	if err != nil {
+		return err
+	}
+	m.mem.Poke(addr, math.Float64bits(v))
+	return nil
+}
+
+// SetInt initializes an int variable element.
+func (m *Machine) SetInt(name string, v int64, idx ...int64) error {
+	vi, err := m.info(name)
+	if err != nil {
+		return err
+	}
+	if !vi.isInt {
+		return fmt.Errorf("codegen: %q is not int", name)
+	}
+	addr, err := m.flatIndex(name, vi, idx)
+	if err != nil {
+		return err
+	}
+	m.mem.Poke(addr, uint64(v))
+	return nil
+}
+
+// Float reads a float variable element.
+func (m *Machine) Float(name string, idx ...int64) (float64, error) {
+	vi, err := m.info(name)
+	if err != nil {
+		return 0, err
+	}
+	if vi.isInt {
+		return 0, fmt.Errorf("codegen: %q is not float", name)
+	}
+	addr, err := m.flatIndex(name, vi, idx)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(m.mem.Peek(addr)), nil
+}
+
+// Int reads an int variable element.
+func (m *Machine) Int(name string, idx ...int64) (int64, error) {
+	vi, err := m.info(name)
+	if err != nil {
+		return 0, err
+	}
+	if !vi.isInt {
+		return 0, fmt.Errorf("codegen: %q is not int", name)
+	}
+	addr, err := m.flatIndex(name, vi, idx)
+	if err != nil {
+		return 0, err
+	}
+	return int64(m.mem.Peek(addr)), nil
+}
+
+// FillFloat initializes every element of a float array via gen(flatIndex).
+func (m *Machine) FillFloat(name string, gen func(flat int64) float64) error {
+	vi, err := m.info(name)
+	if err != nil {
+		return err
+	}
+	if vi.isInt {
+		return fmt.Errorf("codegen: %q is not float", name)
+	}
+	for k := 0; k < vi.region.Size; k++ {
+		m.mem.Poke(vi.region.Base+k, math.Float64bits(gen(int64(k))))
+	}
+	return nil
+}
+
+// FillInt initializes every element of an int array via gen(flatIndex).
+func (m *Machine) FillInt(name string, gen func(flat int64) int64) error {
+	vi, err := m.info(name)
+	if err != nil {
+		return err
+	}
+	if !vi.isInt {
+		return fmt.Errorf("codegen: %q is not int", name)
+	}
+	for k := 0; k < vi.region.Size; k++ {
+		m.mem.Poke(vi.region.Base+k, uint64(gen(int64(k))))
+	}
+	return nil
+}
+
+// Region returns the memory region of a variable (for targeted fault
+// injection into a specific array).
+func (m *Machine) Region(name string) (base, size int, err error) {
+	vi, err := m.info(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	return vi.region.Base, vi.region.Size, nil
+}
+
+// SnapshotFloats copies out a float array's contents (row-major).
+func (m *Machine) SnapshotFloats(name string) ([]float64, error) {
+	vi, err := m.info(name)
+	if err != nil {
+		return nil, err
+	}
+	if vi.isInt {
+		return nil, fmt.Errorf("codegen: %q is not float", name)
+	}
+	out := make([]float64, vi.region.Size)
+	for k := range out {
+		out[k] = math.Float64frombits(m.mem.Peek(vi.region.Base + k))
+	}
+	return out, nil
+}

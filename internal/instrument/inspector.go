@@ -2,6 +2,7 @@ package instrument
 
 import (
 	"fmt"
+	"sort"
 
 	"defuse/internal/lang"
 	"defuse/internal/pdg"
@@ -248,7 +249,18 @@ func (ins *instrumenter) tryInspector(w *lang.While) *inspectorPlan {
 	plan.preWhile = append(plan.preWhile,
 		&lang.Assign{LHS: &lang.Ref{Name: plan.iterName}, Op: lang.OpSet, RHS: intLit(0)})
 
-	for name, iv := range cands {
+	// Emit per-candidate statements in name order: cands is a map, and the
+	// hoisted loops, counter zeroing, and pro/epilogue folds all land in the
+	// program text, so iteration order here must not vary run to run (the
+	// native backend commits generated source and gates on regeneration
+	// producing identical bytes).
+	names := make([]string, 0, len(cands))
+	for name := range cands {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		iv := cands[name]
 		plan.vars[name] = iv
 		if ins.plans[name] == PlanDynamic {
 			if iv.written {

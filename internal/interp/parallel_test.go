@@ -31,7 +31,7 @@ func newResilientMachine(t *testing.T, name string, scale float64) (*interp.Mach
 	if err != nil {
 		t.Fatal(err)
 	}
-	b.Init(m, params)
+	b.InitDefault(m, params)
 	return m, b
 }
 

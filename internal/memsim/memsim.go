@@ -93,6 +93,11 @@ func (m *Memory) Store(addr int, v uint64) {
 // harness use).
 func (m *Memory) Peek(addr int) uint64 { return m.words[addr] }
 
+// Words returns a copy of the full memory image. Differential harnesses use
+// it to assert byte-identical state across execution backends; it does not
+// perturb the access counters.
+func (m *Memory) Words() []uint64 { return append([]uint64(nil), m.words...) }
+
 // Poke writes a word without counting it as a program store (initialization
 // and fault injection).
 func (m *Memory) Poke(addr int, v uint64) { m.words[addr] = v }
@@ -131,6 +136,11 @@ func (s *Snapshot) Len() int { return len(s.words) }
 
 // Word returns the captured word at addr (experiment harness use).
 func (s *Snapshot) Word(addr int) uint64 { return s.words[addr] }
+
+// Digest returns the integrity digest sealed over the snapshot at capture
+// time. Differential harnesses compare digests across execution backends as a
+// compact equality witness for whole memory images.
+func (s *Snapshot) Digest() uint64 { return s.digest }
 
 // FlipBit flips one bit of the captured word at addr without updating the
 // digest — the footprint of a transient fault striking the parked checkpoint.

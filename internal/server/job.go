@@ -250,7 +250,7 @@ func newKernelRunner(b *bench.Benchmark, scale float64, tel bench.Telemetry) (*k
 	if err != nil {
 		return nil, err
 	}
-	b.Init(m, params)
+	b.InitDefault(m, params)
 	// A single epoch spans the whole program: the checksum placement is the
 	// instrumenter's post-dominator, so the def/use fold is balanced exactly
 	// at the program's end — the paper's end-of-interval verification with
@@ -267,7 +267,7 @@ func newKernelRunner(b *bench.Benchmark, scale float64, tel bench.Telemetry) (*k
 func (kr *kernelRunner) reset() {
 	kr.m.Reset()
 	kr.plan.Reset()
-	kr.bench.Init(kr.m, kr.params)
+	kr.bench.InitDefault(kr.m, kr.params)
 }
 
 // run executes the kernel under supervision with the request's deadline
