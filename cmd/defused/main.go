@@ -45,6 +45,20 @@
 // detected and recovered and every clean request returned the exact
 // reference digest. -json-out merges the result into an existing
 // BENCH_overhead.json as its service block (current defuse/overhead schema).
+//
+// Usage (chaos soak):
+//
+//	defused -soak [-soak-duration 30s] [-soak-seed 1] [-soak-dir DIR] \
+//	        [-gate] [-json-out BENCH_overhead.json]
+//
+// The soak re-execs this binary as a child service and runs it under a seeded
+// disturbance schedule: SIGKILLs with torn tails and disk bit flips applied
+// between restarts, SIGSTOP/SIGCONT pauses, injected WAL write/fsync faults,
+// overload bursts, and adversarial clients — while auditing every response
+// digest and re-verifying the journal across every restart. -gate exits
+// non-zero unless the schedule's minima were all delivered with zero silent
+// corruptions, undetected faults, resume mismatches, or audit failures.
+// -json-out merges the soak row into BENCH_overhead.json.
 package main
 
 import (
@@ -56,12 +70,18 @@ import (
 	"time"
 
 	"defuse/internal/bench"
+	"defuse/internal/chaos"
 	"defuse/internal/server"
 	"defuse/internal/wal"
 	"defuse/telemetry"
 )
 
 func main() {
+	// A soak child must take its orders from the spec in the environment
+	// before flag parsing can see the (orchestrator's) command line.
+	if chaos.IsSoakChild() {
+		chaos.SoakChildMain()
+	}
 	addr := flag.String("addr", "127.0.0.1:9150", "serve the service and its telemetry on this host:port")
 	words := flag.Int("words", 64, "default words per verify request")
 	epochs := flag.Int("epochs", 8, "default epochs per verify request")
@@ -75,6 +95,8 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault sampler")
 	faultAddrFrac := flag.Float64("fault-addr-frac", 0, "fraction of injected faults that are wrong-location loads instead of bit flips")
 	walPath := flag.String("wal", "", "journal completed requests to this WAL for crash-consistent resume")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "rotate the WAL into sealed segments past this size (0 = 64 MiB)")
+	walMaxSegs := flag.Int("wal-max-segments", 0, "compact oldest sealed segments beyond this count (0 = 8, negative = never)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain")
 
 	loadgen := flag.Bool("loadgen", false, "run as load generator against -target instead of serving")
@@ -84,11 +106,34 @@ func main() {
 	kernelEvery := flag.Int("kernel-every", 0, "with -loadgen: make every Nth request a kernel job (0 = none)")
 	firstID := flag.Uint64("first-id", 0, "with -loadgen: request ID offset (successive runs on one journal need disjoint IDs)")
 	gate := flag.Bool("gate", false, "with -loadgen: exit non-zero unless every injected fault was detected and recovered cleanly")
-	jsonOut := flag.String("json-out", "", "with -loadgen: merge the service row into this BENCH_overhead.json")
+	jsonOut := flag.String("json-out", "", "with -loadgen/-soak: merge the result row into this BENCH_overhead.json")
+
+	soak := flag.Bool("soak", false, "run the chaos soak: re-exec this binary as a child service under a seeded disturbance schedule")
+	soakDuration := flag.Duration("soak-duration", 30*time.Second, "with -soak: soak length")
+	soakSeed := flag.Uint64("soak-seed", 1, "with -soak: seed deriving the disturbance schedule")
+	soakDir := flag.String("soak-dir", "", "with -soak: scratch directory (empty = a fresh temp dir)")
 
 	obsFlags := telemetry.ObsFlags(flag.CommandLine)
 	flag.Parse()
 	obsCfg := obsFlags()
+
+	if err := validateFlags(flagValues{
+		MaxInFlight: *maxInFlight, Queue: *queue,
+		FaultRate: *faultRate, FaultAddrFrac: *faultAddrFrac,
+		DrainTimeout: *drainTimeout, WALSegmentBytes: *walSegBytes,
+		SoakDuration: *soakDuration,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "defused:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *soak {
+		if err := runSoak(*soakSeed, *soakDuration, *soakDir, *gate, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *loadgen {
 		if err := runLoadgen(*target, *streams, *requests, *words, *epochs, *seed,
@@ -121,8 +166,8 @@ func main() {
 		Kernel: *kernel, Scale: *scale,
 		MaxInFlight: *maxInFlight, QueueDepth: *queue, Timeout: *timeout,
 		FaultRate: *faultRate, FaultSeed: *faultSeed, FaultAddrFraction: *faultAddrFrac,
-		WALPath: *walPath,
-		Obs:     obs,
+		WALPath: *walPath, WALSegmentBytes: *walSegBytes, WALMaxSegments: *walMaxSegs,
+		Obs: obs,
 	})
 	if err != nil {
 		_ = obs.Finish()
@@ -206,6 +251,52 @@ func runLoadgen(target string, streams, requests, words, epochs int, seed uint64
 		// A gated run with no merge target still prints the row for CI logs.
 		raw, _ := json.Marshal(row)
 		fmt.Printf("loadgen: row %s\n", raw)
+	}
+	if gate {
+		return res.Gate()
+	}
+	return nil
+}
+
+func runSoak(seed uint64, duration time.Duration, dir string, gate bool, jsonOut string) error {
+	ctx, stop := telemetry.GracefulSignals(&telemetry.Obs{})
+	defer stop()
+
+	res, err := chaos.Soak(ctx, chaos.Config{
+		Seed: seed, Duration: duration, Dir: dir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	row := res.Row
+	fmt.Printf("soak: %.0fs under seed %d: %d requests across %d incarnations\n",
+		row.DurationSeconds, row.Seed, row.Requests, row.Restarts)
+	fmt.Printf("soak: disturbances: %d kills, %d pauses, %d torn writes, %d bit flips, %d WAL write faults, %d bursts\n",
+		row.Kills, row.Pauses, row.TornWrites, row.BitFlips, row.WriteFaults, row.Bursts)
+	fmt.Printf("soak: injected %d, detected %d, recovered %d; shed %d, rejected %d, retries %d; degraded entered %d\n",
+		row.Injected, row.Detected, row.Recovered, row.Shed, row.Rejected, row.Retries, row.DegradedN)
+	fmt.Printf("soak: journal: %d live + %d compacted in %d segments, %d bytes on disk\n",
+		row.JournalLive, row.JournalCompacted, row.JournalSegments, row.JournalDiskBytes)
+	fmt.Printf("soak: violations: %d silent corruptions, %d undetected faults, %d resume mismatches, %d audit failures\n",
+		row.SilentCorruptions, row.UndetectedFaults, row.ResumeMismatches, row.AuditFailures)
+	for _, f := range res.Failures {
+		fmt.Fprintln(os.Stderr, "soak: audit:", f)
+	}
+
+	if jsonOut != "" {
+		err := bench.MergeSoakRow(jsonOut, row, func(path string, data []byte) error {
+			return wal.WriteFileAtomic(path, data, 0o644)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "soak: merged soak row into %s\n", jsonOut)
+	} else if gate {
+		raw, _ := json.Marshal(row)
+		fmt.Printf("soak: row %s\n", raw)
 	}
 	if gate {
 		return res.Gate()

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// flagValues carries the CLI flags that admit nonsense values a typo away
+// from a sane one. validateFlags rejects them at startup — a service that
+// boots with -max-inflight 0 would deadlock on its first request, and a
+// fault rate of 1.5 would silently clamp somewhere downstream.
+type flagValues struct {
+	MaxInFlight     int
+	Queue           int
+	FaultRate       float64
+	FaultAddrFrac   float64
+	DrainTimeout    time.Duration
+	WALSegmentBytes int64
+	SoakDuration    time.Duration
+}
+
+func validateFlags(v flagValues) error {
+	var errs []error
+	if v.MaxInFlight <= 0 {
+		errs = append(errs, fmt.Errorf("-max-inflight must be positive, got %d", v.MaxInFlight))
+	}
+	if v.Queue < 0 {
+		errs = append(errs, fmt.Errorf("-queue must not be negative, got %d (0 means 2*max-inflight)", v.Queue))
+	}
+	if v.FaultRate < 0 || v.FaultRate > 1 {
+		errs = append(errs, fmt.Errorf("-fault-rate must be in [0,1], got %g", v.FaultRate))
+	}
+	if v.FaultAddrFrac < 0 || v.FaultAddrFrac > 1 {
+		errs = append(errs, fmt.Errorf("-fault-addr-frac must be in [0,1], got %g", v.FaultAddrFrac))
+	}
+	if v.DrainTimeout <= 0 {
+		errs = append(errs, fmt.Errorf("-drain-timeout must be positive, got %s", v.DrainTimeout))
+	}
+	if v.WALSegmentBytes < 0 {
+		errs = append(errs, fmt.Errorf("-wal-segment-bytes must not be negative, got %d (0 means the 64 MiB default)", v.WALSegmentBytes))
+	}
+	if v.SoakDuration < 0 {
+		errs = append(errs, fmt.Errorf("-soak-duration must not be negative, got %s (0 means the 30s default)", v.SoakDuration))
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sane() flagValues {
+	return flagValues{
+		MaxInFlight:  4,
+		Queue:        8,
+		FaultRate:    0.05,
+		DrainTimeout: 30 * time.Second,
+	}
+}
+
+func TestValidateFlagsAcceptsSane(t *testing.T) {
+	if err := validateFlags(sane()); err != nil {
+		t.Fatalf("sane flags rejected: %v", err)
+	}
+	// Boundary values are all legal.
+	v := sane()
+	v.Queue = 0
+	v.FaultRate = 1
+	v.FaultAddrFrac = 1
+	v.DrainTimeout = time.Nanosecond
+	if err := validateFlags(v); err != nil {
+		t.Fatalf("boundary flags rejected: %v", err)
+	}
+}
+
+func TestValidateFlagsRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*flagValues)
+		want   string
+	}{
+		{"zero max-inflight", func(v *flagValues) { v.MaxInFlight = 0 }, "-max-inflight"},
+		{"negative max-inflight", func(v *flagValues) { v.MaxInFlight = -3 }, "-max-inflight"},
+		{"negative queue", func(v *flagValues) { v.Queue = -1 }, "-queue"},
+		{"fault rate above one", func(v *flagValues) { v.FaultRate = 1.5 }, "-fault-rate"},
+		{"negative fault rate", func(v *flagValues) { v.FaultRate = -0.1 }, "-fault-rate"},
+		{"addr frac above one", func(v *flagValues) { v.FaultAddrFrac = 2 }, "-fault-addr-frac"},
+		{"negative addr frac", func(v *flagValues) { v.FaultAddrFrac = -1 }, "-fault-addr-frac"},
+		{"zero drain timeout", func(v *flagValues) { v.DrainTimeout = 0 }, "-drain-timeout"},
+		{"negative drain timeout", func(v *flagValues) { v.DrainTimeout = -time.Second }, "-drain-timeout"},
+		{"negative segment bytes", func(v *flagValues) { v.WALSegmentBytes = -1 }, "-wal-segment-bytes"},
+		{"negative soak duration", func(v *flagValues) { v.SoakDuration = -time.Second }, "-soak-duration"},
+	}
+	for _, tc := range cases {
+		v := sane()
+		tc.mutate(&v)
+		err := validateFlags(v)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateFlagsJoinsAllViolations(t *testing.T) {
+	v := sane()
+	v.MaxInFlight = 0
+	v.FaultRate = 7
+	v.DrainTimeout = 0
+	err := validateFlags(v)
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	for _, want := range []string{"-max-inflight", "-fault-rate", "-drain-timeout"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %s", err, want)
+		}
+	}
+}

@@ -20,17 +20,20 @@ import (
 // OverheadSchema identifies the BENCH_overhead.json format version. v2 added
 // the optional quantiles block (epoch-verify latency and detection latency
 // distributions); v3 added the optional service block (sustained-load latency
-// and fault-recovery results from the resident defused service); v4 adds the
+// and fault-recovery results from the resident defused service); v4 added the
 // optional native block (wall-clock overheads of the compiled codegen
-// backend). Every earlier field is carried forward unchanged, so v2 and v3
-// documents are still accepted on read.
-const OverheadSchema = "defuse/overhead/v4"
+// backend); v5 adds the optional soak block (chaos-soak survival results from
+// defused -soak) and the service row's retry tallies. Every earlier field is
+// carried forward unchanged, so v2 through v4 documents are still accepted on
+// read.
+const OverheadSchema = "defuse/overhead/v5"
 
-// Earlier format versions, accepted on read: each is a valid v4 document
+// Earlier format versions, accepted on read: each is a valid v5 document
 // with the later optional blocks absent.
 const (
 	overheadSchemaV2 = "defuse/overhead/v2"
 	overheadSchemaV3 = "defuse/overhead/v3"
+	overheadSchemaV4 = "defuse/overhead/v4"
 )
 
 // OverheadRow is one benchmark's measurements across the three variants.
@@ -90,11 +93,20 @@ type ServiceRow struct {
 	Clean           int `json:"clean"`
 	CleanMismatches int `json:"clean_mismatches"`
 	// Shed counts requests refused by admission control (429), Rejected
-	// counts requests refused because the server was draining (503), and
-	// Errors counts other failures.
+	// counts requests refused because the server was draining or degraded
+	// (503), and Errors counts other failures. Both are final outcomes: a
+	// request that was refused, retried, and eventually served counts only
+	// under Requests.
 	Shed     int `json:"shed"`
 	Rejected int `json:"rejected"`
 	Errors   int `json:"errors"`
+	// Retries counts individual 429/503 refusals that were retried (each
+	// refused attempt is one retry), and RetriedOK counts requests that
+	// succeeded only after at least one retry. Tallied separately from
+	// Shed/Rejected so the robustness gate's arithmetic stays meaningful
+	// under deliberate overload. New in v5.
+	Retries   int `json:"retries,omitempty"`
+	RetriedOK int `json:"retried_ok,omitempty"`
 	// Latency quantiles over successful requests, in seconds.
 	P50Seconds  float64 `json:"p50_seconds"`
 	P99Seconds  float64 `json:"p99_seconds"`
@@ -102,6 +114,56 @@ type ServiceRow struct {
 	// ThroughputRPS is successful requests per wall-clock second.
 	ThroughputRPS   float64 `json:"throughput_rps"`
 	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// SoakRow is the chaos-soak survival block from a defused -soak run: a real
+// defused child process driven under a seeded disturbance schedule (SIGKILL,
+// SIGSTOP/SIGCONT, torn WAL tails, disk bit flips, injected append faults,
+// adversarial clients, overload bursts) while an audit thread independently
+// recomputes the schedule and re-verifies the journal across restarts. The
+// zero-tolerance columns (SilentCorruptions, UndetectedFaults,
+// ResumeMismatches, AuditFailures) are the soak gate's evidence. New in
+// defuse/overhead/v5.
+type SoakRow struct {
+	// Seed and DurationSeconds identify the schedule: the same seed and
+	// duration reproduce the same disturbance sequence.
+	Seed            uint64  `json:"seed"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Disturbance tallies: process kills (SIGKILL), pauses
+	// (SIGSTOP/SIGCONT), torn WAL tails and disk bit flips applied between
+	// restarts, injected append-path I/O faults, and overload bursts.
+	Kills       int `json:"kills"`
+	Pauses      int `json:"pauses"`
+	TornWrites  int `json:"torn_writes"`
+	BitFlips    int `json:"bit_flips"`
+	WriteFaults int `json:"write_faults"`
+	Bursts      int `json:"bursts"`
+	Restarts    int `json:"restarts"`
+	DegradedN   int `json:"degraded_entered"`
+	// Request-level tallies across the whole soak, audited client-side.
+	Requests  int `json:"requests"`
+	Injected  int `json:"injected"`
+	Detected  int `json:"detected"`
+	Recovered int `json:"recovered"`
+	Shed      int `json:"shed"`
+	Rejected  int `json:"rejected"`
+	Retries   int `json:"retries"`
+	// Journal accounting at the end of the soak: records surviving live,
+	// records folded into compaction summaries, sealed segment count, and
+	// the final on-disk footprint (bounded by rotation).
+	JournalLive      int   `json:"journal_live"`
+	JournalCompacted int   `json:"journal_compacted"`
+	JournalSegments  int   `json:"journal_segments"`
+	JournalDiskBytes int64 `json:"journal_disk_bytes"`
+	// Zero-tolerance columns. SilentCorruptions counts responses or journal
+	// records accepted with a wrong digest; UndetectedFaults counts injected
+	// faults (live or I/O) the system failed to surface; ResumeMismatches
+	// counts restarts where the surviving WAL bytes differed from the
+	// pre-crash capture; AuditFailures counts every other audit violation.
+	SilentCorruptions int `json:"silent_corruptions"`
+	UndetectedFaults  int `json:"undetected_faults"`
+	ResumeMismatches  int `json:"resume_mismatches"`
+	AuditFailures     int `json:"audit_failures"`
 }
 
 // BackendRow is one detection backend's summary from the faultcov backend
@@ -197,6 +259,9 @@ type OverheadReport struct {
 	// Native holds the compiled-backend wall-clock rows (cmd/overhead
 	// -backend native -json merges them). Optional, new in v4.
 	Native []NativeRow `json:"native,omitempty"`
+	// Soak is the chaos-soak survival result (defused -soak -json-out merges
+	// it). Optional, new in v5.
+	Soak *SoakRow `json:"soak,omitempty"`
 }
 
 // AttachQuantiles pulls the epoch-verify and detection-latency families out
@@ -266,7 +331,8 @@ func ParseOverheadReport(r io.Reader) (OverheadReport, error) {
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return rep, fmt.Errorf("bench: parsing overhead report: %w", err)
 	}
-	if rep.Schema != OverheadSchema && rep.Schema != overheadSchemaV3 && rep.Schema != overheadSchemaV2 {
+	if rep.Schema != OverheadSchema && rep.Schema != overheadSchemaV4 &&
+		rep.Schema != overheadSchemaV3 && rep.Schema != overheadSchemaV2 {
 		return rep, fmt.Errorf("bench: unexpected schema %q (want %q)", rep.Schema, OverheadSchema)
 	}
 	if len(rep.Rows) == 0 {
@@ -293,6 +359,28 @@ func MergeServiceRow(path string, row ServiceRow, writeFile func(string, []byte)
 	}
 	rep.Schema = OverheadSchema
 	rep.Service = &row
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return writeFile(path, buf.Bytes())
+}
+
+// MergeSoakRow installs a chaos-soak result into an existing report file,
+// replacing any previous soak block, following the same
+// parse-replace-rewrite discipline as MergeServiceRow.
+func MergeSoakRow(path string, row SoakRow, writeFile func(string, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("bench: merging soak row: %w", err)
+	}
+	rep, err := ParseOverheadReport(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep.Schema = OverheadSchema
+	rep.Soak = &row
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		return err

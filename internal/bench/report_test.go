@@ -65,17 +65,17 @@ func TestBuildOverheadReportValidation(t *testing.T) {
 	}
 }
 
-// Earlier schema versions remain readable: a v2 or v3 document is a valid
-// v4 document with the later optional blocks absent.
+// Earlier schema versions remain readable: a v2, v3, or v4 document is a
+// valid v5 document with the later optional blocks absent.
 func TestParseOverheadReportAcceptsOldSchemas(t *testing.T) {
-	for _, schema := range []string{overheadSchemaV2, overheadSchemaV3} {
+	for _, schema := range []string{overheadSchemaV2, overheadSchemaV3, overheadSchemaV4} {
 		in := `{"schema":"` + schema + `","rows":[{"bench":"x"}]}`
 		rep, err := ParseOverheadReport(strings.NewReader(in))
 		if err != nil {
 			t.Errorf("%s rejected: %v", schema, err)
 			continue
 		}
-		if rep.Native != nil || rep.Service != nil {
+		if rep.Native != nil || rep.Service != nil || rep.Soak != nil {
 			t.Errorf("%s: phantom optional blocks: %+v", schema, rep)
 		}
 	}
@@ -117,6 +117,62 @@ func TestMergeNativeRows(t *testing.T) {
 	}
 	if len(rep.Rows) != 1 || rep.Rows[0].ResilientOps != 1.5 {
 		t.Errorf("interp rows lost in merge: %+v", rep.Rows)
+	}
+}
+
+// MergeSoakRow bumps the schema and installs the soak block while leaving
+// every other block untouched, and its zero-valued violation columns must
+// survive the round trip (they are the gate's evidence).
+func TestMergeSoakRow(t *testing.T) {
+	path := t.TempDir() + "/report.json"
+	doc := `{"schema":"` + overheadSchemaV4 + `","scale":0.004,` +
+		`"rows":[{"bench":"x","resilient_ops":1.5}],` +
+		`"service":{"streams":4,"requests":100}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	row := SoakRow{
+		Seed: 9, DurationSeconds: 30, Kills: 3, Pauses: 1, TornWrites: 1,
+		BitFlips: 1, WriteFaults: 2, Bursts: 2, Restarts: 4, DegradedN: 5,
+		Requests: 1000, Injected: 50, Detected: 50, Recovered: 50,
+		JournalLive: 40, JournalSegments: 3, JournalDiskBytes: 9000,
+	}
+	if err := MergeSoakRow(path, row, func(p string, b []byte) error {
+		return os.WriteFile(p, b, 0o644)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := ParseOverheadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != OverheadSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, OverheadSchema)
+	}
+	if rep.Soak == nil || *rep.Soak != row {
+		t.Errorf("soak block = %+v, want %+v", rep.Soak, row)
+	}
+	if rep.Service == nil || rep.Service.Streams != 4 {
+		t.Errorf("service block lost in merge: %+v", rep.Service)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].ResilientOps != 1.5 {
+		t.Errorf("interp rows lost in merge: %+v", rep.Rows)
+	}
+	// The violation columns serialize even at zero — a soak row without them
+	// would be indistinguishable from one that never audited.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"silent_corruptions", "undetected_faults", "resume_mismatches", "audit_failures"} {
+		if !strings.Contains(string(raw), `"`+key+`"`) {
+			t.Errorf("serialized soak row missing %q", key)
+		}
 	}
 }
 

@@ -1,0 +1,161 @@
+package chaos
+
+// The soak child: a full defused-shaped service in its own process, routed
+// here through an environment variable the same way the crash campaign
+// routes its children (faults.CrashChildEnv). Both cmd/defused and the chaos
+// test binary hand control to SoakChildMain before doing anything else, so
+// either can serve as the orchestrator's child executable.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"defuse/internal/server"
+	"defuse/internal/wal"
+	"defuse/telemetry"
+)
+
+// ChildEnv carries the JSON-encoded ChildSpec that re-routes a process into
+// SoakChildMain.
+const ChildEnv = "DEFUSE_SOAK_CHILD"
+
+// ChildSpec tells a soak child exactly what to serve.
+type ChildSpec struct {
+	// WAL is the journal shared by every incarnation of the soak.
+	WAL string `json:"wal"`
+	// PortFile doubles as the readiness signal: written (atomically) only
+	// once the journal is scanned and the listener is accepting.
+	PortFile string `json:"port_file"`
+	// ResumeFile receives the child's resume report — its own pre-open
+	// journal verification plus what the server's startup scan found —
+	// written before the port file, so readiness implies the report exists.
+	ResumeFile string `json:"resume_file"`
+
+	Words  int    `json:"words"`
+	Epochs int    `json:"epochs"`
+	Seed   uint64 `json:"seed"`
+	Kernel string `json:"kernel,omitempty"`
+
+	FaultRate float64 `json:"fault_rate"`
+	FaultSeed uint64  `json:"fault_seed"`
+
+	MaxInFlight       int `json:"max_inflight"`
+	QueueDepth        int `json:"queue"`
+	DegradeAfterSheds int `json:"degrade_after"`
+	RecoverAfterOK    int `json:"recover_after"`
+
+	SegmentBytes int64 `json:"segment_bytes"`
+	MaxSegments  int   `json:"max_segments"`
+	// WALFaults arms the fault-injecting file layer under the journal
+	// (wal.NewFaultFS spec); empty runs on the real filesystem.
+	WALFaults string `json:"wal_faults,omitempty"`
+}
+
+// ResumeReport is what a starting child leaves in ResumeFile: the disk as the
+// child found it (its own read-only verification, before the server opened
+// the journal) and the resume the server then performed. The orchestrator
+// holds its own independent scan of the same bytes; any disagreement is a
+// resume mismatch.
+type ResumeReport struct {
+	Stats server.JournalStats `json:"stats"`
+	Info  server.ResumeInfo   `json:"info"`
+}
+
+// IsSoakChild reports whether this process was spawned as a soak child and
+// must hand control to SoakChildMain before doing anything else.
+func IsSoakChild() bool { return os.Getenv(ChildEnv) != "" }
+
+// SoakChildMain runs the child side of a soak and never returns: the process
+// either dies by the orchestrator's SIGKILL or exits after a SIGTERM-driven
+// drain.
+func SoakChildMain() {
+	var spec ChildSpec
+	if err := json.Unmarshal([]byte(os.Getenv(ChildEnv)), &spec); err != nil {
+		fmt.Fprintln(os.Stderr, "soak child: bad spec:", err)
+		os.Exit(3)
+	}
+	if err := runSoakChild(spec); err != nil {
+		fmt.Fprintln(os.Stderr, "soak child:", err)
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+func runSoakChild(spec ChildSpec) error {
+	// The child's own view of the surviving disk, taken before the server
+	// touches it. Damage on the active segment is tolerated and declared in
+	// the stats; damage to sealed segments would fail here, exactly as the
+	// server's own open would refuse it.
+	rep := ResumeReport{}
+	if _, err := os.Stat(spec.WAL); err == nil {
+		stats, err := server.VerifyJournal(spec.WAL)
+		if err != nil {
+			return fmt.Errorf("pre-open verification: %w", err)
+		}
+		rep.Stats = stats
+	}
+
+	var fs wal.FS
+	if spec.WALFaults != "" {
+		ffs, err := wal.NewFaultFS(wal.OSFS, spec.WALFaults)
+		if err != nil {
+			return err
+		}
+		fs = ffs
+	}
+	health := telemetry.NewHealth()
+	s, err := server.New(server.Config{
+		Words: spec.Words, Epochs: spec.Epochs, Seed: spec.Seed,
+		Kernel: spec.Kernel, Scale: 0.001,
+		MaxInFlight: spec.MaxInFlight, QueueDepth: spec.QueueDepth,
+		DegradeAfterSheds: spec.DegradeAfterSheds, RecoverAfterOK: spec.RecoverAfterOK,
+		FaultRate: spec.FaultRate, FaultSeed: spec.FaultSeed,
+		WALPath: spec.WAL, WALSegmentBytes: spec.SegmentBytes, WALMaxSegments: spec.MaxSegments,
+		WALFS: fs,
+		Obs:   &telemetry.Obs{Health: health, Metrics: telemetry.NewRegistry()},
+	})
+	if err != nil {
+		return err
+	}
+	rep.Info = s.Resume()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+
+	// The SIGTERM handler must be live before readiness is advertised: the
+	// orchestrator may signal the instant the port file appears, and an
+	// unregistered SIGTERM would kill the process at default disposition.
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteFileAtomic(spec.ResumeFile, raw, 0o644); err != nil {
+		return err
+	}
+	if err := wal.WriteFileAtomic(spec.PortFile, []byte(ln.Addr().String()), 0o644); err != nil {
+		return err
+	}
+	<-term
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	derr := s.Drain(ctx)
+	cancel()
+	_ = hs.Close()
+	if derr != nil {
+		return fmt.Errorf("drain: %w", derr)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package chaos is the soak orchestrator: it runs a real defused child
+// process under a seeded disturbance schedule — SIGKILL and SIGSTOP/SIGCONT
+// at scheduled instants, torn WAL tails and disk bit flips applied between
+// restarts, injected fsync/write faults armed inside the child's WAL layer,
+// adversarial clients (stalled request bodies, mid-flight disconnects,
+// duplicate IDs, malformed payloads, bursts past the admission queue) — while
+// a continuous audit recomputes the injection schedule, verifies every
+// response digest against a locally computed reference, and re-verifies the
+// journal across every restart. The product is a bench.SoakRow whose
+// zero-tolerance columns (silent corruptions, undetected faults, resume
+// mismatches, audit failures) gate the build.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"defuse/internal/faults"
+)
+
+// Kind is one disturbance class in the soak schedule.
+type Kind int
+
+const (
+	// KindKill SIGKILLs the child; the restart resumes over whatever the
+	// dying process left on disk.
+	KindKill Kind = iota
+	// KindPause SIGSTOPs the child for a scheduled interval, then SIGCONTs
+	// it. Requests issued during the pause must stall, not corrupt.
+	KindPause
+	// KindBurst fires a concurrent volley far past the admission queue; the
+	// refusals must carry Retry-After and the ladder must be seen reacting.
+	KindBurst
+	// KindAdversary runs one adversarial-client volley: stalled body,
+	// mid-flight disconnect, duplicate ID, malformed payload, oversized
+	// dimensions.
+	KindAdversary
+)
+
+var kindNames = map[Kind]string{
+	KindKill: "kill", KindPause: "pause", KindBurst: "burst", KindAdversary: "adversary",
+}
+
+// String returns the lower-case disturbance name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", int(k))
+}
+
+// Event is one scheduled disturbance.
+type Event struct {
+	// At is the offset into the soak at which the event fires. Load rounds
+	// run continuously between events.
+	At   time.Duration
+	Kind Kind
+	// Flip (with KindKill) flips one seeded bit inside the active segment's
+	// valid frames between the kill and the restart; Tear truncates the
+	// active segment mid-frame. Both model a dying machine's half-finished
+	// disk work, and both must surface in the restarted child's resume
+	// report — never be accepted silently.
+	Flip bool
+	Tear bool
+	// PauseFor is the SIGSTOP duration for KindPause events.
+	PauseFor time.Duration
+}
+
+// Schedule is the full seeded disturbance plan. BuildSchedule is a pure
+// function of (seed, duration): the audit side recomputes it and any
+// disagreement is itself a soak failure.
+type Schedule struct {
+	Seed     uint64
+	Duration time.Duration
+	// Events in firing order.
+	Events []Event
+	// WALFaults[i] is the fault-injection spec armed in the WAL file layer
+	// of child incarnation i (wal.NewFaultFS syntax, e.g. "sync:5");
+	// incarnations past the end run with a clean FS.
+	WALFaults []string
+}
+
+// Kills counts the schedule's SIGKILL events.
+func (s Schedule) Kills() int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == KindKill {
+			n++
+		}
+	}
+	return n
+}
+
+// BuildSchedule derives the disturbance plan from the seed. Every schedule
+// carries the soak gate's minima regardless of duration: at least two kills
+// (the first with a disk bit flip applied before restart, the second with a
+// torn tail), one SIGSTOP/SIGCONT pause, one overload burst, and one
+// adversarial-client volley. Longer durations add further seeded events, at
+// most one per two seconds of soak.
+func BuildSchedule(seed uint64, d time.Duration) Schedule {
+	if d <= 0 {
+		d = 30 * time.Second
+	}
+	in := faults.NewInjector(int64(seed))
+	sched := Schedule{Seed: seed, Duration: d}
+
+	// The mandatory spine. Order is seeded below; the flip rides the first
+	// kill and the tear the second, so both mutations strike a journal that
+	// load rounds have already populated.
+	events := []Event{
+		{Kind: KindBurst},
+		{Kind: KindKill, Flip: true},
+		{Kind: KindAdversary},
+		{Kind: KindKill, Tear: true},
+		{Kind: KindPause},
+	}
+	extra := int(d/(2*time.Second)) - len(events)
+	for i := 0; i < extra; i++ {
+		switch in.Intn(6) {
+		case 0:
+			events = append(events, Event{Kind: KindKill})
+		case 1:
+			events = append(events, Event{Kind: KindPause})
+		case 2, 3:
+			events = append(events, Event{Kind: KindBurst})
+		default:
+			events = append(events, Event{Kind: KindAdversary})
+		}
+	}
+
+	// Seeded firing times. Events are spread over the middle of the soak:
+	// the first 15% is reserved for the opening load rounds (so the first
+	// kill finds a journal worth corrupting) and the last 10% for the final
+	// drain and end-to-end verification.
+	lo, hi := d*15/100, d*90/100
+	span := hi - lo
+	for i := range events {
+		events[i].At = lo + time.Duration(in.Intn(int(span)))
+		if events[i].Kind == KindPause {
+			events[i].PauseFor = 300*time.Millisecond + time.Duration(in.Intn(int(700*time.Millisecond)))
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	sched.Events = events
+
+	// Each incarnation gets one armed WAL fault at a small seeded ordinal —
+	// early enough that ordinary load trips it. Alternating sync and write
+	// faults exercises both failure paths of the append rollback.
+	incarnations := sched.Kills() + 1
+	for i := 0; i < incarnations; i++ {
+		ordinal := 3 + in.Intn(6)
+		if i%2 == 0 {
+			sched.WALFaults = append(sched.WALFaults, fmt.Sprintf("sync:%d", ordinal))
+		} else {
+			sched.WALFaults = append(sched.WALFaults, fmt.Sprintf("write:%d", ordinal))
+		}
+	}
+	return sched
+}

@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"defuse/internal/bench"
+)
+
+// TestMain routes re-exec'd soak children into the child server before the
+// test framework can touch them — the same pattern the crash campaign uses.
+func TestMain(m *testing.M) {
+	if IsSoakChild() {
+		SoakChildMain()
+	}
+	os.Exit(m.Run())
+}
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	a := BuildSchedule(42, 20*time.Second)
+	b := BuildSchedule(42, 20*time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c := BuildSchedule(43, 20*time.Second)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds produced identical events")
+	}
+}
+
+func TestBuildScheduleCarriesMinima(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 7, 99, 12345} {
+		for _, d := range []time.Duration{time.Second, 8 * time.Second, 45 * time.Second} {
+			sched := BuildSchedule(seed, d)
+			var kills, pauses, bursts, advs, flips, tears int
+			for _, ev := range sched.Events {
+				switch ev.Kind {
+				case KindKill:
+					kills++
+				case KindPause:
+					pauses++
+					if ev.PauseFor <= 0 {
+						t.Errorf("seed %d d %s: pause without duration", seed, d)
+					}
+				case KindBurst:
+					bursts++
+				case KindAdversary:
+					advs++
+				}
+				if ev.Flip {
+					flips++
+				}
+				if ev.Tear {
+					tears++
+				}
+				if ev.At <= 0 || ev.At >= d {
+					t.Errorf("seed %d d %s: event at %s outside soak", seed, d, ev.At)
+				}
+			}
+			if kills < 2 || pauses < 1 || bursts < 1 || advs < 1 || flips < 1 || tears < 1 {
+				t.Errorf("seed %d d %s: minima not carried: kills=%d pauses=%d bursts=%d advs=%d flips=%d tears=%d",
+					seed, d, kills, pauses, bursts, advs, flips, tears)
+			}
+			if want := kills + 1; len(sched.WALFaults) != want {
+				t.Errorf("seed %d d %s: %d WAL fault specs for %d incarnations", seed, d, len(sched.WALFaults), want)
+			}
+			if !sortedByTime(sched.Events) {
+				t.Errorf("seed %d d %s: events not in firing order", seed, d)
+			}
+		}
+	}
+}
+
+func sortedByTime(events []Event) bool {
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindKill: "kill", KindPause: "pause", KindBurst: "burst", KindAdversary: "adversary"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "chaos.Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+// passRow is a row that clears every gate condition.
+func passRow() bench.SoakRow {
+	return bench.SoakRow{
+		Seed: 1, Kills: 2, Pauses: 1, TornWrites: 1, BitFlips: 1,
+		WriteFaults: 2, Bursts: 1, Restarts: 3, Requests: 100,
+		Injected: 20, Detected: 20, Recovered: 20,
+	}
+}
+
+func TestGate(t *testing.T) {
+	ok := &Result{Row: passRow()}
+	if err := ok.Gate(); err != nil {
+		t.Fatalf("clean row gated: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*bench.SoakRow)
+	}{
+		{"silent corruption", func(r *bench.SoakRow) { r.SilentCorruptions = 1 }},
+		{"undetected fault", func(r *bench.SoakRow) { r.UndetectedFaults = 1 }},
+		{"resume mismatch", func(r *bench.SoakRow) { r.ResumeMismatches = 1 }},
+		{"audit failure", func(r *bench.SoakRow) { r.AuditFailures = 1 }},
+		{"too few kills", func(r *bench.SoakRow) { r.Kills = 1 }},
+		{"no pause", func(r *bench.SoakRow) { r.Pauses = 0 }},
+		{"no bit flip", func(r *bench.SoakRow) { r.BitFlips = 0 }},
+		{"no torn write", func(r *bench.SoakRow) { r.TornWrites = 0 }},
+		{"no burst", func(r *bench.SoakRow) { r.Bursts = 0 }},
+		{"no write fault", func(r *bench.SoakRow) { r.WriteFaults = 0 }},
+		{"no requests", func(r *bench.SoakRow) { r.Requests = 0 }},
+	}
+	for _, tc := range cases {
+		row := passRow()
+		tc.mutate(&row)
+		if err := (&Result{Row: row}).Gate(); err == nil {
+			t.Errorf("%s: gate passed", tc.name)
+		}
+	}
+}
+
+// TestSoakShort runs a real (but brief) soak: a re-exec'd child under the
+// full disturbance schedule, with the gate enforced at the end.
+func TestSoakShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs wall-clock time")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := Soak(ctx, Config{
+		Exe:      os.Args[0],
+		Dir:      t.TempDir(),
+		Seed:     7,
+		Duration: 8 * time.Second,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	for _, f := range res.Failures {
+		t.Logf("failure: %s", f)
+	}
+	if err := res.Gate(); err != nil {
+		t.Fatalf("gate: %v\nrow: %+v", err, res.Row)
+	}
+	row := res.Row
+	if row.Restarts != row.Kills+1 {
+		t.Errorf("restarts %d, want kills+1 = %d", row.Restarts, row.Kills+1)
+	}
+	if row.JournalDiskBytes == 0 || row.JournalSegments == 0 {
+		t.Errorf("journal footprint not recorded: %+v", row)
+	}
+	t.Logf("soak row: %+v", row)
+}

@@ -727,6 +727,17 @@ func killedBySigkill(err error) bool {
 	return ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL
 }
 
+// TearWAL truncates the log at path strictly inside its last valid frame —
+// the footprint of a write that only partially reached the platter. It
+// reports whether a frame existed to tear. The chaos soak applies it to a
+// killed child's active segment between restarts.
+func TearWAL(path string, in *Injector) (bool, error) { return tornMutate(path, in) }
+
+// FlipWALBit flips one seeded bit inside the log's valid frames (past the
+// file magic) — corruption of the record at rest. It reports whether a frame
+// existed to corrupt.
+func FlipWALBit(path string, in *Injector) (bool, error) { return flipMutate(path, in) }
+
 // tornMutate truncates the WAL strictly inside its last valid frame — the
 // footprint of a seal whose write only partially reached the platter. It
 // reports whether a frame existed to tear.

@@ -131,6 +131,22 @@ func DefaultPolicy() Policy {
 	return Policy{MaxRetries: 3, MaxRestarts: 1, Backoff: time.Millisecond, BackoffFactor: 2}
 }
 
+// Delay returns the backoff pause before retry number retry (0-based): Backoff
+// scaled by BackoffFactor^retry, with factors below 1 meaning 2. This is the
+// single source of the schedule — Supervise uses it for epoch re-executions,
+// and the load generator reuses it when a server sheds with no Retry-After.
+func (p Policy) Delay(retry int) time.Duration {
+	factor := p.BackoffFactor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(p.Backoff)
+	for i := 0; i < retry; i++ {
+		d *= factor
+	}
+	return time.Duration(d)
+}
+
 // Config describes one supervised epoch-structured run.
 type Config struct {
 	// Epochs is the number of epochs the run is divided into (>= 1).
@@ -250,10 +266,6 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
-	factor := cfg.Policy.BackoffFactor
-	if factor < 1 {
-		factor = 2
-	}
 	verifications := func(result string) *telemetry.Counter {
 		return cfg.Metrics.Counter("defuse_epoch_verifications_total",
 			telemetry.Label{Key: "result", Value: result})
@@ -322,8 +334,10 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 			}
 			snap := cfg.Checkpoint()
 			retries := 0
+			// dataRetries drives the backoff schedule: detector rebuilds
+			// retry immediately and must not advance it.
+			dataRetries := 0
 			verified := false
-			backoff := cfg.Policy.Backoff
 			for {
 				attempt := cfg.Tracer.Start(cfg.Span, "epoch",
 					telemetry.Int("epoch", k), telemetry.Int("attempt", retries))
@@ -383,6 +397,8 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 						rerr = rebuild(snap)
 						bspan.EndErr(rerr)
 					} else {
+						backoff := cfg.Policy.Delay(dataRetries)
+						dataRetries++
 						telemetry.Emit(cfg.Trace, telemetry.EvRecoveryRetry, map[string]any{
 							"epoch": k, "attempt": retries, "backoff_seconds": backoff.Seconds(),
 						})
@@ -391,7 +407,6 @@ func Supervise(ctx context.Context, cfg Config) (Outcome, error) {
 						if backoff > 0 {
 							sleep(backoff)
 						}
-						backoff = time.Duration(float64(backoff) * factor)
 						rspan := cfg.Tracer.Start(cfg.Span, "recovery.rollback",
 							telemetry.Int("epoch", k), telemetry.Int("attempt", retries))
 						rerr = cfg.Restore(snap)

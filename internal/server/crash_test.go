@@ -78,15 +78,17 @@ func serveChildMain() {
 	}
 	hs := &http.Server{Handler: s.Handler()}
 	go func() { _ = hs.Serve(ln) }()
+	// The SIGTERM handler must be live before readiness is advertised: a
+	// parent that signals the instant the port file appears would otherwise
+	// race the registration and kill the process at default disposition.
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
 	// The port file doubles as the readiness signal: written only once the
 	// journal has been scanned and the listener is accepting.
 	if err := wal.WriteFileAtomic(spec.PortFile, []byte(ln.Addr().String()), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "serve child:", err)
 		os.Exit(3)
 	}
-
-	term := make(chan os.Signal, 1)
-	signal.Notify(term, syscall.SIGTERM)
 	<-term
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	derr := s.Drain(ctx)

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"defuse/internal/wal"
+)
+
+// Journal edge-case coverage: truncated final record, duplicate IDs across a
+// segment boundary, a sealed-then-appended journal, recovery from an empty
+// rotated segment, and the rotation/compaction conservation arithmetic.
+
+// verifiedRecord builds a self-consistent verify record for id.
+func verifiedRecord(id uint64) JournalRecord {
+	ref := ReferenceDigest(8, 2, 3, id)
+	return JournalRecord{
+		ID: id, Kind: KindVerify, Words: 8, Epochs: 2, Seed: 3,
+		Digest: ref, RefDigest: ref,
+	}
+}
+
+// smallSegments makes every few records roll a segment: a record frame is
+// 42+16 = 58 bytes, so 200 bytes fit three records per segment.
+func smallSegments() journalConfig {
+	return journalConfig{SegmentBytes: 200, MaxSegments: 3}
+}
+
+func mustOpenJournal(t *testing.T, path string, cfg journalConfig) (*journal, ResumeInfo) {
+	t.Helper()
+	j, info, err := openJournal(path, cfg)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	return j, info
+}
+
+func TestJournalTruncatedFinalRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := mustOpenJournal(t, path, smallSegments())
+	for id := uint64(1); id <= 5; id++ {
+		if err := j.append(verifiedRecord(id)); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+	}
+	if err := j.seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the active file mid-frame, as a kill during an append would.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := VerifyJournal(path)
+	if err != nil {
+		t.Fatalf("VerifyJournal over torn tail: %v", err)
+	}
+	if !stats.TornTail {
+		t.Error("torn tail not reported")
+	}
+	if stats.Total != 4 {
+		t.Errorf("total = %d, want 4 (final record discarded)", stats.Total)
+	}
+
+	// Resume appends after the valid prefix; the torn record's ID was never
+	// acknowledged durable, so reusing it is legitimate.
+	j2, info := mustOpenJournal(t, path, smallSegments())
+	if !info.TornTail || !info.Reverified {
+		t.Errorf("resume info = %+v, want torn tail + reverified", info)
+	}
+	if err := j2.append(verifiedRecord(5)); err != nil {
+		t.Fatalf("append after torn resume: %v", err)
+	}
+	if err := j2.seal(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = VerifyJournal(path)
+	if err != nil || stats.Total != 5 {
+		t.Fatalf("after resume: stats=%+v err=%v, want 5 records", stats, err)
+	}
+}
+
+func TestJournalDuplicateAcrossSegmentBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	cfg := journalConfig{SegmentBytes: 200} // no compaction: keep both copies
+	j, _ := mustOpenJournal(t, path, cfg)
+	for id := uint64(1); id <= 4; id++ {
+		if err := j.append(verifiedRecord(id)); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+	}
+	// The live journal refuses the duplicate up front.
+	if err := j.append(verifiedRecord(2)); !errors.Is(err, errDuplicateID) {
+		t.Fatalf("duplicate append err = %v, want errDuplicateID", err)
+	}
+	if err := j.seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the duplicate into the ACTIVE segment while its original sits in
+	// a sealed one — the cross-boundary case a single-file scan would miss if
+	// it reset its seen-set per segment.
+	scan, err := wal.RecoverSegmented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Sealed) == 0 {
+		t.Fatal("test needs at least one sealed segment")
+	}
+	act, err := wal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := wal.Open(act, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge with a fresh (non-duplicate) sequence number.
+	forged := verifiedRecord(1).encode()
+	if err := lg.Append(forged); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := VerifyJournal(path); err == nil {
+		t.Fatal("VerifyJournal accepted a duplicate ID spanning a segment boundary")
+	}
+	if _, _, err := openJournal(path, cfg); !errors.Is(err, errDuplicateID) {
+		t.Fatalf("openJournal err = %v, want errDuplicateID", err)
+	}
+}
+
+func TestJournalSealedThenAppended(t *testing.T) {
+	// A journal sealed by a clean drain must accept a fresh life appending
+	// after it — across however many segments the first life left.
+	path := filepath.Join(t.TempDir(), "j.wal")
+	cfg := smallSegments()
+	j, _ := mustOpenJournal(t, path, cfg)
+	for id := uint64(1); id <= 7; id++ {
+		if err := j.append(verifiedRecord(id)); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+	}
+	if err := j.seal(); err != nil {
+		t.Fatal(err)
+	}
+	j2, info := mustOpenJournal(t, path, cfg)
+	if info.LastID != 7 || !info.Reverified {
+		t.Fatalf("resume info = %+v, want last ID 7 reverified", info)
+	}
+	for id := uint64(8); id <= 10; id++ {
+		if err := j2.append(verifiedRecord(id)); err != nil {
+			t.Fatalf("append %d after reopen: %v", id, err)
+		}
+	}
+	// IDs from the first life stay reserved after reopen.
+	if err := j2.append(verifiedRecord(3)); !errors.Is(err, errDuplicateID) {
+		t.Fatalf("first-life duplicate err = %v, want errDuplicateID", err)
+	}
+	if err := j2.seal(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := VerifyJournal(path)
+	if err != nil {
+		t.Fatalf("VerifyJournal: %v", err)
+	}
+	if stats.Total != 10 {
+		t.Fatalf("total = %d, want 10", stats.Total)
+	}
+	wantXor := uint64(0)
+	for id := uint64(1); id <= 10; id++ {
+		wantXor ^= id
+	}
+	if stats.XorIDs != wantXor {
+		t.Fatalf("xor ledger = %x, want %x", stats.XorIDs, wantXor)
+	}
+}
+
+func TestJournalEmptyRotatedSegmentRecovery(t *testing.T) {
+	// Crash right after a rotation, before any append lands in the fresh
+	// active file — and the harsher sibling where the fresh active never got
+	// created. Both must resume cleanly.
+	path := filepath.Join(t.TempDir(), "j.wal")
+	cfg := smallSegments()
+	j, _ := mustOpenJournal(t, path, cfg)
+	for id := uint64(1); id <= 3; id++ {
+		if err := j.append(verifiedRecord(id)); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+	}
+	if err := j.seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Manufacture the crash window: rotate the whole file into a sealed
+	// segment and leave an empty (header-only) active file.
+	if err := os.Rename(path, path+".s000000"); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := wal.Create(path, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, info := mustOpenJournal(t, path, cfg)
+	if info.Records != 3 || info.LastID != 3 || !info.Reverified {
+		t.Fatalf("resume info = %+v, want 3 records ending at ID 3", info)
+	}
+	if err := j2.append(verifiedRecord(4)); err != nil {
+		t.Fatalf("append after empty-segment resume: %v", err)
+	}
+	if err := j2.seal(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := VerifyJournal(path)
+	if err != nil || stats.Total != 4 {
+		t.Fatalf("stats=%+v err=%v, want 4 records", stats, err)
+	}
+}
+
+func TestJournalCompactionConservesLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	cfg := smallSegments()
+	j, _ := mustOpenJournal(t, path, cfg)
+	const n = 60
+	wantXor := uint64(0)
+	injected := 0
+	for id := uint64(1); id <= n; id++ {
+		rec := verifiedRecord(id)
+		if id%5 == 0 {
+			rec.Injected, rec.Detected, rec.Recovered = true, true, true
+			injected++
+		}
+		if err := j.append(rec); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+		wantXor ^= id
+	}
+	if j.compacted() == 0 {
+		t.Fatal("compaction never ran at these sizes")
+	}
+	if err := j.seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := VerifyJournal(path)
+	if err != nil {
+		t.Fatalf("VerifyJournal: %v", err)
+	}
+	if stats.Total != n {
+		t.Fatalf("total = %d (live %d + compacted %d), want %d", stats.Total, stats.Live, stats.Compacted, n)
+	}
+	if stats.Compacted == 0 || stats.Live == 0 {
+		t.Fatalf("stats = %+v, want both live and compacted records", stats)
+	}
+	if stats.XorIDs != wantXor {
+		t.Fatalf("xor ledger = %x, want %x", stats.XorIDs, wantXor)
+	}
+	if stats.Injected != injected || stats.Detected != injected || stats.Recovered != injected {
+		t.Fatalf("flag tallies %+v, want %d each across live+compacted", stats, injected)
+	}
+	// Disk usage stays bounded by the rotation threshold arithmetic:
+	// (MaxSegments sealed + active + summary slack) segments.
+	bound := int64(cfg.MaxSegments+2) * cfg.SegmentBytes
+	if stats.DiskBytes > bound {
+		t.Fatalf("disk = %d bytes, want <= %d", stats.DiskBytes, bound)
+	}
+
+	// A resumed journal continues the ledger exactly.
+	j2, info := mustOpenJournal(t, path, cfg)
+	if info.Records+info.Compacted != n {
+		t.Fatalf("resume accounts for %d+%d records, want %d", info.Records, info.Compacted, n)
+	}
+	if err := j2.append(verifiedRecord(n + 1)); err != nil {
+		t.Fatalf("append after compacted resume: %v", err)
+	}
+	if err := j2.seal(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = VerifyJournal(path)
+	if err != nil || stats.Total != n+1 {
+		t.Fatalf("after resume: stats=%+v err=%v, want %d", stats, err, n+1)
+	}
+}
+
+func TestJournalBitFlipInSealedSegmentRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	cfg := journalConfig{SegmentBytes: 200}
+	j, _ := mustOpenJournal(t, path, cfg)
+	for id := uint64(1); id <= 7; id++ {
+		if err := j.append(verifiedRecord(id)); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+	}
+	if err := j.seal(); err != nil {
+		t.Fatal(err)
+	}
+	sealed := path + ".s000000"
+	raw, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(sealed, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyJournal(path); !errors.Is(err, wal.ErrCheckpointCorrupt) {
+		t.Fatalf("VerifyJournal err = %v, want ErrCheckpointCorrupt", err)
+	}
+	if _, _, err := openJournal(path, cfg); !errors.Is(err, wal.ErrCheckpointCorrupt) {
+		t.Fatalf("openJournal err = %v, want refusal over flipped sealed segment", err)
+	}
+}
+
+func TestJournalInjectedAppendFaultRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	// Sync ordinal 1 is the create-header sync; fail the second append's.
+	fsys, err := wal.NewFaultFS(nil, "sync:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := mustOpenJournal(t, path, journalConfig{SegmentBytes: 1 << 20, FS: fsys})
+	if err := j.append(verifiedRecord(1)); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if err := j.append(verifiedRecord(2)); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("append 2 err = %v, want ErrInjected", err)
+	}
+	// The failed ID stays reserved: the bytes were rolled back, but the
+	// reservation is conservative.
+	if err := j.append(verifiedRecord(2)); !errors.Is(err, errDuplicateID) {
+		t.Fatalf("retry of faulted ID err = %v, want errDuplicateID", err)
+	}
+	if err := j.append(verifiedRecord(3)); err != nil {
+		t.Fatalf("append 3 after fault: %v", err)
+	}
+	if err := j.seal(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := VerifyJournal(path)
+	if err != nil {
+		t.Fatalf("VerifyJournal: %v", err)
+	}
+	if stats.Total != 2 || stats.XorIDs != 1^3 {
+		t.Fatalf("stats = %+v, want exactly IDs 1 and 3", stats)
+	}
+}

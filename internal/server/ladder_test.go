@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"defuse/telemetry"
+)
+
+// rawPost issues one /run request and returns the raw HTTP response.
+func rawPost(t *testing.T, url string, req Request) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hresp, err := http.Post(url+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	t.Cleanup(func() { hresp.Body.Close() })
+	return hresp
+}
+
+// TestLadderTransitions drives the state machine directly: sheds climb
+// healthy → shedding → degraded, sustained admissions walk back to healthy,
+// and drain is terminal.
+func TestLadderTransitions(t *testing.T) {
+	var transitions []string
+	l := newLadder(3, 2, func(from, to, reason string) {
+		transitions = append(transitions, from+"->"+to)
+	})
+	if l.current() != StateHealthy {
+		t.Fatalf("initial state %q", l.current())
+	}
+	l.noteShed()
+	if l.current() != StateShedding {
+		t.Fatalf("after one shed: %q", l.current())
+	}
+	if l.rejectKernel() {
+		t.Fatal("shedding must still serve kernel jobs")
+	}
+	l.noteShed()
+	l.noteShed()
+	if l.current() != StateDegraded || !l.rejectKernel() {
+		t.Fatalf("after 3 consecutive sheds: %q", l.current())
+	}
+	// An admission interrupting the calm streak resets it.
+	l.noteAdmit()
+	l.noteShed()
+	l.noteAdmit()
+	if l.current() != StateDegraded {
+		t.Fatalf("one admission must not recover: %q", l.current())
+	}
+	l.noteAdmit()
+	if l.current() != StateHealthy {
+		t.Fatalf("after sustained admissions: %q", l.current())
+	}
+	if l.degradedEntered() != 1 {
+		t.Fatalf("degraded entered %d times, want 1", l.degradedEntered())
+	}
+	l.noteDrain()
+	l.noteAdmit()
+	l.noteShed()
+	if l.current() != StateDraining {
+		t.Fatalf("draining must be terminal: %q", l.current())
+	}
+	want := []string{
+		"healthy->shedding", "shedding->degraded", "degraded->healthy", "healthy->draining",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestDegradedRejectsKernelServesVerify forces the ladder to degraded and
+// checks the split behavior end to end: kernel jobs bounce with 503 +
+// Retry-After, verify jobs still complete, and /readyz + stats surface the
+// state.
+func TestDegradedRejectsKernelServesVerify(t *testing.T) {
+	health := telemetry.NewHealth()
+	s, ts := newTestServer(t, Config{
+		Words: 8, Epochs: 2, Seed: 5, Kernel: "jacobi1d", Scale: 0.001,
+		MaxInFlight: 2, QueueDepth: 2, DegradeAfterSheds: 2, RecoverAfterOK: 3,
+		Obs: &telemetry.Obs{Health: health, Metrics: telemetry.NewRegistry()},
+	})
+	s.ladder.noteShed()
+	s.ladder.noteShed()
+	if got := s.ladder.current(); got != StateDegraded {
+		t.Fatalf("state = %q, want degraded", got)
+	}
+	if health.State() != StateDegraded {
+		t.Fatalf("health state = %q, want degraded on /readyz", health.State())
+	}
+
+	hresp := rawPost(t, ts.URL, Request{ID: 1, Kind: KindKernel})
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded kernel status = %d, want 503", hresp.StatusCode)
+	}
+	if hresp.Header.Get("Retry-After") == "" {
+		t.Error("degraded rejection missing Retry-After")
+	}
+
+	resp, status := post(t, ts.URL, Request{ID: 2, Kind: KindVerify})
+	if status != http.StatusOK {
+		t.Fatalf("verify under degradation: status %d", status)
+	}
+	if want := ReferenceDigest(8, 2, 5, 2); resp.Digest != want {
+		t.Fatalf("verify digest %x, want %x", resp.Digest, want)
+	}
+
+	if st := s.Stats(); st.State != StateDegraded || st.DegradedN != 1 {
+		t.Fatalf("stats = %+v, want degraded state entered once", st)
+	}
+
+	// Sustained successful admissions walk back to healthy; kernel jobs
+	// come back with them.
+	for id := uint64(3); id <= 5; id++ {
+		if _, status := post(t, ts.URL, Request{ID: id}); status != http.StatusOK {
+			t.Fatalf("recovery verify %d: status %d", id, status)
+		}
+	}
+	if got := s.ladder.current(); got != StateHealthy {
+		t.Fatalf("state after recovery = %q, want healthy", got)
+	}
+	if _, status := post(t, ts.URL, Request{ID: 6, Kind: KindKernel}); status != http.StatusOK {
+		t.Fatalf("kernel after recovery: status %d", status)
+	}
+}
+
+// TestShedCarriesRetryAfter: a queue overflow's 429 tells the client when to
+// come back.
+func TestShedCarriesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Words: 8, Epochs: 2, MaxInFlight: 1, QueueDepth: 1})
+	// Fill the slot and the queue from under the handler.
+	s.slots <- struct{}{}
+	s.queued.Add(1)
+	hresp := rawPost(t, ts.URL, Request{ID: 1})
+	if hresp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", hresp.StatusCode)
+	}
+	if hresp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	if s.ladder.current() != StateShedding {
+		t.Fatalf("state = %q, want shedding after overflow", s.ladder.current())
+	}
+	s.queued.Add(-1)
+	<-s.slots
+}
+
+// TestDuplicateIDConflict: an ID the journal already sealed is refused with
+// 409 before consuming a slot, and the journal stays unambiguous.
+func TestDuplicateIDConflict(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "dup.wal")
+	s, ts := newTestServer(t, Config{Words: 8, Epochs: 2, Seed: 3, WALPath: wal})
+	if _, status := post(t, ts.URL, Request{ID: 7}); status != http.StatusOK {
+		t.Fatal("first request failed")
+	}
+	hresp := rawPost(t, ts.URL, Request{ID: 7})
+	if hresp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate status = %d, want 409", hresp.StatusCode)
+	}
+	if _, status := post(t, ts.URL, Request{ID: 8}); status != http.StatusOK {
+		t.Fatal("fresh ID after duplicate failed")
+	}
+	if st := s.Stats(); st.Duplicates != 1 {
+		t.Fatalf("stats = %+v, want 1 duplicate", st)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := VerifyJournal(wal)
+	if err != nil {
+		t.Fatalf("VerifyJournal: %v", err)
+	}
+	if stats.Total != 2 {
+		t.Fatalf("journal total = %d, want 2 (duplicate never landed)", stats.Total)
+	}
+}
+
+// TestMalformedSizeCapsRejectedEarly: oversized or negative dimensions are a
+// 400 before admission — no slot burned, no journal write.
+func TestMalformedSizeCapsRejectedEarly(t *testing.T) {
+	_, ts := newTestServer(t, Config{Words: 8, Epochs: 2})
+	for _, req := range []Request{
+		{ID: 1, Words: 33},  // > 4*8
+		{ID: 2, Epochs: 9},  // > 4*2
+		{ID: 3, Words: -1},  // negative
+		{ID: 4, Epochs: -5}, // negative
+	} {
+		hresp := rawPost(t, ts.URL, req)
+		if hresp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request %+v: status %d, want 400", req, hresp.StatusCode)
+		}
+	}
+}

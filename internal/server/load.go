@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"defuse/internal/bench"
 	"defuse/internal/faults"
+	"defuse/internal/recovery"
 	"defuse/telemetry"
 )
 
@@ -51,6 +53,15 @@ type LoadConfig struct {
 	FirstID uint64
 	// Timeout bounds each HTTP request (default 60s).
 	Timeout time.Duration
+	// MaxRetries bounds how many times one request is retried after a 429 or
+	// 503 refusal before the refusal is recorded as the final outcome
+	// (default 3; negative disables retries). The wait between attempts
+	// honors the server's Retry-After header, falling back to the
+	// recovery-policy backoff schedule when the server did not name a delay.
+	MaxRetries int
+	// RetryBackoff is the fallback delay policy (default: recovery defaults,
+	// 4ms doubling).
+	RetryBackoff recovery.Policy
 }
 
 // LoadResult is the audited outcome of a load run.
@@ -98,6 +109,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	}
 	if cfg.Words <= 0 || cfg.Epochs <= 0 {
 		return LoadResult{}, fmt.Errorf("loadgen: words and epochs must be explicit (the auditor recomputes references from them)")
+	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 3
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff.Backoff <= 0 {
+		cfg.RetryBackoff = recovery.DefaultPolicy()
+		cfg.RetryBackoff.Backoff = 50 * time.Millisecond
 	}
 	sampler := faults.NewLiveSampler(cfg.FaultRate, cfg.FaultSeed).
 		WithAddrFraction(cfg.FaultAddrFraction)
@@ -174,9 +195,40 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 					req.Kind = KindKernel
 					req.Words, req.Epochs = 0, 0
 				}
-				t0 := time.Now()
-				resp, status, err := postRun(ctx, client, cfg.Target, req)
-				elapsed := time.Since(t0).Seconds()
+				// Refusals (429/503) are retried with bounded backoff,
+				// honoring the server's Retry-After; only the outcome of the
+				// final attempt is recorded as Shed/Rejected, so the gate's
+				// arithmetic stays meaningful under deliberate overload.
+				var (
+					resp       Response
+					status     int
+					err        error
+					elapsed    float64
+					retryAfter time.Duration
+				)
+				attempt := 0
+				for {
+					t0 := time.Now()
+					resp, status, retryAfter, err = postRun(ctx, client, cfg.Target, req)
+					elapsed = time.Since(t0).Seconds()
+					refused := err == nil &&
+						(status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable)
+					if !refused || attempt >= cfg.MaxRetries || ctx.Err() != nil {
+						break
+					}
+					mu.Lock()
+					row.Retries++
+					mu.Unlock()
+					delay := retryAfter
+					if delay <= 0 {
+						delay = cfg.RetryBackoff.Delay(attempt)
+					}
+					attempt++
+					select {
+					case <-ctx.Done():
+					case <-time.After(delay):
+					}
+				}
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -187,6 +239,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 					row.Rejected++
 				case status != http.StatusOK:
 					row.Errors++
+				case attempt > 0:
+					row.RetriedOK++
 				}
 				mu.Unlock()
 				if err == nil && status == http.StatusOK {
@@ -210,28 +264,33 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 }
 
 // postRun issues one /run request and decodes the response when it is 200.
-func postRun(ctx context.Context, client *http.Client, target string, req Request) (Response, int, error) {
+// On refusal it also reports the server's Retry-After delay (0 when absent).
+func postRun(ctx context.Context, client *http.Client, target string, req Request) (Response, int, time.Duration, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return Response{}, 0, err
+		return Response{}, 0, 0, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/run", bytes.NewReader(body))
 	if err != nil {
-		return Response{}, 0, err
+		return Response{}, 0, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hresp, err := client.Do(hreq)
 	if err != nil {
-		return Response{}, 0, err
+		return Response{}, 0, 0, err
 	}
 	defer hresp.Body.Close()
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
 	if hresp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, io.LimitReader(hresp.Body, 4096))
-		return Response{}, hresp.StatusCode, nil
+		return Response{}, hresp.StatusCode, retryAfter, nil
 	}
 	var resp Response
 	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
-		return Response{}, hresp.StatusCode, err
+		return Response{}, hresp.StatusCode, retryAfter, err
 	}
-	return resp, hresp.StatusCode, nil
+	return resp, hresp.StatusCode, retryAfter, nil
 }

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// refuseTwiceServer refuses the first two attempts of every request ID with
+// 429 + Retry-After, then serves the correct verify response — the shape a
+// load generator sees from a server riding the degradation ladder.
+func refuseTwiceServer(t *testing.T, seed uint64) (*httptest.Server, func(id uint64) int) {
+	t.Helper()
+	var (
+		mu       sync.Mutex
+		attempts = map[uint64]int{}
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		attempts[req.ID]++
+		n := attempts[req.ID]
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		resp := Response{
+			ID: req.ID, Kind: req.Kind,
+			Digest: ReferenceDigest(req.Words, req.Epochs, seed, req.ID),
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, func(id uint64) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return attempts[id]
+	}
+}
+
+// TestRunLoadRetriesRefusals: refused requests are retried with backoff and
+// land as successes; Shed records only final outcomes, Retries/RetriedOK
+// account for the refused attempts, and the gate still passes.
+func TestRunLoadRetriesRefusals(t *testing.T) {
+	ts, attempts := refuseTwiceServer(t, 3)
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Target: ts.URL, Streams: 2, Requests: 6,
+		Words: 8, Epochs: 2, Seed: 3, MaxRetries: 3,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	row := res.Row
+	if row.Requests != 6 || row.Shed != 0 {
+		t.Fatalf("row = %+v, want 6 successes and no final sheds", row)
+	}
+	if row.Retries != 12 {
+		t.Fatalf("row.Retries = %d, want 12 (two refusals per request)", row.Retries)
+	}
+	if row.RetriedOK != 6 {
+		t.Fatalf("row.RetriedOK = %d, want 6 (every request needed retries)", row.RetriedOK)
+	}
+	if err := res.Gate(); err != nil {
+		t.Fatalf("Gate must stay meaningful under retried overload: %v", err)
+	}
+	for id := uint64(1); id <= 6; id++ {
+		if got := attempts(id); got != 3 {
+			t.Fatalf("request %d saw %d attempts, want 3", id, got)
+		}
+	}
+}
+
+// TestRunLoadRetriesDisabled: MaxRetries < 0 turns retries off — every
+// refusal is final and tallied as shed, with the retry counters untouched.
+func TestRunLoadRetriesDisabled(t *testing.T) {
+	ts, attempts := refuseTwiceServer(t, 3)
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Target: ts.URL, Streams: 1, Requests: 4,
+		Words: 8, Epochs: 2, Seed: 3, MaxRetries: -1,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	row := res.Row
+	if row.Shed != 4 || row.Requests != 0 {
+		t.Fatalf("row = %+v, want all 4 shed with retries disabled", row)
+	}
+	if row.Retries != 0 || row.RetriedOK != 0 {
+		t.Fatalf("row = %+v, want zero retry tallies", row)
+	}
+	for id := uint64(1); id <= 4; id++ {
+		if got := attempts(id); got != 1 {
+			t.Fatalf("request %d saw %d attempts, want 1", id, got)
+		}
+	}
+}
+
+// TestRunLoadRetryExhaustionIsFinalRefusal: a server that never relents makes
+// the retry budget run out; the outcome is recorded once, as a shed.
+func TestRunLoadRetryExhaustionIsFinalRefusal(t *testing.T) {
+	var hits int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Target: ts.URL, Streams: 1, Requests: 1,
+		Words: 8, Epochs: 2, Seed: 3, MaxRetries: 2,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	row := res.Row
+	if row.Shed != 1 || row.Retries != 2 || row.RetriedOK != 0 {
+		t.Fatalf("row = %+v, want 1 shed after 2 retries", row)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", hits)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"defuse/internal/bench"
 	"defuse/internal/faults"
 	"defuse/internal/recovery"
+	"defuse/internal/wal"
 	"defuse/telemetry"
 )
 
@@ -48,6 +49,21 @@ type Config struct {
 	// WALPath, when non-empty, journals every completed request for
 	// crash-consistent resume.
 	WALPath string
+	// WALSegmentBytes seals the journal's active segment before it exceeds
+	// this size (default 64 MiB — effectively one segment for CI bursts).
+	WALSegmentBytes int64
+	// WALMaxSegments caps sealed segments before the oldest compacts into
+	// the summary (default 8; 0 keeps the default, -1 disables compaction).
+	WALMaxSegments int
+	// WALFS, when non-nil, routes journal writes through an alternate file
+	// layer (the chaos soak injects fsync/write faults here).
+	WALFS wal.FS
+	// DegradeAfterSheds is how many consecutive sheds push the overload
+	// ladder from shedding to degraded (default 2*QueueDepth).
+	DegradeAfterSheds int
+	// RecoverAfterOK is how many consecutive successful admissions walk the
+	// ladder back to healthy (default QueueDepth).
+	RecoverAfterOK int
 	// Policy bounds per-request recovery effort (zero value: DefaultPolicy).
 	Policy recovery.Policy
 	// Obs supplies telemetry (any component may be nil); the obs Health, when
@@ -57,19 +73,26 @@ type Config struct {
 
 // Stats is the service's live counter snapshot, served at /stats.
 type Stats struct {
-	Requests   int64 `json:"requests"`
-	Verify     int64 `json:"verify"`
-	Kernel     int64 `json:"kernel"`
-	Shed       int64 `json:"shed"`
-	Rejected   int64 `json:"rejected"`
-	Errors     int64 `json:"errors"`
-	Injected   int64 `json:"injected"`
-	Detected   int64 `json:"detected"`
-	Recovered  int64 `json:"recovered"`
-	Tainted    int64 `json:"tainted"`
-	InFlight   int64 `json:"in_flight"`
-	WALRecords int   `json:"wal_records"`
-	Draining   bool  `json:"draining"`
+	Requests     int64  `json:"requests"`
+	Verify       int64  `json:"verify"`
+	Kernel       int64  `json:"kernel"`
+	Shed         int64  `json:"shed"`
+	Rejected     int64  `json:"rejected"`
+	Errors       int64  `json:"errors"`
+	Injected     int64  `json:"injected"`
+	Detected     int64  `json:"detected"`
+	Recovered    int64  `json:"recovered"`
+	Tainted      int64  `json:"tainted"`
+	Duplicates   int64  `json:"duplicates"`
+	JournalFault int64  `json:"journal_faults"`
+	InFlight     int64  `json:"in_flight"`
+	WALRecords   int    `json:"wal_records"`
+	WALCompacted int    `json:"wal_compacted"`
+	WALSegments  int    `json:"wal_segments"`
+	WALDiskBytes int64  `json:"wal_disk_bytes"`
+	State        string `json:"state"`
+	DegradedN    int64  `json:"degraded_entered"`
+	Draining     bool   `json:"draining"`
 }
 
 // Request is the /run request body.
@@ -105,6 +128,7 @@ type Server struct {
 	kernels  *kernelPool
 	journal  *journal
 	resume   ResumeInfo
+	ladder   *ladder
 
 	slots    chan struct{} // in-flight semaphore, cap MaxInFlight
 	queued   atomic.Int64  // requests waiting for a slot
@@ -116,6 +140,7 @@ type Server struct {
 	shed, rejected, errCount       atomic.Int64
 	injected, detected, recoveredN atomic.Int64
 	taintedN                       atomic.Int64
+	duplicates, journalFaults      atomic.Int64
 	latency                        *telemetry.Histogram
 	requestCount                   func(result string) *telemetry.Counter
 }
@@ -140,6 +165,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.WALSegmentBytes <= 0 {
+		cfg.WALSegmentBytes = 64 << 20
+	}
+	switch {
+	case cfg.WALMaxSegments == 0:
+		cfg.WALMaxSegments = 8
+	case cfg.WALMaxSegments < 0:
+		cfg.WALMaxSegments = 0 // compaction disabled
+	}
+	if cfg.DegradeAfterSheds <= 0 {
+		cfg.DegradeAfterSheds = 2 * cfg.QueueDepth
+	}
+	if cfg.RecoverAfterOK <= 0 {
+		cfg.RecoverAfterOK = cfg.QueueDepth
+	}
 	if cfg.Policy.MaxRetries == 0 && cfg.Policy.MaxRestarts == 0 {
 		cfg.Policy = recovery.DefaultPolicy()
 	}
@@ -153,6 +193,11 @@ func New(cfg Config) (*Server, error) {
 		health:  obs.Health,
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 		drainCh: make(chan struct{}),
+	}
+	s.ladder = newLadder(cfg.DegradeAfterSheds, cfg.RecoverAfterOK, announceState(obs))
+	obs.Health.SetState(StateHealthy)
+	if reg := obs.Metrics; reg != nil {
+		reg.Gauge("defuse_server_state").Set(stateLevel(StateHealthy))
 	}
 	if cfg.FaultRate > 0 {
 		s.sampler = faults.NewLiveSampler(cfg.FaultRate, cfg.FaultSeed).
@@ -171,7 +216,31 @@ func New(cfg Config) (*Server, error) {
 		s.kernels = kp
 	}
 	if cfg.WALPath != "" {
-		j, info, err := openJournal(cfg.WALPath)
+		jcfg := journalConfig{
+			SegmentBytes: cfg.WALSegmentBytes,
+			MaxSegments:  cfg.WALMaxSegments,
+			FS:           cfg.WALFS,
+		}
+		if sink := obs.Sink; sink != nil || obs.Metrics != nil {
+			jcfg.OnRotate = func(path string, bytes int64, records int) {
+				telemetry.Emit(sink, telemetry.EvJournalRotate, map[string]any{
+					"segment": path, "bytes": bytes, "records": records,
+				})
+				if reg := obs.Metrics; reg != nil {
+					reg.Counter("defuse_journal_rotations_total").Inc()
+				}
+			}
+			jcfg.OnCompact = func(path string, folded int, diskBytes int64) {
+				telemetry.Emit(sink, telemetry.EvJournalCompact, map[string]any{
+					"segment": path, "folded": folded, "disk_bytes": diskBytes,
+				})
+				if reg := obs.Metrics; reg != nil {
+					reg.Counter("defuse_journal_compactions_total").Inc()
+					reg.Gauge("defuse_journal_disk_bytes").Set(float64(diskBytes))
+				}
+			}
+		}
+		j, info, err := openJournal(cfg.WALPath, jcfg)
 		if err != nil {
 			return nil, fmt.Errorf("server: journal: %w", err)
 		}
@@ -233,6 +302,7 @@ func (s *Server) Draining() bool {
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainOne.Do(func() {
 		s.health.SetDraining()
+		s.ladder.noteDrain()
 		close(s.drainCh)
 	})
 	done := make(chan struct{})
@@ -255,19 +325,26 @@ func (s *Server) Drain(ctx context.Context) error {
 // Stats snapshots the live counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:   s.requests.Load(),
-		Verify:     s.verifyN.Load(),
-		Kernel:     s.kernelN.Load(),
-		Shed:       s.shed.Load(),
-		Rejected:   s.rejected.Load(),
-		Errors:     s.errCount.Load(),
-		Injected:   s.injected.Load(),
-		Detected:   s.detected.Load(),
-		Recovered:  s.recoveredN.Load(),
-		Tainted:    s.taintedN.Load(),
-		InFlight:   s.health.InFlight(),
-		WALRecords: s.journal.records(),
-		Draining:   s.Draining(),
+		Requests:     s.requests.Load(),
+		Verify:       s.verifyN.Load(),
+		Kernel:       s.kernelN.Load(),
+		Shed:         s.shed.Load(),
+		Rejected:     s.rejected.Load(),
+		Errors:       s.errCount.Load(),
+		Injected:     s.injected.Load(),
+		Detected:     s.detected.Load(),
+		Recovered:    s.recoveredN.Load(),
+		Tainted:      s.taintedN.Load(),
+		Duplicates:   s.duplicates.Load(),
+		JournalFault: s.journalFaults.Load(),
+		InFlight:     s.health.InFlight(),
+		WALRecords:   s.journal.records(),
+		WALCompacted: s.journal.compacted(),
+		WALSegments:  s.journal.segments(),
+		WALDiskBytes: s.journal.diskBytes(),
+		State:        s.ladder.current(),
+		DegradedN:    s.ladder.degradedEntered(),
+		Draining:     s.Draining(),
 	}
 }
 
@@ -306,31 +383,64 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no kernel configured", http.StatusBadRequest)
 		return
 	}
+	// Malformed-by-size requests are refused before admission: they must
+	// never consume a slot, and 400 tells the client not to retry.
+	if req.Words > 4*s.cfg.Words || req.Epochs > 4*s.cfg.Epochs || req.Words < 0 || req.Epochs < 0 {
+		s.errCount.Add(1)
+		s.count("invalid")
+		http.Error(w, fmt.Sprintf("request %d exceeds size caps (words <= %d, epochs <= %d)",
+			req.ID, 4*s.cfg.Words, 4*s.cfg.Epochs), http.StatusBadRequest)
+		return
+	}
+	// A request ID the journal already holds is refused with 409: replaying
+	// an ID would make the journal ambiguous. (The journal re-checks under
+	// its lock; this early check just avoids burning a slot.)
+	if s.journal.knownID(req.ID) {
+		s.duplicates.Add(1)
+		s.count("duplicate")
+		http.Error(w, fmt.Sprintf("duplicate request ID %d", req.ID), http.StatusConflict)
+		return
+	}
 
-	// Admission. Draining refuses outright (503: retry elsewhere); a full
-	// queue sheds (429: back off). Queued waiters are released with 503 the
-	// moment a drain starts — their work has not begun, so refusing them
-	// keeps the drain window short and loses nothing.
+	// Admission, ordered by the degradation ladder. Draining refuses
+	// outright (503: retry elsewhere); degraded refuses expensive kernel
+	// jobs while still serving verify jobs (503 with Retry-After); a full
+	// queue sheds (429 with Retry-After: back off). Queued waiters are
+	// released with 503 the moment a drain starts — their work has not
+	// begun, so refusing them keeps the drain window short and loses
+	// nothing.
 	if s.Draining() {
 		s.rejected.Add(1)
 		s.count("rejected")
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if req.Kind == KindKernel && s.ladder.rejectKernel() {
+		s.rejected.Add(1)
+		s.count("degraded")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "degraded: kernel jobs rejected until load subsides", http.StatusServiceUnavailable)
 		return
 	}
 	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-1)
 		s.shed.Add(1)
 		s.count("shed")
+		s.ladder.noteShed()
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "overloaded", http.StatusTooManyRequests)
 		return
 	}
 	select {
 	case s.slots <- struct{}{}:
 		s.queued.Add(-1)
+		s.ladder.noteAdmit()
 	case <-s.drainCh:
 		s.queued.Add(-1)
 		s.rejected.Add(1)
 		s.count("rejected")
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	case <-r.Context().Done():
@@ -379,7 +489,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Words: req.Words, Epochs: req.Epochs, Seed: s.cfg.Seed,
 		Digest: resp.Digest, RefDigest: resp.RefDigest,
 	}); jerr != nil {
+		if errors.Is(jerr, errDuplicateID) {
+			// Lost the race with a concurrent duplicate that appended first.
+			s.duplicates.Add(1)
+			s.count("duplicate")
+			http.Error(w, jerr.Error(), http.StatusConflict)
+			return
+		}
+		// The request executed but could not be made durable; the append was
+		// rolled back, so the journal stays consistent and the client must
+		// treat the request as failed. Injected faults are declared in the
+		// body (wal: injected ...) so an auditing client can tell the chaos
+		// schedule's work from real disk trouble.
 		s.errCount.Add(1)
+		s.journalFaults.Add(1)
+		if s.tel.Metrics != nil {
+			s.tel.Metrics.Counter("defuse_journal_append_faults_total").Inc()
+		}
+		telemetry.Emit(s.tel.Trace, telemetry.EvJournalFault, map[string]any{
+			"id": resp.ID, "injected": errors.Is(jerr, wal.ErrInjected), "error": jerr.Error(),
+		})
 		http.Error(w, "journal: "+jerr.Error(), http.StatusInternalServerError)
 		return
 	}

@@ -276,7 +276,7 @@ func TestJournalResume(t *testing.T) {
 // resumed over.
 func TestResumeRefusesSilentCorruption(t *testing.T) {
 	wal := filepath.Join(t.TempDir(), "bad.wal")
-	j, _, err := openJournal(wal)
+	j, _, err := openJournal(wal, journalConfig{})
 	if err != nil {
 		t.Fatalf("openJournal: %v", err)
 	}
@@ -291,7 +291,7 @@ func TestResumeRefusesSilentCorruption(t *testing.T) {
 	if err := j.seal(); err != nil {
 		t.Fatalf("seal: %v", err)
 	}
-	if _, _, err := openJournal(wal); err == nil {
+	if _, _, err := openJournal(wal, journalConfig{}); err == nil {
 		t.Fatal("openJournal resumed over silent corruption")
 	}
 	if _, err := VerifyJournal(wal); err == nil {

@@ -1,0 +1,205 @@
+package wal
+
+// The file-layer abstraction behind every log writer. Production code runs on
+// the real filesystem (OSFS); the chaos harness and the fault tests swap in a
+// FaultFS that injects write and fsync failures at seeded ordinals, so the
+// "disk said no" paths — an fsync that fails mid-soak, a write that lands
+// only half its bytes — are exercised against the same code that runs in
+// production, not against mocks of it.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// File is the subset of *os.File the logs write through.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS opens and renames log files. Reads go through os directly — the fault
+// model covers the write path (the journal's durability promise); recovery
+// scans read whatever bytes actually reached the disk.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// osFS is the passthrough implementation.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+// ErrInjected marks an I/O failure manufactured by a FaultFS. Callers that
+// need to distinguish "the disk really failed" from "the chaos schedule said
+// fail here" test with errors.Is; the server surfaces the message verbatim so
+// an auditing client can tell declared injections apart from real faults.
+var ErrInjected = errors.New("wal: injected I/O fault")
+
+// faultKind is one shape of injected failure.
+type faultKind int
+
+const (
+	faultSync  faultKind = iota // Sync returns an error; bytes may be volatile
+	faultWrite                  // Write fails before any byte is accepted
+	faultShort                  // Write accepts half the bytes, then fails
+)
+
+// FaultFS wraps an FS and fails seeded ordinals of the write and sync streams
+// across every file it opens. Ordinals are 1-based and global (not per file):
+// "sync:3" fails the third Sync call any file performs. Each armed ordinal
+// fires exactly once; Fired reports how many have.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	writes uint64
+	syncs  uint64
+	arm    map[faultKind]map[uint64]bool
+	fired  int
+}
+
+// NewFaultFS parses a fault spec — comma-separated "kind:ordinal" terms with
+// kinds sync, write, and short (a torn write: half the bytes land, then the
+// call fails) — and returns the injecting wrapper. An empty spec injects
+// nothing.
+func NewFaultFS(inner FS, spec string) (*FaultFS, error) {
+	if inner == nil {
+		inner = OSFS
+	}
+	f := &FaultFS{inner: inner, arm: map[faultKind]map[uint64]bool{
+		faultSync: {}, faultWrite: {}, faultShort: {},
+	}}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		kindStr, ordStr, ok := strings.Cut(term, ":")
+		if !ok {
+			return nil, fmt.Errorf("wal: fault spec term %q: want kind:ordinal", term)
+		}
+		ord, err := strconv.ParseUint(ordStr, 10, 64)
+		if err != nil || ord == 0 {
+			return nil, fmt.Errorf("wal: fault spec term %q: ordinal must be a positive integer", term)
+		}
+		switch kindStr {
+		case "sync":
+			f.arm[faultSync][ord] = true
+		case "write":
+			f.arm[faultWrite][ord] = true
+		case "short":
+			f.arm[faultShort][ord] = true
+		default:
+			return nil, fmt.Errorf("wal: fault spec term %q: unknown kind (sync, write, short)", term)
+		}
+	}
+	return f, nil
+}
+
+// Spec renders the still-armed faults back into spec syntax (test use).
+func (f *FaultFS) Spec() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var terms []string
+	names := map[faultKind]string{faultSync: "sync", faultWrite: "write", faultShort: "short"}
+	for kind, ords := range f.arm {
+		for ord := range ords {
+			terms = append(terms, fmt.Sprintf("%s:%d", names[kind], ord))
+		}
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, ",")
+}
+
+// Fired reports how many armed faults have been consumed.
+func (f *FaultFS) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(name) }
+
+// take consumes the armed fault for (kind, ordinal), if any.
+func (f *FaultFS) take(kind faultKind, ord uint64) bool {
+	if f.arm[kind][ord] {
+		delete(f.arm[kind], ord)
+		f.fired++
+		return true
+	}
+	return false
+}
+
+// faultFile threads each write and sync through the shared ordinal counters.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	f.fs.writes++
+	ord := f.fs.writes
+	fail := f.fs.take(faultWrite, ord)
+	short := !fail && f.fs.take(faultShort, ord)
+	f.fs.mu.Unlock()
+	if fail {
+		return 0, fmt.Errorf("%w (write #%d)", ErrInjected, ord)
+	}
+	if short {
+		n, err := f.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w (short write #%d: %d of %d bytes)", ErrInjected, ord, n, len(p))
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	f.fs.syncs++
+	ord := f.fs.syncs
+	fail := f.fs.take(faultSync, ord)
+	f.fs.mu.Unlock()
+	if fail {
+		// The real sync still runs — the fault models the *report* of
+		// failure, after which the caller must treat the bytes as volatile
+		// and roll the append back.
+		_ = f.inner.Sync()
+		return fmt.Errorf("%w (sync #%d)", ErrInjected, ord)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error                              { return f.inner.Close() }
+func (f *faultFile) Truncate(size int64) error                 { return f.inner.Truncate(size) }
+func (f *faultFile) Seek(off int64, whence int) (int64, error) { return f.inner.Seek(off, whence) }

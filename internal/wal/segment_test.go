@@ -1,0 +1,331 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// payloadN builds a recognizable fixed-size payload.
+func payloadN(i int) []byte {
+	return []byte(fmt.Sprintf("record-%06d--------------------------------", i))
+}
+
+func segAppend(t *testing.T, l *SegmentedLog, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := l.Append(payloadN(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func segFiles(t *testing.T, path string) []string {
+	t.Helper()
+	names, err := filepath.Glob(path + segmentPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+func TestSegmentRotationBoundsEachFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	const segBytes = 256
+	l, err := CreateSegmented(path, SegmentOptions{SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segAppend(t, l, 0, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names := segFiles(t, path)
+	if len(names) < 2 {
+		t.Fatalf("want multiple sealed segments, got %v", names)
+	}
+	for _, name := range append(names, path) {
+		fi, err := os.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > segBytes {
+			t.Errorf("%s is %d bytes, above the %d threshold", name, fi.Size(), segBytes)
+		}
+	}
+
+	// Recovery resumes across segment boundaries: all 40 records, in order.
+	s, err := RecoverSegmented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Records) != 40 {
+		t.Fatalf("recovered %d records, want 40", len(s.Records))
+	}
+	for i, r := range s.Records {
+		if string(r.Payload) != string(payloadN(i)) {
+			t.Fatalf("record %d = %q", i, r.Payload)
+		}
+		if r.Seq != uint32(i) {
+			t.Fatalf("record %d has seq %d — numbering must continue across seals", i, r.Seq)
+		}
+	}
+}
+
+func TestSegmentCompactionBoundsDiskAndKeepsSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	const segBytes, maxSegs = 256, 3
+	var summarizeCalls int
+	opts := SegmentOptions{
+		SegmentBytes: segBytes,
+		MaxSegments:  maxSegs,
+		Summarize: func(prev [][]byte, folded []Record) ([][]byte, error) {
+			summarizeCalls++
+			// Running count in a tiny payload plus the newest folded record.
+			count := len(folded)
+			if len(prev) > 0 {
+				fmt.Sscanf(string(prev[0]), "count=%d", &count)
+				count += len(folded)
+			}
+			return [][]byte{
+				[]byte(fmt.Sprintf("count=%d", count)),
+				folded[len(folded)-1].Payload,
+			}, nil
+		},
+	}
+	l, err := CreateSegmented(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segAppend(t, l, 0, 200)
+	if got := len(segFiles(t, path)); got > maxSegs {
+		t.Errorf("%d sealed segments on disk, want <= %d", got, maxSegs)
+	}
+	if summarizeCalls == 0 {
+		t.Fatal("compaction never ran")
+	}
+	// Disk stays bounded by (MaxSegments+1 files + summary) * threshold.
+	bound := int64(maxSegs+2) * segBytes
+	if l.DiskBytes() > bound {
+		t.Errorf("disk %d bytes, want <= %d", l.DiskBytes(), bound)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := RecoverSegmented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Summary) != 2 {
+		t.Fatalf("summary has %d records, want 2 (stats + retained)", len(s.Summary))
+	}
+	var count int
+	fmt.Sscanf(string(s.Summary[0].Payload), "count=%d", &count)
+	// Conservation: summarized + live = everything appended. The retained
+	// payload rides in the summary but is not folded into the count.
+	if count+len(s.Records) != 200 {
+		t.Fatalf("count=%d + live=%d != 200 appended", count, len(s.Records))
+	}
+	// The live tail is contiguous and ends at the newest append.
+	first := int(s.Records[0].Seq)
+	for i, r := range s.Records {
+		if int(r.Seq) != first+i {
+			t.Fatalf("live records not contiguous at %d", i)
+		}
+	}
+	if got := string(s.Newest().Payload); got != string(payloadN(199)) {
+		t.Fatalf("newest = %q", got)
+	}
+}
+
+func TestSegmentCompactionCrashWindowDedups(t *testing.T) {
+	// Simulate a crash between summary write and folded-segment removal: the
+	// summary covers the oldest segment, but the file is still on disk.
+	// Recovery must not double-count, and open must delete the stale file.
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	opts := SegmentOptions{SegmentBytes: 256, MaxSegments: 2}
+	l, err := CreateSegmented(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segAppend(t, l, 0, 60)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := RecoverSegmented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resurrect a copy of a compacted segment with seqs at/below the summary
+	// high-water mark — exactly what the crash window leaves behind.
+	stale := sealedName(path, 0)
+	var records []Record
+	high := before.highWater()
+	for i := high - 2; i <= high; i++ {
+		if i < 0 {
+			continue
+		}
+		records = append(records, Record{Seq: uint32(i), Payload: payloadN(int(i))})
+	}
+	if err := Rewrite(stale, records); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := RecoverSegmented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Records) != len(before.Records) {
+		t.Fatalf("stale segment changed live count: %d != %d", len(after.Records), len(before.Records))
+	}
+	if after.Dropped == 0 {
+		t.Fatal("expected dedup drops from the stale segment")
+	}
+
+	l2, err := OpenSegmented(after, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale shadowed segment still on disk: %v", err)
+	}
+}
+
+func TestSegmentRecoverEmptyRotatedActive(t *testing.T) {
+	// Crash right after a seal: the fresh active file holds only its header
+	// (and, in the sibling window, does not exist at all). Both recover to
+	// the sealed records and appends continue with the right sequence.
+	for _, mode := range []string{"empty", "missing"} {
+		t.Run(mode, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "seg.wal")
+			opts := SegmentOptions{SegmentBytes: 256}
+			l, err := CreateSegmented(path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			segAppend(t, l, 0, 10)
+			if err := l.seal(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if mode == "missing" {
+				if err := os.Remove(path); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s, err := RecoverSegmented(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Records) != 10 {
+				t.Fatalf("recovered %d records, want 10", len(s.Records))
+			}
+			l2, err := OpenSegmented(s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l2.Append(payloadN(10)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := RecoverSegmented(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s2.Records) != 11 || s2.Records[10].Seq != 10 {
+				t.Fatalf("after resume-append: %d records, last seq %d", len(s2.Records), s2.Records[len(s2.Records)-1].Seq)
+			}
+		})
+	}
+}
+
+func TestSegmentSealedDamageRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	l, err := CreateSegmented(path, SegmentOptions{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segAppend(t, l, 0, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	name := segFiles(t, path)[0]
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(name, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverSegmented(path); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("bit-flipped sealed segment recovered with err=%v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+func TestFaultFSInjectedAppendRollsBack(t *testing.T) {
+	for _, spec := range []string{"sync:2", "write:2", "short:2"} {
+		t.Run(spec, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "seg.wal")
+			fsys, err := NewFaultFS(nil, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := CreateSegmented(path, SegmentOptions{SegmentBytes: 1 << 20, FS: fsys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Write #1 / sync #1 is the header; the fault lands on the first
+			// record append.
+			if err := l.Append(payloadN(0)); !errors.Is(err, ErrInjected) {
+				t.Fatalf("append err = %v, want ErrInjected", err)
+			}
+			if fsys.Fired() != 1 {
+				t.Fatalf("fired = %d, want 1", fsys.Fired())
+			}
+			// The failed append must be invisible: the next append succeeds
+			// and recovery sees exactly that one record with seq 0.
+			if err := l.Append(payloadN(1)); err != nil {
+				t.Fatalf("append after rollback: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s, err := RecoverSegmented(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Records) != 1 || s.Records[0].Seq != 0 || string(s.Records[0].Payload) != string(payloadN(1)) {
+				t.Fatalf("recovered %+v, want one record seq 0 payload record-000001", s.Records)
+			}
+		})
+	}
+}
+
+func TestFaultFSSpecParsing(t *testing.T) {
+	if _, err := NewFaultFS(nil, "sync:0"); err == nil {
+		t.Error("ordinal 0 accepted")
+	}
+	if _, err := NewFaultFS(nil, "flub:3"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := NewFaultFS(nil, "sync"); err == nil {
+		t.Error("missing ordinal accepted")
+	}
+	f, err := NewFaultFS(nil, " sync:3 , write:7,short:12 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Spec(); got != "short:12,sync:3,write:7" {
+		t.Errorf("Spec() = %q", got)
+	}
+}

@@ -179,12 +179,23 @@ type Options struct {
 	// size and more than one record is live, the log is compacted to its
 	// newest record via an atomic temp-write + rename. Zero disables.
 	MaxBytes int64
+	// FS is the file layer writes go through; nil means the real filesystem.
+	// Tests and the chaos soak substitute a FaultFS to fail seeded writes
+	// and fsyncs.
+	FS FS
+}
+
+func (o Options) fs() FS {
+	if o.FS == nil {
+		return OSFS
+	}
+	return o.FS
 }
 
 // Log is an append handle over a checkpoint log file. It is not safe for
 // concurrent use; the durable supervisor appends from one goroutine.
 type Log struct {
-	f       *os.File
+	f       File
 	path    string
 	opts    Options
 	size    int64
@@ -193,6 +204,8 @@ type Log struct {
 	// last is the newest record's frame bytes, kept so rotation can rewrite
 	// the compacted log without re-reading the file.
 	last []byte
+	// poisoned is set when a failed append could not be rolled back.
+	poisoned bool
 
 	// tracer/span, when armed via SetTracer, record one "wal.append" span
 	// per sealed record (with a "wal.rotate" child when the append
@@ -211,7 +224,7 @@ func (l *Log) SetTracer(t *telemetry.Tracer, parent telemetry.SpanContext) {
 // Create truncates (or creates) the log at path and returns an empty append
 // handle. Any previous contents are discarded — use Open to continue a log.
 func Create(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := opts.fs().OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +244,7 @@ func Create(path string, opts Options) (*Log, error) {
 // poisoned remainder) and positioned for appending. The scan must be of the
 // same path and still describe the file on disk.
 func Open(s *Scan, opts Options) (*Log, error) {
-	f, err := os.OpenFile(s.Path, os.O_RDWR, 0o644)
+	f, err := opts.fs().OpenFile(s.Path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -264,21 +277,35 @@ func frame(seq uint32, payload []byte) []byte {
 	return b
 }
 
+// ErrLogPoisoned reports that a previous failed append could not be rolled
+// back (the truncate-to-valid repair itself failed), so the file's tail state
+// is unknown and further appends are refused. Recovery over the file is still
+// safe — the scanner treats whatever landed as a torn tail.
+var ErrLogPoisoned = errors.New("wal: log poisoned by unrepaired append failure")
+
 // Append seals one checkpoint record: the frame is written in a single
 // write call and fsynced before Append returns, so a record the caller has
 // been told about survives any subsequent crash. When the log exceeds
 // MaxBytes it is then rotated down to this newest record.
+//
+// A failed write or fsync is rolled back before Append returns: the file is
+// truncated to its pre-append size, so the half-written frame cannot later be
+// misread as a sealed record. If the rollback itself fails the handle is
+// poisoned and every later Append returns ErrLogPoisoned.
 func (l *Log) Append(payload []byte) error {
+	if l.poisoned {
+		return ErrLogPoisoned
+	}
 	sp := l.tracer.Start(l.span, "wal.append",
 		telemetry.Int("bytes", len(payload)), telemetry.Int("seq", int(l.nextSeq)))
 	b := frame(l.nextSeq, payload)
 	if _, err := l.f.Write(b); err != nil {
-		err = fmt.Errorf("wal: append: %w", err)
+		err = fmt.Errorf("wal: append: %w", l.repair(err))
 		sp.EndErr(err)
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		err = fmt.Errorf("wal: append sync: %w", err)
+		err = fmt.Errorf("wal: append sync: %w", l.repair(err))
 		sp.EndErr(err)
 		return err
 	}
@@ -295,6 +322,22 @@ func (l *Log) Append(payload []byte) error {
 	}
 	sp.EndErr(nil)
 	return nil
+}
+
+// repair rolls a failed append back to the last sealed state: truncate to the
+// pre-append size (l.size is only advanced after a successful fsync) and
+// re-seek so the next frame lands on a clean boundary. On success the handle
+// stays usable; on failure it is poisoned.
+func (l *Log) repair(cause error) error {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.poisoned = true
+		return fmt.Errorf("%w (rollback truncate failed: %v)", cause, err)
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		l.poisoned = true
+		return fmt.Errorf("%w (rollback seek failed: %v)", cause, err)
+	}
+	return cause
 }
 
 // Size returns the current log size in bytes.
@@ -314,7 +357,7 @@ func (l *Log) rotate() error {
 	if err := WriteFileAtomic(l.path, buf, 0o644); err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	f, err := l.opts.fs().OpenFile(l.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: rotate reopen: %w", err)
 	}

@@ -17,6 +17,7 @@ type Health struct {
 	ready    atomic.Bool
 	draining atomic.Bool
 	inflight atomic.Int64
+	state    atomic.Value // string: degradation-ladder rung, "" when unset
 	started  time.Time
 	gauge    *Gauge
 }
@@ -54,6 +55,26 @@ func (h *Health) SetDraining() {
 
 // Draining reports whether the service is draining.
 func (h *Health) Draining() bool { return h != nil && h.draining.Load() }
+
+// SetState publishes the owner's degradation-ladder rung (e.g. "healthy",
+// "shedding", "degraded", "draining") for the /readyz body. Orthogonal to the
+// ready flag: a shedding server is still ready, just telling clients why
+// some requests bounce.
+func (h *Health) SetState(state string) {
+	if h == nil {
+		return
+	}
+	h.state.Store(state)
+}
+
+// State returns the published ladder rung, "" when the owner never set one.
+func (h *Health) State() string {
+	if h == nil {
+		return ""
+	}
+	s, _ := h.state.Load().(string)
+	return s
+}
 
 // BindGauge exports the in-flight counter as defuse_server_in_flight in reg.
 // Safe to call with a nil registry (no-op).
@@ -103,7 +124,8 @@ type healthzBody struct {
 
 // readyzBody is the /readyz response document.
 type readyzBody struct {
-	Ready    bool  `json:"ready"`
-	Draining bool  `json:"draining"`
-	InFlight int64 `json:"in_flight"`
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining"`
+	InFlight int64  `json:"in_flight"`
+	State    string `json:"state,omitempty"`
 }

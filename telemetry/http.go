@@ -61,6 +61,7 @@ func Serve(addr string, reg *Registry, flight *FlightRecorder, spans *SpanBuffer
 			Ready:    health.Ready(),
 			Draining: health.Draining(),
 			InFlight: health.InFlight(),
+			State:    health.State(),
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if !body.Ready {

@@ -100,6 +100,19 @@ const (
 	// uninterrupted run (fields: cell, trial, crash_step, resumed,
 	// resume_epoch, torn_tail, corrupt_records, identical).
 	EvCrashTrial = "crash.trial"
+	// EvServerState reports a degradation-ladder transition in the resident
+	// service (fields: from, to, reason).
+	EvServerState = "server.state"
+	// EvJournalRotate reports the active journal segment sealing and a fresh
+	// one opening (fields: segment, bytes, records).
+	EvJournalRotate = "journal.rotate"
+	// EvJournalCompact reports the oldest sealed segment folding into the
+	// summary (fields: segment, folded, compacted_total, disk_bytes).
+	EvJournalCompact = "journal.compact"
+	// EvJournalFault reports an injected or real I/O failure on a journal
+	// append, rolled back before acknowledgement (fields: id, injected,
+	// error).
+	EvJournalFault = "journal.fault"
 )
 
 // Event is one structured telemetry record.
